@@ -1,0 +1,31 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench prints its tables through util::Table and finishes with a
+// CHECK line per "shape" assertion — the qualitative claim from the paper
+// that the regenerated numbers must reproduce (who wins, roughly by how
+// much, where the crossover sits).  A failed check exits non-zero so the
+// bench sweep doubles as a regression suite for EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace zmail::bench {
+
+inline int g_failures = 0;
+
+inline void check(bool ok, const std::string& claim) {
+  std::printf("CHECK %-4s %s\n", ok ? "ok" : "FAIL", claim.c_str());
+  if (!ok) ++g_failures;
+}
+
+inline int finish() {
+  if (g_failures > 0) {
+    std::fprintf(stderr, "%d shape check(s) failed\n", g_failures);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace zmail::bench

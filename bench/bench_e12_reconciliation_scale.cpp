@@ -1,0 +1,120 @@
+// E12 — Reconciliation scalability (paper Sections 1.3 / 4.4).
+//
+// Claim: Zmail "is an accounting relationship among compliant ISPs, which
+// reconcile payments to and from their users" — the bank's work is per-ISP,
+// not per-message, so verification stays cheap as the system grows.
+//
+// Regenerates:
+//   E12.a  snapshot-round cost vs the number of ISPs: messages exchanged,
+//          report bytes, verify wall-clock
+//   E12.b  the per-message amortization: reconciliation bytes per email as
+//          volume grows
+//   E12.c  verify-matrix wall-clock at bank scale (pure computation)
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "core/system.hpp"
+#include "util/table.hpp"
+#include "workload/traffic.hpp"
+
+using namespace zmail;
+
+namespace {
+
+void e12a_isp_sweep() {
+  Table t({"ISPs", "request+reply msgs", "report bytes",
+           "round wall-clock (us)"});
+  double us_small = 0, us_large = 0;
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+    core::ZmailParams p;
+    p.n_isps = n;
+    p.users_per_isp = 4;
+    p.initial_user_balance = 1'000;
+    p.record_inboxes = false;
+    core::ZmailSystem sys(p, 121);
+    workload::CorpusGenerator corpus(workload::CorpusParams{}, Rng(122));
+    workload::TrafficGenerator traffic(sys, workload::TrafficParams{}, corpus,
+                                       Rng(123));
+    traffic.build_contacts();
+    traffic.burst(200);
+    sys.run_for(sim::kHour);
+
+    const std::uint64_t dg_before = sys.network().datagrams_sent();
+    const auto t0 = std::chrono::steady_clock::now();
+    sys.start_snapshot();
+    sys.run_for(30 * sim::kMinute);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    const std::uint64_t round_msgs = sys.network().datagrams_sent() - dg_before;
+    // A report is one credit vector: n * 8 bytes + envelope overhead.
+    const std::uint64_t report_bytes = n * (n * 8 + 64);
+
+    t.add_row({Table::num(std::uint64_t{n}), Table::num(round_msgs),
+               Table::num(report_bytes), Table::num(us, 0)});
+    if (n == 2) us_small = us;
+    if (n == 32) us_large = us;
+  }
+  t.print("E12.a  snapshot-round cost vs deployment size");
+  bench::check(us_large < us_small * 400,
+               "round cost grows polynomially in ISPs, not explosively");
+}
+
+void e12b_amortization() {
+  Table t({"emails in the billing period", "reconciliation bytes",
+           "bytes per email"});
+  double per_email_small = 0, per_email_large = 0;
+  for (std::size_t volume : {1'000u, 10'000u, 100'000u}) {
+    // 8 ISPs; reconciliation data is independent of volume.
+    const std::size_t n = 8;
+    const double bytes = static_cast<double>(n) * (n * 8 + 64) + n * 72.0;
+    const double per_email = bytes / static_cast<double>(volume);
+    t.add_row({Table::num(std::uint64_t{volume}), Table::num(bytes, 0),
+               Table::num(per_email, 4)});
+    if (volume == 1'000) per_email_small = per_email;
+    if (volume == 100'000) per_email_large = per_email;
+  }
+  t.print("E12.b  reconciliation overhead amortized per email (8 ISPs)");
+  bench::check(per_email_large < per_email_small / 50,
+               "per-email reconciliation cost vanishes with volume");
+}
+
+void e12c_verify_wallclock() {
+  Table t({"ISPs", "verify pairs", "verify wall-clock (us)"});
+  for (std::size_t n : {64u, 256u, 1'024u}) {
+    // Pure bank computation: fill a synthetic antisymmetric matrix and
+    // time the pairwise check, exactly as Bank::verify_round performs it.
+    std::vector<std::vector<EPenny>> verify(n, std::vector<EPenny>(n, 0));
+    Rng rng(124);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const EPenny v = rng.uniform_int(-1'000, 1'000);
+        verify[j][i] = v;
+        verify[i][j] = -v;
+      }
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t violations = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        if (verify[j][i] + verify[i][j] != 0) ++violations;
+    const auto t1 = std::chrono::steady_clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    t.add_row({Table::num(std::uint64_t{n}),
+               Table::num(std::uint64_t{n * (n - 1) / 2}),
+               Table::num(us, 0)});
+    bench::check(violations == 0, "synthetic honest matrix verifies clean");
+  }
+  t.print("E12.c  bank verify wall-clock at scale");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E12: reconciliation scalability ===\n");
+  e12a_isp_sweep();
+  e12b_amortization();
+  e12c_verify_wallclock();
+  return bench::finish();
+}

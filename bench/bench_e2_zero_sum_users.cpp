@@ -1,0 +1,179 @@
+// E2 — Zero-sum for normal users (paper Section 1.2, claim 2).
+//
+// Claim: "Users who receive as much email as they send, on average, will
+// neither pay nor profit from email, once they have set up initial balances
+// with their ISPs to buffer the fluctuations."
+//
+// Regenerates:
+//   E2.a  30 simulated days of realistic traffic: distribution of each
+//         user's net e-penny drift (mean ~ 0)
+//   E2.b  the buffer question: refusal rate vs initial balance
+//   E2.c  windfall accounting: spam received is income for its victims
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/system.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/traffic.hpp"
+
+using namespace zmail;
+
+namespace {
+
+core::ZmailParams base_params() {
+  core::ZmailParams p;
+  p.n_isps = 4;
+  p.users_per_isp = 40;
+  p.initial_user_balance = 100;
+  p.default_daily_limit = 400;
+  p.record_inboxes = false;
+  return p;
+}
+
+void e2a_net_drift() {
+  core::ZmailParams p = base_params();
+  core::ZmailSystem sys(p, 21);
+  sys.enable_daily_resets();
+  workload::CorpusGenerator corpus(workload::CorpusParams{}, Rng(22));
+  workload::TrafficParams tp;
+  tp.mean_sends_per_user_day = 8.0;
+  workload::TrafficGenerator traffic(sys, tp, corpus, Rng(23));
+  traffic.build_contacts();
+
+  for (int day = 0; day < 30; ++day) {
+    traffic.schedule_day();
+    sys.run_for(sim::kDay);
+  }
+  sys.run_for(sim::kHour);
+
+  OnlineStats drift;
+  Sample abs_drift, balanced_drift;
+  bool exact_identity = true;
+  for (std::size_t i = 0; i < p.n_isps; ++i) {
+    for (std::size_t u = 0; u < p.users_per_isp; ++u) {
+      const auto& acc = sys.isp(i).user(u);
+      const EPenny d = acc.balance - p.initial_user_balance;
+      drift.add(static_cast<double>(d));
+      abs_drift.add(std::abs(static_cast<double>(d)));
+      // The paper's precise claim: your balance moves ONLY with your own
+      // send/receive asymmetry — the protocol itself takes nothing.
+      if (d != acc.lifetime_received_paid - acc.lifetime_sent)
+        exact_identity = false;
+      // And for users whose flow is balanced (within 10%), drift is small.
+      const std::int64_t volume = acc.lifetime_sent;
+      if (volume > 0 &&
+          std::abs(acc.lifetime_received_paid - acc.lifetime_sent) <=
+              volume / 10)
+        balanced_drift.add(std::abs(static_cast<double>(d)));
+    }
+  }
+
+  Table t({"metric", "value"});
+  t.add_row({"users", Table::num(drift.count())});
+  t.add_row({"mean net drift (e-pennies / 30 days)",
+             Table::num(drift.mean(), 2)});
+  t.add_row({"stddev", Table::num(drift.stddev(), 2)});
+  t.add_row({"p50 |drift|", Table::num(abs_drift.percentile(50), 1)});
+  t.add_row({"p95 |drift|", Table::num(abs_drift.percentile(95), 1)});
+  t.add_row({"balanced users (send ~ receive)",
+             Table::num(std::uint64_t{balanced_drift.size()})});
+  t.add_row({"their p95 |drift|",
+             balanced_drift.empty()
+                 ? "-"
+                 : Table::num(balanced_drift.percentile(95), 1)});
+  t.print("E2.a  per-user net e-penny drift after 30 days of traffic");
+
+  bench::check(std::abs(drift.mean()) < 1e-6,
+               "aggregate drift is exactly zero (zero-sum)");
+  bench::check(exact_identity,
+               "balance moves only with the user's own send/receive flow — "
+               "the protocol charges nothing on top");
+  bench::check(!balanced_drift.empty() &&
+                   balanced_drift.percentile(95) < 30.0,
+               "users with balanced flow neither pay nor profit");
+  bench::check(sys.conservation_holds(), "e-penny conservation holds");
+}
+
+void e2b_buffer_size() {
+  Table t({"initial balance", "sends refused (no funds)", "refusal rate"});
+  std::uint64_t refused_small = 0, refused_large = 0;
+  for (EPenny buffer : {0, 5, 20, 100}) {
+    core::ZmailParams p = base_params();
+    p.initial_user_balance = buffer;
+    core::ZmailSystem sys(p, 24);
+    sys.enable_daily_resets();
+    workload::CorpusGenerator corpus(workload::CorpusParams{}, Rng(25));
+    workload::TrafficGenerator traffic(sys, workload::TrafficParams{}, corpus,
+                                       Rng(26));
+    traffic.build_contacts();
+    for (int day = 0; day < 10; ++day) {
+      traffic.schedule_day();
+      sys.run_for(sim::kDay);
+    }
+    std::uint64_t refused = 0, attempted = 0;
+    for (std::size_t i = 0; i < p.n_isps; ++i) {
+      refused += sys.isp(i).metrics().refused_no_balance;
+      attempted += sys.isp(i).metrics().emails_sent_compliant +
+                   sys.isp(i).metrics().emails_sent_local +
+                   sys.isp(i).metrics().refused_no_balance;
+    }
+    t.add_row({Table::num(buffer), Table::num(refused),
+               Table::pct(static_cast<double>(refused) /
+                          static_cast<double>(attempted))});
+    if (buffer == 0) refused_small = refused;
+    if (buffer == 100) refused_large = refused;
+  }
+  t.print("E2.b  initial balance as a fluctuation buffer (10 days)");
+  bench::check(refused_small > 0,
+               "without a buffer, fluctuations block some sends");
+  bench::check(refused_large * 10 < refused_small || refused_large == 0,
+               "a modest initial balance absorbs the fluctuations");
+}
+
+void e2c_spam_windfall() {
+  core::ZmailParams p = base_params();
+  core::ZmailSystem sys(p, 27);
+  workload::CorpusGenerator corpus(workload::CorpusParams{}, Rng(28));
+  workload::SpamCampaignParams cp;
+  cp.messages = 400;
+  Rng rng(29);
+  workload::run_spam_campaign(sys, cp, corpus, rng);
+  sys.run_for(sim::kHour);
+
+  EPenny victims_gain = 0;
+  std::uint64_t victims = 0;
+  for (std::size_t i = 0; i < p.n_isps; ++i) {
+    for (std::size_t u = 0; u < p.users_per_isp; ++u) {
+      if (i == cp.spammer_isp && u == cp.spammer_user) continue;
+      const auto& acc = sys.isp(i).user(u);
+      if (acc.balance > p.initial_user_balance) {
+        victims_gain += acc.balance - p.initial_user_balance;
+        ++victims;
+      }
+    }
+  }
+  const auto& spammer = sys.isp(cp.spammer_isp).user(cp.spammer_user);
+
+  Table t({"metric", "value"});
+  t.add_row({"spammer net loss (e-pennies)",
+             Table::num(p.initial_user_balance - spammer.balance)});
+  t.add_row({"victims compensated", Table::num(std::uint64_t{victims})});
+  t.add_row({"victims' total windfall", Table::num(victims_gain)});
+  t.print("E2.c  spam as windfall: the receiver is paid (Section 1.2)");
+
+  bench::check(victims_gain > 0 && victims > 0,
+               "spam recipients earned e-pennies (windfall, not nuisance)");
+  bench::check(sys.conservation_holds(),
+               "spammer losses exactly fund recipient windfalls");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E2: zero-sum property for normal users ===\n");
+  e2a_net_drift();
+  e2b_buffer_size();
+  e2c_spam_windfall();
+  return bench::finish();
+}

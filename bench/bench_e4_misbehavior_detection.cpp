@@ -1,0 +1,153 @@
+// E4 — Misbehavior detection (paper Section 4.4).
+//
+// Claim: after a snapshot, "the value of credit[j] in process isp[i] plus
+// the value of credit[i] in process isp[j] should be zero.  Otherwise, at
+// least one of the two ISPs has misbehaved."
+//
+// Regenerates:
+//   E4.a  detection sweep over the number of colluding (free-riding) ISPs:
+//         every cheating pair is flagged; no honest pair is
+//   E4.b  the same property in the Abstract-Protocol rendition under
+//         randomized interleavings (20 seeds)
+//   E4.c  detection latency: cheats surface at the first snapshot after
+//         they occur
+#include <set>
+
+#include "bench_common.hpp"
+#include "core/ap_spec.hpp"
+#include "core/system.hpp"
+#include "util/table.hpp"
+#include "workload/traffic.hpp"
+
+using namespace zmail;
+
+namespace {
+
+void e4a_collusion_sweep() {
+  Table t({"colluding ISPs", "cheating pairs flagged", "honest pairs flagged",
+           "detected all?"});
+  bool all_detected = true, no_false_accusation = true;
+  for (std::size_t cheaters : {0u, 1u, 2u, 3u}) {
+    core::ZmailParams p;
+    p.n_isps = 6;
+    p.users_per_isp = 10;
+    p.initial_user_balance = 1'000;
+    p.default_daily_limit = 10'000;
+    p.record_inboxes = false;
+    core::ZmailSystem sys(p, 41 + cheaters);
+    for (std::size_t c = 0; c < cheaters; ++c)
+      sys.isp(c).set_misbehavior(core::Isp::Misbehavior::kFreeRide);
+
+    workload::CorpusGenerator corpus(workload::CorpusParams{}, Rng(42));
+    workload::TrafficGenerator traffic(sys, workload::TrafficParams{}, corpus,
+                                       Rng(43));
+    traffic.build_contacts();
+    traffic.burst(600);
+    sys.run_for(2 * sim::kHour);
+    sys.start_snapshot();
+    sys.run_for(30 * sim::kMinute);
+
+    std::size_t cheat_pairs_flagged = 0, honest_pairs_flagged = 0;
+    std::set<std::size_t> flagged;
+    for (const auto& v : sys.bank().last_violations()) {
+      const bool involves_cheater = v.isp_i < cheaters || v.isp_j < cheaters;
+      if (involves_cheater)
+        ++cheat_pairs_flagged;
+      else
+        ++honest_pairs_flagged;
+      flagged.insert(v.isp_i);
+      flagged.insert(v.isp_j);
+    }
+    // Every cheater that actually shipped unpaid mail must appear.
+    bool all_cheaters_flagged = true;
+    for (std::size_t c = 0; c < cheaters; ++c) {
+      if (sys.isp(c).metrics().emails_sent_compliant > 0 &&
+          flagged.count(c) == 0)
+        all_cheaters_flagged = false;
+    }
+    all_detected = all_detected && all_cheaters_flagged;
+    no_false_accusation = no_false_accusation && honest_pairs_flagged == 0;
+    t.add_row({Table::num(std::uint64_t{cheaters}),
+               Table::num(std::uint64_t{cheat_pairs_flagged}),
+               Table::num(std::uint64_t{honest_pairs_flagged}),
+               all_cheaters_flagged ? "yes" : "NO"});
+  }
+  t.print("E4.a  free-riding ISPs vs snapshot verification (6 ISPs)");
+  bench::check(all_detected, "every active colluder is flagged");
+  bench::check(no_false_accusation, "no honest pair is ever flagged");
+}
+
+void e4b_ap_randomized() {
+  std::size_t detected = 0, runs_with_cheating = 0;
+  for (std::uint64_t seed = 1000; seed < 1020; ++seed) {
+    core::ZmailParams p;
+    p.n_isps = 4;
+    p.users_per_isp = 3;
+    p.initial_user_balance = 50;
+    p.default_daily_limit = 1'000;
+    core::ApZmailWorld world(p, ap::Scheduler::Policy::kRandom, seed);
+    world.isp(0).cheat_free_ride = true;
+    for (std::size_t i = 0; i < 4; ++i) world.isp(i).send_budget = 60;
+    world.run();
+    world.bank().snapshot_budget = 1;
+    world.run();
+    if (world.isp(0).emails_sent_out == 0) continue;
+    ++runs_with_cheating;
+    bool flagged = false;
+    for (const auto& v : world.bank().violations)
+      if (v.i == 0 || v.j == 0) flagged = true;
+    if (flagged) ++detected;
+  }
+  Table t({"randomized runs with cheating", "detected", "rate"});
+  t.add_row({Table::num(std::uint64_t{runs_with_cheating}),
+             Table::num(std::uint64_t{detected}),
+             Table::pct(runs_with_cheating
+                            ? static_cast<double>(detected) /
+                                  static_cast<double>(runs_with_cheating)
+                            : 0.0)});
+  t.print("E4.b  AP rendition, randomized interleavings");
+  bench::check(detected == runs_with_cheating,
+               "detection holds under every interleaving tested");
+}
+
+void e4c_detection_latency() {
+  core::ZmailParams p;
+  p.n_isps = 3;
+  p.users_per_isp = 10;
+  p.initial_user_balance = 1'000;
+  p.record_inboxes = false;
+  core::ZmailSystem sys(p, 45);
+  sys.enable_periodic_snapshots(sim::kDay);
+
+  // Honest traffic for 2 days, then the ISP turns rogue on day 3.
+  workload::CorpusGenerator corpus(workload::CorpusParams{}, Rng(46));
+  workload::TrafficGenerator traffic(sys, workload::TrafficParams{}, corpus,
+                                     Rng(47));
+  traffic.build_contacts();
+
+  Table t({"day", "rogue?", "violations at that day's snapshot"});
+  int first_detection_day = -1;
+  for (int day = 0; day < 5; ++day) {
+    if (day == 2)
+      sys.isp(0).set_misbehavior(core::Isp::Misbehavior::kFreeRide);
+    traffic.burst(200);
+    sys.run_for(sim::kDay);
+    const std::size_t violations = sys.bank().last_violations().size();
+    if (violations > 0 && first_detection_day < 0) first_detection_day = day;
+    t.add_row({Table::num(std::int64_t{day}), day >= 2 ? "yes" : "no",
+               Table::num(std::uint64_t{violations})});
+  }
+  t.print("E4.c  detection latency with daily snapshots (rogue from day 2)");
+  bench::check(first_detection_day == 2,
+               "cheating surfaces at the first snapshot after it begins");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E4: misbehavior detection ===\n");
+  e4a_collusion_sweep();
+  e4b_ap_randomized();
+  e4c_detection_latency();
+  return bench::finish();
+}

@@ -1,0 +1,141 @@
+// E6 — Incremental deployment (paper Section 5).
+//
+// Claim: "it can be deployed incrementally, starting with two compliant
+// ISPs ... The good experience of the users of compliant ISPs will attract
+// more people to switch ... which in turn causes more people to use
+// compliant ISPs and more ISPs to become compliant."
+//
+// Regenerates:
+//   E6.a  the adoption S-curve from 2 compliant ISPs
+//   E6.b  sensitivity sweep: policy strictness (residual spam) and
+//         switching friction
+//   E6.c  the micro mechanism, measured end-to-end: spam that reaches a
+//         compliant vs a non-compliant inbox in a mixed deployment
+#include "bench_common.hpp"
+#include "core/system.hpp"
+#include "econ/adoption.hpp"
+#include "util/table.hpp"
+#include "workload/traffic.hpp"
+
+using namespace zmail;
+
+namespace {
+
+void e6a_s_curve() {
+  econ::AdoptionParams p;
+  p.n_isps = 50;
+  p.initial_compliant = 2;
+  p.steps = 150;
+  Rng rng(61);
+  const auto trace = econ::simulate_adoption(p, rng);
+
+  Table t({"step", "compliant ISPs", "user share", "spam/day compliant",
+           "spam/day non-compliant"});
+  for (std::size_t s = 0; s < trace.size(); s += 15) {
+    const auto& row = trace[s];
+    t.add_row({Table::num(std::uint64_t{row.step}),
+               Table::num(std::uint64_t{row.compliant_isps}),
+               Table::pct(row.compliant_user_share, 1),
+               Table::num(row.avg_spam_compliant, 2),
+               Table::num(row.avg_spam_noncompliant, 2)});
+  }
+  t.print("E6.a  adoption from the 2-ISP bootstrap");
+
+  const std::size_t t50 = econ::steps_to_share(trace, 0.5);
+  const std::size_t t90 = econ::steps_to_share(trace, 0.9);
+  std::printf("50%% at step %zu, 90%% at step %zu\n", t50, t90);
+  bench::check(trace.back().compliant_user_share > 0.9,
+               "adoption reaches >90% of users (positive feedback)");
+  bench::check(t90 < p.steps, "saturation happens within the horizon");
+
+  // Acceleration: the max one-step gain is in the interior of the curve.
+  double max_gain = 0;
+  double share_at_max = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const double g =
+        trace[i].compliant_user_share - trace[i - 1].compliant_user_share;
+    if (g > max_gain) {
+      max_gain = g;
+      share_at_max = trace[i - 1].compliant_user_share;
+    }
+  }
+  bench::check(share_at_max > 0.05 && share_at_max < 0.95,
+               "growth peaks mid-curve: an S-curve, not a fizzle");
+}
+
+void e6b_sensitivity() {
+  Table t({"residual spam at compliant ISPs", "switch friction",
+           "steps to 50%", "steps to 90%", "final share"});
+  bool strict_policy_faster = true;
+  std::size_t t90_strict = 0, t90_lax = 0;
+  for (double residual : {0.02, 0.05, 0.20}) {
+    for (double rate : {0.01, 0.02, 0.05}) {
+      econ::AdoptionParams p;
+      p.residual_spam_fraction = residual;
+      p.switch_rate = rate;
+      p.steps = 400;
+      Rng rng(62);
+      const auto trace = econ::simulate_adoption(p, rng);
+      t.add_row({Table::pct(residual, 0), Table::num(rate, 2),
+                 Table::num(std::uint64_t{econ::steps_to_share(trace, 0.5)}),
+                 Table::num(std::uint64_t{econ::steps_to_share(trace, 0.9)}),
+                 Table::pct(trace.back().compliant_user_share, 1)});
+      if (residual == 0.02 && rate == 0.02)
+        t90_strict = econ::steps_to_share(trace, 0.9);
+      if (residual == 0.20 && rate == 0.02)
+        t90_lax = econ::steps_to_share(trace, 0.9);
+    }
+  }
+  t.print("E6.b  sensitivity: policy strictness and switching friction");
+  strict_policy_faster = t90_strict <= t90_lax;
+  bench::check(strict_policy_faster,
+               "stricter handling of non-compliant mail speeds adoption");
+}
+
+void e6c_micro_mechanism() {
+  core::ZmailParams p;
+  p.n_isps = 4;
+  p.users_per_isp = 25;
+  p.compliant = {true, true, false, false};
+  p.noncompliant_policy = core::NonCompliantPolicy::kDiscard;
+  p.record_inboxes = false;
+  core::ZmailSystem sys(p, 63);
+  workload::CorpusGenerator corpus(workload::CorpusParams{}, Rng(64));
+  workload::SpamCampaignParams cp;
+  cp.spammer_isp = 2;  // spammer lives in the free world
+  cp.messages = 1'000;
+  Rng rng(65);
+  workload::run_spam_campaign(sys, cp, corpus, rng);
+  sys.run_for(2 * sim::kHour);
+
+  const std::uint64_t spam_into_compliant =
+      sys.isp(0).metrics().emails_received_noncompliant +
+      sys.isp(1).metrics().emails_received_noncompliant;
+  const std::uint64_t discarded = sys.isp(0).metrics().emails_discarded +
+                                  sys.isp(1).metrics().emails_discarded;
+  const std::uint64_t legacy_spam = sys.legacy_stats(2).emails_received_spam +
+                                    sys.legacy_stats(3).emails_received_spam;
+
+  Table t({"destination", "spam arriving", "spam reaching the inbox"});
+  t.add_row({"compliant ISPs (discard policy)",
+             Table::num(spam_into_compliant),
+             Table::num(spam_into_compliant - discarded)});
+  t.add_row({"non-compliant ISPs", Table::num(legacy_spam),
+             Table::num(legacy_spam)});
+  t.print("E6.c  measured inbox spam, mixed deployment");
+
+  bench::check(spam_into_compliant == discarded,
+               "compliant users' inboxes stay clean under the discard policy");
+  bench::check(legacy_spam > 0,
+               "non-compliant users keep eating spam — the switching motive");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E6: incremental deployment ===\n");
+  e6a_s_curve();
+  e6b_sensitivity();
+  e6c_micro_mechanism();
+  return bench::finish();
+}

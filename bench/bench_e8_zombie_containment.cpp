@@ -1,0 +1,157 @@
+// E8 — Zombie containment (paper Section 5).
+//
+// Claim: a per-user daily limit "blocks further outgoing mail (for that
+// day), and the user is sent a warning message ... In addition to limiting
+// the user's liability for the e-penny cost of virus-sent email, this
+// provides a new mechanism for detecting, limiting, and disinfecting
+// 'zombie' PCs once they become active."
+//
+// Regenerates:
+//   E8.a  limit sweep: daily virus output, victim liability, and peak
+//         infection vs the limit setting
+//   E8.b  detection: every active zombie is warned the day it activates
+//   E8.c  infectivity sweep at a fixed limit: containment survives more
+//         aggressive viruses
+#include "bench_common.hpp"
+#include "core/system.hpp"
+#include "util/table.hpp"
+#include "workload/virus.hpp"
+
+using namespace zmail;
+
+namespace {
+
+core::ZmailParams world(std::int64_t limit) {
+  core::ZmailParams p;
+  p.n_isps = 4;
+  p.users_per_isp = 50;
+  p.initial_user_balance = 100'000;  // liability is bounded by limit, not funds
+  p.default_daily_limit = limit;
+  p.record_inboxes = false;
+  return p;
+}
+
+void e8a_limit_sweep() {
+  Table t({"daily limit", "virus mail accepted (10 days)",
+           "blocked at the limit", "peak infected",
+           "victim liability (e-pennies)"});
+  std::int64_t drained_tight = 0, drained_loose = 0;
+  std::size_t peak_tight = 0, peak_loose = 0;
+  for (std::int64_t limit : {10, 30, 100, 1'000, 100'000}) {
+    core::ZmailSystem sys(world(limit), 81);
+    workload::OutbreakParams op;
+    op.initial_infected = 3;
+    op.virus_sends_per_day = 400;
+    op.infect_prob = 0.03;
+    op.patch_prob_after_warning = 0.9;
+    op.days = 10;
+    workload::ZombieOutbreak outbreak(sys, op, Rng(81));
+    const auto days = outbreak.run();
+    std::uint64_t sent = 0, blocked = 0;
+    for (const auto& d : days) {
+      sent += d.virus_sent;
+      blocked += d.virus_blocked;
+    }
+    t.add_row({Table::num(limit), Table::num(sent), Table::num(blocked),
+               Table::num(std::uint64_t{outbreak.peak_infected()}),
+               Table::num(days.back().epennies_drained)});
+    if (limit == 30) {
+      drained_tight = days.back().epennies_drained;
+      peak_tight = outbreak.peak_infected();
+    }
+    if (limit == 100'000) {
+      drained_loose = days.back().epennies_drained;
+      peak_loose = outbreak.peak_infected();
+    }
+  }
+  t.print("E8.a  outbreak outcomes vs the per-user daily limit");
+
+  bench::check(drained_tight * 10 < drained_loose,
+               "a tight limit cuts victim liability by >10x");
+  bench::check(peak_tight <= peak_loose,
+               "a tight limit also slows the infection itself");
+}
+
+void e8b_detection() {
+  core::ZmailSystem sys(world(30), 82);
+  workload::OutbreakParams op;
+  op.initial_infected = 5;
+  op.virus_sends_per_day = 400;  // every zombie trips the limit same-day
+  op.infect_prob = 0.0;          // isolate detection from spread
+  op.patch_prob_after_warning = 0.0;
+  op.days = 1;
+  workload::ZombieOutbreak outbreak(sys, op, Rng(82));
+  const auto days = outbreak.run();
+
+  Table t({"zombies active", "warnings issued day 0"});
+  t.add_row({"5", Table::num(days[0].warnings)});
+  t.print("E8.b  same-day zombie detection via limit warnings");
+  bench::check(days[0].warnings == 5,
+               "every active zombie is flagged the day it activates");
+}
+
+void e8c_infectivity_sweep() {
+  Table t({"infection prob/message", "peak infected (limit=30)",
+           "peak infected (no limit)"});
+  bool contained = true;
+  for (double prob : {0.01, 0.03, 0.08}) {
+    auto run = [&](std::int64_t limit) {
+      core::ZmailSystem sys(world(limit), 83);
+      workload::OutbreakParams op;
+      op.initial_infected = 3;
+      op.virus_sends_per_day = 400;
+      op.infect_prob = prob;
+      op.patch_prob_after_warning = 0.9;
+      op.days = 10;
+      workload::ZombieOutbreak outbreak(sys, op, Rng(83));
+      outbreak.run();
+      return outbreak.peak_infected();
+    };
+    const std::size_t tight = run(30);
+    const std::size_t loose = run(100'000);
+    t.add_row({Table::num(prob, 2), Table::num(std::uint64_t{tight}),
+               Table::num(std::uint64_t{loose})});
+    if (tight > loose) contained = false;
+  }
+  t.print("E8.c  containment vs virus infectivity");
+  bench::check(contained,
+               "the limited world never does worse than the unlimited one");
+}
+
+void e8d_quarantine() {
+  // Quarantine extension: repeat offenders are suspended outright, so a
+  // user who never disinfects stops costing anything after two warnings.
+  auto run = [](std::int64_t quarantine_after) {
+    core::ZmailParams p = world(30);
+    p.quarantine_after_warnings = quarantine_after;
+    core::ZmailSystem sys(p, 84);
+    workload::OutbreakParams op;
+    op.initial_infected = 5;
+    op.virus_sends_per_day = 400;
+    op.infect_prob = 0.0;
+    op.patch_prob_after_warning = 0.0;  // users ignore every warning
+    op.days = 10;
+    workload::ZombieOutbreak outbreak(sys, op, Rng(84));
+    return outbreak.run().back().epennies_drained;
+  };
+  const std::int64_t warnings_only = run(0);
+  const std::int64_t with_quarantine = run(2);
+
+  Table t({"policy", "e-pennies drained by 5 persistent zombies, 10 days"});
+  t.add_row({"daily warnings only", Table::num(warnings_only)});
+  t.add_row({"quarantine after 2 warnings", Table::num(with_quarantine)});
+  t.print("E8.d  quarantine caps the never-disinfected worst case");
+  bench::check(with_quarantine <= warnings_only * 2 / 10 + 300,
+               "quarantine bounds persistent zombies at ~2 days of limit");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E8: zombie containment ===\n");
+  e8a_limit_sweep();
+  e8b_detection();
+  e8c_infectivity_sweep();
+  e8d_quarantine();
+  return bench::finish();
+}

@@ -1,0 +1,86 @@
+// Microbenchmarks for the anti-spam baselines: classifier training and
+// scoring throughput, pipeline dispatch, SHRED processing.
+#include <benchmark/benchmark.h>
+
+#include "baselines/bayes.hpp"
+#include "baselines/pipeline.hpp"
+#include "baselines/shred.hpp"
+#include "workload/corpus.hpp"
+
+using namespace zmail;
+
+namespace {
+
+workload::CorpusGenerator make_corpus(std::uint64_t seed) {
+  return workload::CorpusGenerator(workload::CorpusParams{}, Rng(seed));
+}
+
+void BM_BayesTrain(benchmark::State& state) {
+  workload::CorpusGenerator corpus = make_corpus(1);
+  std::vector<std::string> bodies;
+  for (int i = 0; i < 64; ++i) bodies.push_back(corpus.spam_body());
+  std::size_t i = 0;
+  baselines::NaiveBayesFilter filter;
+  for (auto _ : state) {
+    filter.train(bodies[i % bodies.size()], i % 2 == 0);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BayesTrain);
+
+void BM_BayesScore(benchmark::State& state) {
+  workload::CorpusGenerator corpus = make_corpus(2);
+  baselines::NaiveBayesFilter filter;
+  for (int i = 0; i < 400; ++i) {
+    filter.train(corpus.spam_body(), true);
+    filter.train(corpus.ham_body(), false);
+  }
+  std::vector<std::string> bodies;
+  for (int i = 0; i < 64; ++i) bodies.push_back(corpus.spam_body());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.score(bodies[i++ % bodies.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BayesScore);
+
+void BM_Tokenize(benchmark::State& state) {
+  workload::CorpusGenerator corpus = make_corpus(3);
+  const std::string body = corpus.ham_body();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(workload::tokenize(body));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(body.size()));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_PipelineClassify(benchmark::State& state) {
+  workload::CorpusGenerator corpus = make_corpus(4);
+  baselines::FilterPipeline pipeline;
+  pipeline.blacklist().add_domain("spamhaus.example");
+  for (int i = 0; i < 200; ++i) {
+    pipeline.content().train(corpus.spam_body(), true);
+    pipeline.content().train(corpus.ham_body(), false);
+  }
+  const net::EmailMessage msg = corpus.make_message(
+      {"s", "somewhere.example"}, {"r", "here.example"},
+      net::MailClass::kSpam);
+  for (auto _ : state) benchmark::DoNotOptimize(pipeline.classify(msg));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PipelineClassify);
+
+void BM_ShredProcess(benchmark::State& state) {
+  baselines::ShredScheme shred(baselines::ShredParams{}, Rng(5));
+  bool spam = false;
+  for (auto _ : state) {
+    shred.process(spam);
+    spam = !spam;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShredProcess);
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Full simulation: two weeks in the life of a mixed Zmail deployment.
+//
+// Everything at once: normal diurnal correspondence, a mailing list with
+// acknowledgments, a legacy-world spam operation, a zombie infection, daily
+// snapshots with bulk settlement, a mid-run compliance flip, and the audit
+// journal summarizing the bank's view at the end.
+//
+//   ./full_simulation
+#include <cstdio>
+
+#include "core/audit.hpp"
+#include "core/mailing_list.hpp"
+#include "core/system.hpp"
+#include "util/table.hpp"
+#include "workload/traffic.hpp"
+
+using namespace zmail;
+
+int main() {
+  core::ZmailParams params;
+  params.n_isps = 4;
+  params.users_per_isp = 30;
+  params.initial_user_balance = 300;
+  params.default_daily_limit = 60;
+  params.compliant = {true, true, true, false};  // isp3 is legacy
+  params.noncompliant_policy = core::NonCompliantPolicy::kSegregate;
+  params.record_inboxes = false;
+
+  core::ZmailSystem sys(params, 1414);
+  core::AuditJournal journal;
+  sys.bank().attach_journal(&journal);
+  sys.enable_daily_resets();
+  sys.enable_bank_trading(30 * sim::kMinute);
+  sys.enable_periodic_snapshots(sim::kDay);
+
+  workload::CorpusGenerator corpus(workload::CorpusParams{}, Rng(14));
+  workload::TrafficParams tp;
+  tp.mean_sends_per_user_day = 6.0;
+  tp.diurnal = true;
+  workload::TrafficGenerator traffic(sys, tp, corpus, Rng(15));
+  traffic.build_contacts();
+
+  core::MailingList list(sys, net::make_user_address(0, 0), "weekly");
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t u = 0; u < 10; ++u)
+      if (!(i == 0 && u == 0)) list.subscribe(net::make_user_address(i, u));
+
+  Table days({"day", "delivered", "spam segregated", "acks", "violations",
+              "conserved"});
+  for (int day = 0; day < 14; ++day) {
+    traffic.schedule_day();
+    if (day % 7 == 0) list.post("issue", "the weekly news");
+    if (day < 7) {  // the legacy spammer is active the first week
+      workload::SpamCampaignParams cp;
+      cp.spammer_isp = 3;
+      cp.messages = 150;
+      Rng rng(16 + day);
+      workload::run_spam_campaign(sys, cp, corpus, rng);
+    }
+    sys.run_for(sim::kDay);
+    if (day == 9) {
+      // The legacy ISP, bleeding users, adopts Zmail mid-experiment.
+      sys.run_for(sim::kHour);
+      if (sys.epennies_in_flight() == 0) sys.make_compliant(3);
+    }
+
+    std::uint64_t delivered = 0, segregated = 0, acks = 0;
+    for (std::size_t i = 0; i < params.n_isps; ++i) {
+      if (!sys.is_compliant(i)) continue;
+      delivered += sys.isp(i).metrics().emails_delivered;
+      segregated += sys.isp(i).metrics().emails_segregated;
+      acks += sys.isp(i).metrics().acks_received;
+    }
+    days.add_row({Table::num(std::int64_t{day}), Table::num(delivered),
+                  Table::num(segregated), Table::num(acks),
+                  Table::num(std::uint64_t{sys.bank().last_violations().size()}),
+                  sys.conservation_holds() ? "yes" : "NO"});
+  }
+  days.print("two weeks, cumulative counters per day");
+
+  list.reconcile_and_prune();
+  std::printf("\nmailing list net cost: %lld e-pennies (acks returned "
+              "everything)\n",
+              static_cast<long long>(list.net_epenny_cost()));
+
+  Table audit({"bank event", "count"});
+  for (core::AuditKind k :
+       {core::AuditKind::kMint, core::AuditKind::kBurn,
+        core::AuditKind::kRoundCompleted, core::AuditKind::kSettlement,
+        core::AuditKind::kViolationFlagged}) {
+    audit.add_row({core::audit_kind_name(k), Table::num(journal.count(k))});
+  }
+  audit.print("audit journal summary (14 daily billing rounds)");
+
+  const Sample& lat = sys.delivery_latency();
+  std::printf("\ndelivery latency over %zu inter-ISP messages: p50 %.3fs, "
+              "p99 %.3fs, max %.1fs\n",
+              lat.size(), lat.percentile(50), lat.percentile(99), lat.max());
+  std::printf("conservation holds at the end: %s\n",
+              sys.conservation_holds() ? "yes" : "NO");
+  return 0;
+}

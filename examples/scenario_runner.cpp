@@ -1,0 +1,91 @@
+// Scenario runner: executes a Zmail scenario script (see
+// src/core/scenario.hpp for the language) from a file or stdin.
+//
+//   ./scenario_runner path/to/script.zs
+//   echo "world isps=2 users=2" | ./scenario_runner -
+//
+// With no argument, runs a built-in demo script.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/scenario.hpp"
+
+using namespace zmail;
+
+namespace {
+
+const char* kDemoScript = R"(# Zmail demo: two compliant ISPs, one legacy.
+world isps=3 users=4 balance=25 limit=50 compliant=110 seed=2005
+
+# Normal correspondence.
+send 0.0 1.1 subject Hello
+send 1.1 0.0 subject Re:Hello
+run 10m
+
+# A legacy-world spam blast; compliant receivers are not paid for it,
+# but it is free to send -- the unprotected corner of the deployment.
+spam 2.0 count=12
+run 1h
+
+# A user tops up and the day rolls over.
+buy 0.2 15
+day
+run 5m
+
+# First billing period: verification + settlement.
+snapshot
+run 30m
+expect violations 0
+expect conservation
+
+# The legacy ISP adopts Zmail; its spammer now pays like everyone else.
+flip 2
+spam 2.0 count=12
+run 1h
+expect conservation
+print balances
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string text;
+  if (argc < 2) {
+    std::printf("(no script given; running the built-in demo)\n\n%s\n---\n",
+                kDemoScript);
+    text = kDemoScript;
+  } else if (std::string(argv[1]) == "-") {
+    std::stringstream ss;
+    ss << std::cin.rdbuf();
+    text = ss.str();
+  } else {
+    std::ifstream f(argv[1]);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::stringstream ss;
+    ss << f.rdbuf();
+    text = ss.str();
+  }
+
+  core::ScenarioError err;
+  const auto scenario = core::Scenario::parse(text, &err);
+  if (!scenario) {
+    std::fprintf(stderr, "parse error at line %zu: %s\n", err.line,
+                 err.message.c_str());
+    return 2;
+  }
+
+  core::ScenarioRunner runner(*scenario);
+  const core::ScenarioResult result = runner.run();
+  std::printf("%s", result.output_text().c_str());
+  std::printf("executed %llu commands, %zu failure(s)\n",
+              static_cast<unsigned long long>(result.commands_executed),
+              result.failures.size());
+  for (const auto& f : result.failures)
+    std::fprintf(stderr, "  line %zu: %s\n", f.line, f.message.c_str());
+  return result.ok() ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+// Reliable FIFO channel between one ordered pair of processes.
+//
+// Section 3: "Each message sent from p to q remains in the channel from p to
+// q until it is eventually received by process q.  Messages ... are
+// received, one at a time, in the same order in which they were sent."
+#pragma once
+
+#include <deque>
+
+#include "ap/message.hpp"
+
+namespace zmail::ap {
+
+class Channel {
+ public:
+  void push(Message m) { queue_.push_back(std::move(m)); }
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t size() const noexcept { return queue_.size(); }
+
+  const Message& front() const { return queue_.front(); }
+  Message pop() {
+    Message m = std::move(queue_.front());
+    queue_.pop_front();
+    return m;
+  }
+
+  // Testing hook used by adversarial fixtures (message replay / duplication
+  // is modelled as the adversary re-pushing a copied message).
+  const std::deque<Message>& contents() const noexcept { return queue_; }
+
+ private:
+  std::deque<Message> queue_;
+};
+
+}  // namespace zmail::ap

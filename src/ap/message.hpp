@@ -1,0 +1,26 @@
+// Messages exchanged between Abstract Protocol processes.
+//
+// In the AP notation (Gouda, "Elements of Network Protocol Design") a
+// message is a named tuple travelling through a reliable FIFO channel; we
+// carry the tuple as serialized bytes so that higher layers can route both
+// plaintext email and NCR-encrypted bank traffic through the same runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/bytes.hpp"
+
+namespace zmail::ap {
+
+using ProcessId = std::size_t;
+constexpr ProcessId kNoProcess = static_cast<ProcessId>(-1);
+
+struct Message {
+  std::string type;            // e.g. "email", "buy", "request"
+  crypto::Bytes payload;       // serialized fields
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+};
+
+}  // namespace zmail::ap

@@ -1,0 +1,55 @@
+#include "ap/trace_format.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace zmail::ap {
+
+std::string format_entry(const Scheduler& sched, const TraceEntry& entry) {
+  char buf[160];
+  if (entry.msg_from != kNoProcess) {
+    std::snprintf(buf, sizeof buf, "%6" PRIu64 "  %-10s %-24s <- %s",
+                  entry.step, sched.process(entry.process).name().c_str(),
+                  entry.action.c_str(),
+                  sched.process(entry.msg_from).name().c_str());
+  } else {
+    std::snprintf(buf, sizeof buf, "%6" PRIu64 "  %-10s %-24s", entry.step,
+                  sched.process(entry.process).name().c_str(),
+                  entry.action.c_str());
+  }
+  return buf;
+}
+
+std::string format_trace(const Scheduler& sched, std::size_t max_lines) {
+  const auto& trace = sched.trace();
+  std::size_t start = 0;
+  std::string out;
+  if (max_lines > 0 && trace.size() > max_lines) {
+    start = trace.size() - max_lines;
+    out += "  ... (" + std::to_string(start) + " earlier steps elided)\n";
+  }
+  for (std::size_t i = start; i < trace.size(); ++i) {
+    out += format_entry(sched, trace[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_action_counts(const Scheduler& sched) {
+  // (process name, action name) -> count, ordered for stable output.
+  std::map<std::pair<std::string, std::string>, std::uint64_t> counts;
+  for (const auto& e : sched.trace())
+    ++counts[{sched.process(e.process).name(), e.action}];
+  std::string out;
+  char buf[128];
+  for (const auto& [key, count] : counts) {
+    std::snprintf(buf, sizeof buf, "  %-10s %-24s %8llu\n",
+                  key.first.c_str(), key.second.c_str(),
+                  static_cast<unsigned long long>(count));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace zmail::ap

@@ -1,0 +1,27 @@
+// Human-readable rendering of Abstract-Protocol execution traces.
+//
+// With `scheduler.set_trace_enabled(true)`, every executed action is
+// recorded; these helpers render the record as an annotated timeline —
+// useful for debugging interleavings and for the protocol_trace example,
+// which prints a full snapshot round step by step.
+#pragma once
+
+#include <string>
+
+#include "ap/scheduler.hpp"
+
+namespace zmail::ap {
+
+// One line per trace entry:
+//   "  42  isp1        rcv email            <- isp0"
+std::string format_entry(const Scheduler& sched, const TraceEntry& entry);
+
+// The whole trace (or its last `max_lines` entries when the trace is
+// longer; 0 = unlimited).
+std::string format_trace(const Scheduler& sched, std::size_t max_lines = 0);
+
+// Per-(process, action) execution counts, rendered as a summary table —
+// a quick fairness/activity profile of a run.
+std::string format_action_counts(const Scheduler& sched);
+
+}  // namespace zmail::ap

@@ -1,0 +1,3 @@
+// Blacklist/Whitelist are header-only; this TU exists to give the library a
+// home for future list-refresh logic and to anchor the archive member.
+#include "baselines/blacklist.hpp"

@@ -1,0 +1,42 @@
+// Header-based filters: blacklists and whitelists (paper Section 2.2).
+//
+// Blacklists block by originating domain (standing in for the MAPS RBL /
+// SpamCop IP lists); whitelists admit known correspondents.  The evasion
+// the paper describes — spammers forging domains and hopping hosts — is
+// modelled by the workload choosing fresh sender identities.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "net/email.hpp"
+
+namespace zmail::baselines {
+
+class Blacklist {
+ public:
+  void add_domain(const std::string& domain) { domains_.insert(domain); }
+  void remove_domain(const std::string& domain) { domains_.erase(domain); }
+  bool blocked(const net::EmailAddress& sender) const {
+    return domains_.count(sender.domain) > 0;
+  }
+  std::size_t size() const noexcept { return domains_.size(); }
+
+ private:
+  std::set<std::string> domains_;
+};
+
+class Whitelist {
+ public:
+  void add(const net::EmailAddress& addr) { addrs_.insert(addr.str()); }
+  void remove(const net::EmailAddress& addr) { addrs_.erase(addr.str()); }
+  bool allowed(const net::EmailAddress& sender) const {
+    return addrs_.count(sender.str()) > 0;
+  }
+  std::size_t size() const noexcept { return addrs_.size(); }
+
+ private:
+  std::set<std::string> addrs_;
+};
+
+}  // namespace zmail::baselines

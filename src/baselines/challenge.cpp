@@ -1,0 +1,38 @@
+#include "baselines/challenge.hpp"
+
+namespace zmail::baselines {
+
+bool ChallengeResponse::process(const net::EmailAddress& sender,
+                                bool truth_spam) {
+  const std::string key = sender.str();
+  if (whitelist_.count(key)) {
+    ++stats_.delivered_whitelisted;
+    if (truth_spam) ++stats_.spam_delivered;  // forged whitelisted identity
+    return true;
+  }
+
+  ++stats_.challenges_issued;
+  if (truth_spam) {
+    if (rng_.bernoulli(params_.spammer_solve_prob)) {
+      whitelist_.insert(key);
+      ++stats_.spam_delivered;
+      stats_.total_latency_seconds += params_.held_latency_seconds;
+      return true;
+    }
+    ++stats_.spam_blocked;
+    return false;
+  }
+
+  // Legitimate sender: answers with some probability, at a human cost.
+  if (rng_.bernoulli(params_.human_response_prob)) {
+    whitelist_.insert(key);
+    ++stats_.delivered_after_challenge;
+    stats_.human_seconds += params_.human_seconds_per_challenge;
+    stats_.total_latency_seconds += params_.held_latency_seconds;
+    return true;
+  }
+  ++stats_.lost_no_response;
+  return false;
+}
+
+}  // namespace zmail::baselines

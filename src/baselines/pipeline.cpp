@@ -1,0 +1,24 @@
+#include "baselines/pipeline.hpp"
+
+namespace zmail::baselines {
+
+const char* filter_verdict_name(FilterVerdict v) noexcept {
+  switch (v) {
+    case FilterVerdict::kDeliverWhitelisted: return "deliver-whitelisted";
+    case FilterVerdict::kRejectBlacklisted: return "reject-blacklisted";
+    case FilterVerdict::kRejectContent: return "reject-content";
+    case FilterVerdict::kDeliver: return "deliver";
+  }
+  return "?";
+}
+
+FilterVerdict FilterPipeline::classify(const net::EmailMessage& msg) const {
+  if (whitelist_.allowed(msg.from))
+    return FilterVerdict::kDeliverWhitelisted;
+  if (blacklist_.blocked(msg.from))
+    return FilterVerdict::kRejectBlacklisted;
+  if (content_.is_spam(msg)) return FilterVerdict::kRejectContent;
+  return FilterVerdict::kDeliver;
+}
+
+}  // namespace zmail::baselines

@@ -1,0 +1,28 @@
+#include "baselines/pow_mail.hpp"
+
+#include <cmath>
+
+namespace zmail::baselines {
+
+PowSendRecord PowMailer::send(const std::string& recipient) {
+  PowSendRecord rec;
+  rec.stamp = crypto::pow_solve(recipient, params_.difficulty_bits,
+                                counter_seed_, &rec.hash_attempts);
+  counter_seed_ = rec.stamp.counter + 1;
+  rec.projected_seconds =
+      static_cast<double>(rec.hash_attempts) / params_.sender_hash_rate;
+  total_attempts_ += rec.hash_attempts;
+  ++messages_;
+  return rec;
+}
+
+double PowMailer::expected_attempts() const noexcept {
+  return std::pow(2.0, params_.difficulty_bits);
+}
+
+double PowMailer::max_daily_rate() const noexcept {
+  const double secs_per_msg = expected_attempts() / params_.sender_hash_rate;
+  return secs_per_msg > 0.0 ? 86'400.0 / secs_per_msg : 0.0;
+}
+
+}  // namespace zmail::baselines

@@ -1,0 +1,171 @@
+// Executable Abstract-Protocol rendition of the Zmail specification.
+//
+// This is a *literal* port of the Section 4 pseudocode onto the AP runtime:
+// one ap::Process action per pseudocode action, the paper's variable names,
+// and — deliberately — the paper's exact update order, including the latent
+// race in the sell path (avail is decremented only when the sellreply
+// arrives, so concurrent user purchases can drive the pool negative; the
+// production Isp in isp.cpp reserves at initiation instead).  Property tests
+// run this model under randomized interleavings.
+//
+// Differences forced by executability (documented, semantics-preserving):
+//   - `any` choices draw from a seeded Rng;
+//   - potentially-infinite user behaviour ("a user wants to send") is
+//     bounded by per-process budgets so runs terminate;
+//   - actions whose body is `skip` in one branch hoist the branch condition
+//     into the guard (identical transition system minus stuttering steps);
+//   - the 10-minute timeout is the AP-equivalent condition "my outbound
+//     channels are empty", which is what the delay is for.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ap/scheduler.hpp"
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "crypto/nonce.hpp"
+#include "crypto/rsa.hpp"
+#include "util/money.hpp"
+#include "util/rng.hpp"
+
+namespace zmail::core {
+
+class ApZmailWorld;
+
+// process isp[i : 0..n-1]
+class ApIspProcess : public ap::Process {
+ public:
+  ApIspProcess(ApZmailWorld& world, std::size_t index, std::uint64_t seed);
+
+  // --- Paper variables (public: this class is a specification model and
+  // --- tests read its state directly) -----------------------------------
+  EPenny avail = 0;
+  std::vector<std::int64_t> account;  // real pennies per user
+  std::vector<EPenny> balance;
+  std::vector<std::int64_t> sent;
+  std::vector<std::int64_t> limit;
+  std::vector<EPenny> credit;
+  bool cansend = true, canbuy = true, cansell = true;
+  EPenny buyvalue = 0, sellvalue = 0;
+  std::uint64_t seq = 0;
+  bool quiescing = false;
+
+  // Execution budgets (stand-ins for unbounded "user wants to..." inputs).
+  std::int64_t send_budget = 0;
+  std::int64_t user_trade_budget = 0;
+  bool day_pending = false;  // set by tests to fire the daily reset
+
+  // Misbehavior switch for the detection property test.
+  bool cheat_free_ride = false;
+
+  // Ablation switch: disable the resume-send barrier (see the constructor
+  // comment) to reproduce the spurious-violation hazard an early resumer
+  // causes under adversarial scheduling.
+  bool use_resume_barrier = true;
+
+  // Observation counters.
+  std::uint64_t emails_delivered = 0;   // local + remote deliveries
+  std::uint64_t emails_received = 0;    // consumed from a channel
+  std::uint64_t emails_sent_out = 0;    // pushed into a channel
+  std::uint64_t bad_nonce_replies = 0;
+
+  std::size_t index() const noexcept { return index_; }
+
+ private:
+  void act_send();
+  void act_rcv_email(const ap::Message& m);
+  void act_daily_reset();
+  void act_buy();
+  void act_rcv_buyreply(const ap::Message& m);
+  void act_sell();
+  void act_rcv_sellreply(const ap::Message& m);
+  void act_rcv_request(const ap::Message& m);
+  void act_timeout_expired();
+
+  ApZmailWorld& world_;
+  std::size_t index_;
+  Rng rng_;
+  crypto::NonceGenerator nnc_;
+  std::optional<crypto::Nonce> ns1_, ns2_;
+};
+
+// process bank
+class ApBankProcess : public ap::Process {
+ public:
+  ApBankProcess(ApZmailWorld& world, std::uint64_t seed);
+
+  std::vector<std::int64_t> account;  // real pennies per ISP
+  std::vector<std::vector<EPenny>> verify;
+  std::uint64_t seq = 0;
+  std::size_t total = 0;
+  bool canrequest = true;
+
+  // Budgeted snapshot rounds.
+  std::int64_t snapshot_budget = 0;
+
+  // Violations recorded by completed verification rounds.
+  struct Violation {
+    std::size_t i, j;
+    EPenny discrepancy;
+  };
+  std::vector<Violation> violations;
+  std::uint64_t rounds_completed = 0;
+
+ private:
+  void act_request();
+  void act_rcv_buy(const ap::Message& m);
+  void act_rcv_sell(const ap::Message& m);
+  void act_rcv_reply(const ap::Message& m);
+  void act_verify();
+
+  ApZmailWorld& world_;
+  Rng rng_;
+};
+
+// Builds the scheduler, the n ISP processes and the bank, and wires ids.
+class ApZmailWorld {
+ public:
+  ApZmailWorld(const ZmailParams& params, ap::Scheduler::Policy policy,
+               std::uint64_t seed);
+
+  ap::Scheduler& scheduler() noexcept { return sched_; }
+  const ZmailParams& params() const noexcept { return params_; }
+  ApIspProcess& isp(std::size_t i) { return *isps_.at(i); }
+  const ApIspProcess& isp(std::size_t i) const { return *isps_.at(i); }
+  ApBankProcess& bank() noexcept { return *bank_; }
+  const ApBankProcess& bank() const noexcept { return *bank_; }
+
+  ap::ProcessId isp_pid(std::size_t i) const { return isp_pids_.at(i); }
+  ap::ProcessId bank_pid() const noexcept { return bank_pid_; }
+  std::size_t isp_of_pid(ap::ProcessId pid) const;
+
+  const crypto::KeyPair& bank_keys() const noexcept { return keys_; }
+
+  // Σ user balances + Σ avail pools + e-pennies inside in-flight email
+  // between compliant ISPs.  Constant across any interleaving without
+  // bank trade; bank trade shifts it by (minted - burned).
+  EPenny total_epennies() const;
+  EPenny epennies_minted() const noexcept { return minted_; }
+  EPenny epennies_burned() const noexcept { return burned_; }
+  void note_minted(EPenny n) noexcept { minted_ += n; }
+  void note_burned(EPenny n) noexcept { burned_ += n; }
+
+  // Convenience: run until quiescent (bounded).
+  std::uint64_t run(std::uint64_t max_steps = 2'000'000) {
+    return sched_.run(max_steps);
+  }
+
+ private:
+  ZmailParams params_;
+  crypto::KeyPair keys_;
+  ap::Scheduler sched_;
+  std::vector<std::unique_ptr<ApIspProcess>> isps_;
+  std::unique_ptr<ApBankProcess> bank_;
+  std::vector<ap::ProcessId> isp_pids_;
+  ap::ProcessId bank_pid_ = ap::kNoProcess;
+  EPenny minted_ = 0;
+  EPenny burned_ = 0;
+};
+
+}  // namespace zmail::core

@@ -1,0 +1,145 @@
+#include "core/bank.hpp"
+
+#include "util/assert.hpp"
+
+namespace zmail::core {
+
+Bank::Bank(const ZmailParams& params, crypto::KeyPair keys,
+           std::uint64_t rng_seed)
+    : params_(params), keys_(keys), rng_(rng_seed ^ 0xBA4BULL) {
+  accounts_.assign(params_.n_isps, params_.initial_isp_bank_account);
+  verify_.assign(params_.n_isps, std::vector<EPenny>(params_.n_isps, 0));
+  reported_.assign(params_.n_isps, false);
+}
+
+crypto::Bytes Bank::on_buy(std::size_t g, const crypto::Bytes& wire) {
+  ++metrics_.buys_received;
+  const auto plain = unseal(keys_.priv, wire);
+  if (!plain) {
+    ++metrics_.bad_envelopes;
+    return {};
+  }
+  const auto req = BuyRequest::deserialize(*plain);
+  if (!req || req->buyvalue <= 0) {
+    ++metrics_.bad_envelopes;
+    return {};
+  }
+
+  const Money cost = Money::from_epennies(req->buyvalue);
+  BuyReply reply;
+  reply.nonce = req->nonce;
+  if (accounts_.at(g) >= cost) {
+    accounts_.at(g) -= cost;
+    metrics_.epennies_minted += req->buyvalue;
+    reply.accepted = true;
+    ++metrics_.buys_accepted;
+    audit(AuditKind::kMint, g, 0, req->buyvalue);
+  } else {
+    reply.accepted = false;
+    ++metrics_.buys_rejected;
+    audit(AuditKind::kMintRejected, g, 0, req->buyvalue);
+  }
+  return seal(keys_.priv, reply.serialize(), rng_);
+}
+
+crypto::Bytes Bank::on_sell(std::size_t g, const crypto::Bytes& wire) {
+  ++metrics_.sells_received;
+  const auto plain = unseal(keys_.priv, wire);
+  if (!plain) {
+    ++metrics_.bad_envelopes;
+    return {};
+  }
+  const auto req = SellRequest::deserialize(*plain);
+  if (!req || req->sellvalue <= 0) {
+    ++metrics_.bad_envelopes;
+    return {};
+  }
+  accounts_.at(g) += Money::from_epennies(req->sellvalue);
+  metrics_.epennies_burned += req->sellvalue;
+  audit(AuditKind::kBurn, g, 0, req->sellvalue);
+  SellReply reply{req->nonce};
+  return seal(keys_.priv, reply.serialize(), rng_);
+}
+
+std::vector<std::pair<std::size_t, crypto::Bytes>> Bank::start_snapshot() {
+  if (!canrequest_) return {};
+  canrequest_ = false;
+  total_ = 0;
+  reported_.assign(params_.n_isps, false);
+  std::vector<std::pair<std::size_t, crypto::Bytes>> out;
+  SnapshotRequest req{seq_};
+  for (std::size_t i = 0; i < params_.n_isps; ++i) {
+    if (!params_.is_compliant(i)) continue;
+    ++total_;
+    out.emplace_back(i, seal(keys_.priv, req.serialize(), rng_));
+  }
+  if (total_ == 0) canrequest_ = true;  // nothing to gather
+  audit(AuditKind::kRoundStarted, 0, 0, static_cast<std::int64_t>(total_));
+  return out;
+}
+
+void Bank::on_reply(std::size_t g, const crypto::Bytes& wire) {
+  if (!params_.is_compliant(g)) return;  // paper: "~compliant[g] -> skip"
+  const auto plain = unseal(keys_.priv, wire);
+  if (!plain) {
+    ++metrics_.bad_envelopes;
+    return;
+  }
+  const auto report = CreditReport::deserialize(*plain);
+  if (!report || report->credit.size() != params_.n_isps) {
+    ++metrics_.bad_envelopes;
+    return;
+  }
+  if (canrequest_ || report->seq != seq_ || reported_.at(g)) {
+    ++metrics_.stale_reports;  // replayed or out-of-round report
+    audit(AuditKind::kStaleReport, g);
+    return;
+  }
+  reported_.at(g) = true;
+  ++metrics_.credit_reports_received;
+  audit(AuditKind::kReportReceived, g);
+  for (std::size_t i = 0; i < params_.n_isps; ++i)
+    verify_[i][g] = report->credit[i];
+  ZMAIL_ASSERT(total_ > 0);
+  if (--total_ == 0) verify_round();
+}
+
+void Bank::verify_round() {
+  last_violations_.clear();
+  for (std::size_t i = 0; i < params_.n_isps; ++i) {
+    if (!params_.is_compliant(i)) continue;
+    for (std::size_t j = i + 1; j < params_.n_isps; ++j) {
+      if (!params_.is_compliant(j)) continue;
+      // verify[j][i] = credit_i[j]  (ISP i's view of its flow toward j)
+      // verify[i][j] = credit_j[i]  (ISP j's view of its flow toward i)
+      const EPenny d = verify_[j][i] + verify_[i][j];
+      if (d != 0) {
+        last_violations_.push_back(CreditViolation{i, j, d});
+        ++metrics_.inconsistent_pairs_found;
+        audit(AuditKind::kViolationFlagged, i, j, d);
+        continue;  // no settlement across a disputed pair
+      }
+      // Bulk settlement: net flow i -> j is credit_i[j]; a positive value
+      // means i's users paid j's users, so real money moves i -> j.
+      const EPenny net = verify_[j][i];
+      if (net != 0) {
+        const Money amount = Money::from_epennies(net > 0 ? net : -net);
+        const std::size_t payer = net > 0 ? i : j;
+        const std::size_t payee = net > 0 ? j : i;
+        accounts_.at(payer) -= amount;
+        accounts_.at(payee) += amount;
+        ++metrics_.settlement_transfers;
+        metrics_.settlement_bytes += 2 * sizeof(EPenny);
+        audit(AuditKind::kSettlement, payer, payee, net > 0 ? net : -net);
+      }
+    }
+  }
+  for (auto& row : verify_)
+    for (auto& cell : row) cell = 0;
+  audit(AuditKind::kRoundCompleted, 0);
+  seq_ += 1;
+  canrequest_ = true;
+  ++metrics_.snapshot_rounds;
+}
+
+}  // namespace zmail::core

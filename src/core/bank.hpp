@@ -1,0 +1,101 @@
+// Central-bank state machine (paper Section 4, process bank).
+//
+// The bank (1) exchanges e-pennies against the real-money accounts of
+// compliant ISPs (Section 4.3), and (2) periodically gathers every
+// compliant ISP's credit array and checks pairwise antisymmetry
+// (Section 4.4), flagging misbehaving/colluding ISPs.
+//
+// The paper leaves inter-ISP settlement implicit ("an accounting
+// relationship among compliant ISPs, which reconcile payments");
+// we make it concrete: after a consistent snapshot, the bank performs a
+// *bulk* transfer per ISP pair equal to the netted credit — one ledger
+// operation per pair per billing period, which is the whole point of E5's
+// comparison with per-message schemes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "core/metrics.hpp"
+#include "crypto/rsa.hpp"
+
+namespace zmail::core {
+
+// A detected antisymmetry violation: credit_i[j] + credit_j[i] != 0.
+struct CreditViolation {
+  std::size_t isp_i = 0;
+  std::size_t isp_j = 0;
+  EPenny discrepancy = 0;  // credit_i[j] + credit_j[i]
+};
+
+class Bank {
+ public:
+  // `params` is held by reference and must outlive the Bank (see Isp).
+  Bank(const ZmailParams& params, crypto::KeyPair keys,
+       std::uint64_t rng_seed);
+
+  const crypto::RsaKey& public_key() const noexcept { return keys_.pub; }
+
+  // --- Section 4.3: e-penny trade ---------------------------------------
+  // Returns the sealed reply wire bytes to send back to isp[g].
+  crypto::Bytes on_buy(std::size_t g, const crypto::Bytes& wire);
+  crypto::Bytes on_sell(std::size_t g, const crypto::Bytes& wire);
+
+  // --- Section 4.4: snapshot / verification ------------------------------
+  // `canrequest ->` action: emits one sealed request per compliant ISP.
+  // Returns pairs of (isp index, wire bytes); empty when a round is open.
+  std::vector<std::pair<std::size_t, crypto::Bytes>> start_snapshot();
+
+  // `rcv reply` action.  When the last outstanding report arrives, runs the
+  // pairwise verification and bulk settlement automatically.
+  void on_reply(std::size_t g, const crypto::Bytes& wire);
+
+  bool round_open() const noexcept { return !canrequest_; }
+  std::uint64_t seq() const noexcept { return seq_; }
+
+  // Violations found by the most recent completed verification round.
+  const std::vector<CreditViolation>& last_violations() const noexcept {
+    return last_violations_;
+  }
+
+  // Attaches an audit journal; all monetary and verification events are
+  // recorded there (nullptr detaches).  The journal must outlive the bank.
+  void attach_journal(AuditJournal* journal) noexcept { journal_ = journal; }
+
+  // --- Introspection ------------------------------------------------------
+  Money account(std::size_t g) const { return accounts_.at(g); }
+  void set_account(std::size_t g, Money v) { accounts_.at(g) = v; }
+  const BankMetrics& metrics() const noexcept { return metrics_; }
+  // Net e-pennies currently minted into the ISP world.
+  EPenny epennies_outstanding() const noexcept {
+    return metrics_.epennies_minted - metrics_.epennies_burned;
+  }
+
+ private:
+  void verify_round();
+  void audit(AuditKind kind, std::size_t a, std::size_t b = 0,
+             std::int64_t amount = 0) {
+    if (journal_) journal_->record(AuditEvent{kind, seq_, a, b, amount});
+  }
+
+  AuditJournal* journal_ = nullptr;
+  const ZmailParams& params_;
+  crypto::KeyPair keys_;
+  Rng rng_;
+
+  std::vector<Money> accounts_;
+  std::vector<std::vector<EPenny>> verify_;  // verify[i][g] = credit_g[i]
+  std::vector<bool> reported_;
+  std::uint64_t seq_ = 0;
+  std::size_t total_ = 0;  // outstanding reports this round
+  bool canrequest_ = true;
+
+  std::vector<CreditViolation> last_violations_;
+  BankMetrics metrics_;
+};
+
+}  // namespace zmail::core

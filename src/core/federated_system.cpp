@@ -1,0 +1,170 @@
+#include "core/federated_system.hpp"
+
+#include "util/assert.hpp"
+
+namespace zmail::core {
+
+namespace {
+constexpr sim::Duration kQuiesceWindow = 10 * sim::kMinute;
+}  // namespace
+
+FederatedZmailSystem::FederatedZmailSystem(ZmailParams params,
+                                           std::size_t n_banks,
+                                           std::uint64_t seed)
+    : params_(std::move(params)),
+      n_banks_(n_banks),
+      rng_(seed),
+      sim_(),
+      net_(sim_, Rng(seed ^ 0xFEDE7ULL), net::LatencyModel{}) {
+  const auto problems = params_.validate();
+  ZMAIL_ASSERT_MSG(problems.empty(),
+                   problems.empty() ? "" : problems.front().c_str());
+  ZMAIL_ASSERT_MSG(params_.compliant.empty(),
+                   "FederatedZmailSystem models an all-compliant world");
+  ZMAIL_ASSERT(n_banks_ >= 1);
+
+  fed_ = std::make_unique<BankFederation>(params_, n_banks_, seed ^ 0xFE);
+
+  isps_.resize(params_.n_isps);
+  for (std::size_t i = 0; i < params_.n_isps; ++i) {
+    isps_[i] = std::make_unique<Isp>(i, params_, fed_->public_key_for(i),
+                                     seed * 0x2545F4914F6CDD1DULL + i);
+    const net::HostId h = net_.add_host(
+        net::isp_domain(i),
+        [this, i](const net::Datagram& d) { on_isp_datagram(i, d); });
+    ZMAIL_ASSERT(h == i);
+  }
+  for (std::size_t b = 0; b < n_banks_; ++b) {
+    const net::HostId h = net_.add_host(
+        "bank" + std::to_string(b) + ".example",
+        [this, b](const net::Datagram& d) { on_bank_datagram(b, d); });
+    ZMAIL_ASSERT(h == bank_host(b));
+  }
+}
+
+SendResult FederatedZmailSystem::send_email(const net::EmailAddress& from,
+                                            const net::EmailAddress& to,
+                                            std::string subject,
+                                            std::string body) {
+  std::size_t fi = 0, fu = 0, ti = 0, tu = 0;
+  ZMAIL_ASSERT(net::decode_user_address(from, fi, fu) &&
+               net::decode_user_address(to, ti, tu));
+  const SendResult r = isps_.at(fi)->user_send(fu, ti, tu,
+                                               net::make_email(from, to,
+                                                               std::move(subject),
+                                                               std::move(body)));
+  pump_isp(fi);
+  return r;
+}
+
+bool FederatedZmailSystem::buy_epennies(const net::EmailAddress& user,
+                                        EPenny n) {
+  std::size_t i = 0, u = 0;
+  if (!net::decode_user_address(user, i, u)) return false;
+  const bool ok = isps_.at(i)->user_buy(u, n);
+  pump_isp(i);
+  return ok;
+}
+
+void FederatedZmailSystem::enable_bank_trading(sim::Duration poll) {
+  sim_.schedule_every(poll, [this] {
+    for (std::size_t i = 0; i < isps_.size(); ++i) {
+      isps_[i]->maybe_trade_with_bank();
+      pump_isp(i);
+    }
+    return true;
+  });
+}
+
+void FederatedZmailSystem::start_snapshot() {
+  const auto requests = fed_->start_snapshot();
+  if (requests.empty()) return;
+  const sim::SimTime deadline = sim_.now() + kQuiesceWindow;
+  for (auto& [isp_index, wire] : requests) {
+    net_.send(bank_host(fed_->home_bank(isp_index)), isp_index, kMsgRequest,
+              wire);
+    sim_.schedule_at(deadline, [this, i = isp_index] {
+      if (isps_[i]->in_quiesce()) {
+        isps_[i]->on_quiesce_timeout();
+        pump_isp(i);
+      }
+    });
+  }
+}
+
+void FederatedZmailSystem::run_for(sim::Duration d) {
+  sim_.run(sim_.now() + d);
+}
+
+void FederatedZmailSystem::pump_isp(std::size_t i) {
+  for (Outbound& o : isps_[i]->take_outbox()) {
+    if (o.dest == Outbound::Dest::kBank) {
+      net_.send(i, bank_host(fed_->home_bank(i)), std::move(o.type),
+                std::move(o.payload));
+      continue;
+    }
+    if (o.type == kMsgEmail) in_flight_paid_ += 1;
+    net_.send(i, o.isp_index, std::move(o.type), std::move(o.payload));
+  }
+}
+
+void FederatedZmailSystem::on_isp_datagram(std::size_t isp_index,
+                                           const net::Datagram& d) {
+  Isp& isp = *isps_.at(isp_index);
+  if (d.type == kMsgEmail) {
+    in_flight_paid_ -= 1;
+    isp.on_email(d.from, d.payload);
+  } else if (d.type == kMsgBuyReply) {
+    isp.on_buyreply(d.payload);
+  } else if (d.type == kMsgSellReply) {
+    isp.on_sellreply(d.payload);
+  } else if (d.type == kMsgRequest) {
+    isp.on_request(d.payload);
+  }
+  pump_isp(isp_index);
+}
+
+void FederatedZmailSystem::on_bank_datagram(std::size_t bank_index,
+                                            const net::Datagram& d) {
+  const std::size_t g = d.from;
+  ZMAIL_ASSERT_MSG(fed_->home_bank(g) == bank_index,
+                   "ISP contacted a foreign bank");
+  if (d.type == kMsgBuy) {
+    crypto::Bytes reply = fed_->on_buy(g, d.payload);
+    if (!reply.empty())
+      net_.send(bank_host(bank_index), g, kMsgBuyReply, reply);
+  } else if (d.type == kMsgSell) {
+    crypto::Bytes reply = fed_->on_sell(g, d.payload);
+    if (!reply.empty())
+      net_.send(bank_host(bank_index), g, kMsgSellReply, reply);
+  } else if (d.type == kMsgReply) {
+    fed_->on_reply(g, d.payload);
+  }
+}
+
+std::uint64_t FederatedZmailSystem::bank_host_bytes() const {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < n_banks_; ++b)
+    total += net_.bytes_sent_to(bank_host(b));
+  return total;
+}
+
+EPenny FederatedZmailSystem::total_epennies() const {
+  EPenny total = in_flight_paid_;
+  for (const auto& isp : isps_)
+    total += isp->epennies_held() + isp->buffered_paid();
+  return total;
+}
+
+bool FederatedZmailSystem::conservation_holds() const {
+  const EPenny initial =
+      static_cast<EPenny>(params_.n_isps) *
+      (params_.initial_avail +
+       static_cast<EPenny>(params_.users_per_isp) *
+           params_.initial_user_balance);
+  const EPenny outstanding = fed_->metrics().epennies_minted -
+                             fed_->metrics().epennies_burned;
+  return total_epennies() == initial + outstanding;
+}
+
+}  // namespace zmail::core

@@ -1,0 +1,69 @@
+// FederatedZmailSystem — the timed, end-to-end rendition of the Section 5
+// collaborating-banks extension.
+//
+// Like ZmailSystem, but the central bank is replaced by a BankFederation
+// whose k banks run on separate network hosts: each ISP talks (buy/sell/
+// snapshot) only to its home bank over the latency-modelled network, and
+// the banks' column exchange is accounted as real inter-host traffic.
+// All ISPs are compliant in this facade — the mixed-deployment machinery
+// lives in ZmailSystem; this one isolates the federation topology.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/federation.hpp"
+#include "core/isp.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace zmail::core {
+
+class FederatedZmailSystem {
+ public:
+  FederatedZmailSystem(ZmailParams params, std::size_t n_banks,
+                       std::uint64_t seed = 42);
+
+  SendResult send_email(const net::EmailAddress& from,
+                        const net::EmailAddress& to, std::string subject,
+                        std::string body);
+
+  bool buy_epennies(const net::EmailAddress& user, EPenny n);
+  void enable_bank_trading(sim::Duration poll = 5 * sim::kMinute);
+  void start_snapshot();
+  void run_for(sim::Duration d);
+  sim::SimTime now() const { return sim_.now(); }
+
+  const ZmailParams& params() const noexcept { return params_; }
+  Isp& isp(std::size_t i) { return *isps_.at(i); }
+  const Isp& isp(std::size_t i) const { return *isps_.at(i); }
+  BankFederation& federation() noexcept { return *fed_; }
+  const BankFederation& federation() const noexcept { return *fed_; }
+  net::Network& network() noexcept { return net_; }
+  sim::Simulator& simulator() noexcept { return sim_; }
+
+  // Network bytes that arrived at bank hosts (ISP->bank protocol traffic).
+  std::uint64_t bank_host_bytes() const;
+
+  EPenny total_epennies() const;
+  bool conservation_holds() const;
+
+ private:
+  void on_isp_datagram(std::size_t isp_index, const net::Datagram& d);
+  void on_bank_datagram(std::size_t bank_index, const net::Datagram& d);
+  void pump_isp(std::size_t i);
+  net::HostId bank_host(std::size_t bank_index) const {
+    return params_.n_isps + bank_index;
+  }
+
+  ZmailParams params_;
+  std::size_t n_banks_;
+  Rng rng_;
+  sim::Simulator sim_;
+  net::Network net_;
+  std::unique_ptr<BankFederation> fed_;
+  std::vector<std::unique_ptr<Isp>> isps_;
+  EPenny in_flight_paid_ = 0;
+};
+
+}  // namespace zmail::core

@@ -1,0 +1,174 @@
+#include "core/federation.hpp"
+
+#include "util/assert.hpp"
+
+namespace zmail::core {
+
+BankFederation::BankFederation(const ZmailParams& params, std::size_t n_banks,
+                               std::uint64_t seed)
+    : params_(params), n_banks_(n_banks), rng_(seed ^ 0xFEDBULL) {
+  ZMAIL_ASSERT(n_banks_ >= 1);
+  keys_.reserve(n_banks_);
+  for (std::size_t b = 0; b < n_banks_; ++b)
+    keys_.push_back(crypto::generate_keypair(rng_));
+  accounts_.assign(params_.n_isps, params_.initial_isp_bank_account);
+  clearing_.assign(n_banks_, Money::zero());
+  verify_.assign(params_.n_isps,
+                 std::vector<EPenny>(params_.n_isps, 0));
+  reported_.assign(params_.n_isps, false);
+}
+
+std::size_t BankFederation::home_bank(std::size_t isp) const {
+  ZMAIL_ASSERT(isp < params_.n_isps);
+  return isp % n_banks_;
+}
+
+const crypto::RsaKey& BankFederation::public_key_for(std::size_t isp) const {
+  return keys_.at(home_bank(isp)).pub;
+}
+
+Money BankFederation::isp_account(std::size_t isp) const {
+  return accounts_.at(isp);
+}
+
+void BankFederation::set_isp_account(std::size_t isp, Money v) {
+  accounts_.at(isp) = v;
+}
+
+crypto::Bytes BankFederation::on_buy(std::size_t isp,
+                                     const crypto::Bytes& wire) {
+  const crypto::KeyPair& keys = keys_.at(home_bank(isp));
+  const auto plain = unseal(keys.priv, wire);
+  if (!plain) return {};
+  const auto req = BuyRequest::deserialize(*plain);
+  if (!req || req->buyvalue <= 0) return {};
+
+  const Money cost = Money::from_epennies(req->buyvalue);
+  BuyReply reply;
+  reply.nonce = req->nonce;
+  if (accounts_.at(isp) >= cost) {
+    accounts_.at(isp) -= cost;
+    metrics_.epennies_minted += req->buyvalue;
+    reply.accepted = true;
+  }
+  return seal(keys.priv, reply.serialize(), rng_);
+}
+
+crypto::Bytes BankFederation::on_sell(std::size_t isp,
+                                      const crypto::Bytes& wire) {
+  const crypto::KeyPair& keys = keys_.at(home_bank(isp));
+  const auto plain = unseal(keys.priv, wire);
+  if (!plain) return {};
+  const auto req = SellRequest::deserialize(*plain);
+  if (!req || req->sellvalue <= 0) return {};
+  accounts_.at(isp) += Money::from_epennies(req->sellvalue);
+  metrics_.epennies_burned += req->sellvalue;
+  return seal(keys.priv, SellReply{req->nonce}.serialize(), rng_);
+}
+
+std::vector<std::pair<std::size_t, crypto::Bytes>>
+BankFederation::start_snapshot() {
+  if (!canrequest_) return {};
+  canrequest_ = false;
+  outstanding_ = 0;
+  reported_.assign(params_.n_isps, false);
+  std::vector<std::pair<std::size_t, crypto::Bytes>> out;
+  SnapshotRequest req{seq_};
+  for (std::size_t i = 0; i < params_.n_isps; ++i) {
+    if (!params_.is_compliant(i)) continue;
+    ++outstanding_;
+    ++metrics_.requests_sent;
+    out.emplace_back(
+        i, seal(keys_.at(home_bank(i)).priv, req.serialize(), rng_));
+  }
+  if (outstanding_ == 0) canrequest_ = true;
+  return out;
+}
+
+void BankFederation::on_reply(std::size_t isp, const crypto::Bytes& wire) {
+  if (!params_.is_compliant(isp)) return;
+  const auto plain = unseal(keys_.at(home_bank(isp)).priv, wire);
+  if (!plain) return;
+  const auto report = CreditReport::deserialize(*plain);
+  if (!report || report->credit.size() != params_.n_isps) return;
+  if (canrequest_ || report->seq != seq_ || reported_.at(isp)) return;
+  reported_.at(isp) = true;
+  ++metrics_.reports_received;
+  for (std::size_t i = 0; i < params_.n_isps; ++i)
+    verify_[i][isp] = report->credit[i];
+  ZMAIL_ASSERT(outstanding_ > 0);
+  if (--outstanding_ == 0) verify_round();
+}
+
+void BankFederation::verify_round() {
+  // Phase 1 — column exchange: each bank forwards the columns it gathered
+  // to every other bank.  One message per (bank, bank) ordered pair, each
+  // carrying that bank's members' columns.
+  if (n_banks_ > 1) {
+    std::vector<std::size_t> members(n_banks_, 0);
+    for (std::size_t i = 0; i < params_.n_isps; ++i)
+      if (params_.is_compliant(i)) ++members[home_bank(i)];
+    for (std::size_t from = 0; from < n_banks_; ++from) {
+      const std::uint64_t column_bytes =
+          members[from] * (params_.n_isps * sizeof(EPenny) + 32);
+      metrics_.interbank_messages += n_banks_ - 1;
+      metrics_.interbank_bytes +=
+          static_cast<std::uint64_t>(n_banks_ - 1) * column_bytes;
+    }
+  }
+
+  // Phase 2 — partitioned verification and settlement: pair (i, j) is
+  // checked by min(i, j)'s home bank.
+  last_violations_.clear();
+  // Net clearing movement per (payer bank, payee bank), netted per round.
+  std::vector<std::vector<Money>> interbank(
+      n_banks_, std::vector<Money>(n_banks_, Money::zero()));
+
+  for (std::size_t i = 0; i < params_.n_isps; ++i) {
+    if (!params_.is_compliant(i)) continue;
+    for (std::size_t j = i + 1; j < params_.n_isps; ++j) {
+      if (!params_.is_compliant(j)) continue;
+      const EPenny d = verify_[j][i] + verify_[i][j];
+      if (d != 0) {
+        last_violations_.push_back(CreditViolation{i, j, d});
+        ++metrics_.violations_found;
+        continue;
+      }
+      const EPenny net = verify_[j][i];  // flow i -> j
+      if (net == 0) continue;
+      const Money amount = Money::from_epennies(net > 0 ? net : -net);
+      const std::size_t payer = net > 0 ? i : j;
+      const std::size_t payee = net > 0 ? j : i;
+      accounts_.at(payer) -= amount;
+      accounts_.at(payee) += amount;
+      const std::size_t payer_bank = home_bank(payer);
+      const std::size_t payee_bank = home_bank(payee);
+      if (payer_bank == payee_bank) {
+        ++metrics_.settlements_intra_bank;
+      } else {
+        ++metrics_.settlements_cross_bank;
+        interbank[payer_bank][payee_bank] += amount;
+      }
+    }
+  }
+
+  // Phase 3 — inter-bank clearing: the cross-bank settlements are netted
+  // into at most one transfer per bank pair per round.
+  for (std::size_t a = 0; a < n_banks_; ++a) {
+    for (std::size_t b = a + 1; b < n_banks_; ++b) {
+      const Money net = interbank[a][b] - interbank[b][a];
+      if (net.is_zero()) continue;
+      clearing_[a] -= net;
+      clearing_[b] += net;
+      ++metrics_.clearing_transfers;
+    }
+  }
+
+  for (auto& row : verify_)
+    for (auto& cell : row) cell = 0;
+  seq_ += 1;
+  canrequest_ = true;
+  ++metrics_.rounds_completed;
+}
+
+}  // namespace zmail::core

@@ -1,0 +1,107 @@
+// Collaborating-banks extension (paper Section 5, "Bank Setup").
+//
+// "In fact, the role of the bank in the Zmail protocol can be implemented
+//  as a set of distributed banks or a hierarchy of banks.  It is fairly
+//  straightforward to extend the Zmail protocol to incorporate multiple
+//  collaborating banks."
+//
+// Design (the paper leaves it open; we make the natural choice concrete):
+//   - every compliant ISP has one *home bank* (round-robin assignment);
+//     its real-money account and its buy/sell traffic live there;
+//   - a federation snapshot round: each bank sends requests to its member
+//     ISPs and gathers their credit reports;
+//   - banks then exchange the gathered report columns all-to-all (counted
+//     as inter-bank messages/bytes — the cost the E12 federation bench
+//     measures);
+//   - pair (i, j) is verified by the home bank of min(i, j); a consistent
+//     pair settles.  Settlement between ISPs of different banks moves
+//     money through inter-bank clearing accounts, netted per bank pair per
+//     round (bulk, like everything else in Zmail).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/bank.hpp"  // CreditViolation
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "crypto/rsa.hpp"
+
+namespace zmail::core {
+
+struct FederationMetrics {
+  std::uint64_t rounds_completed = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t reports_received = 0;
+  std::uint64_t interbank_messages = 0;
+  std::uint64_t interbank_bytes = 0;
+  std::uint64_t settlements_intra_bank = 0;
+  std::uint64_t settlements_cross_bank = 0;
+  std::uint64_t clearing_transfers = 0;  // netted bank-to-bank movements
+  std::uint64_t violations_found = 0;
+  EPenny epennies_minted = 0;
+  EPenny epennies_burned = 0;
+};
+
+class BankFederation {
+ public:
+  BankFederation(const ZmailParams& params, std::size_t n_banks,
+                 std::uint64_t seed);
+
+  std::size_t bank_count() const noexcept { return n_banks_; }
+  // Home-bank assignment (round-robin over compliant ISP indices).
+  std::size_t home_bank(std::size_t isp) const;
+  // Key the ISP seals its traffic with (its home bank's public key).
+  const crypto::RsaKey& public_key_for(std::size_t isp) const;
+  const crypto::KeyPair& bank_keys(std::size_t bank) const {
+    return keys_.at(bank);
+  }
+
+  // --- Section 4.3 trade, routed to the home bank -------------------------
+  crypto::Bytes on_buy(std::size_t isp, const crypto::Bytes& wire);
+  crypto::Bytes on_sell(std::size_t isp, const crypto::Bytes& wire);
+
+  // --- Federated snapshot round --------------------------------------------
+  // Emits one sealed request per compliant ISP (from its home bank).
+  std::vector<std::pair<std::size_t, crypto::Bytes>> start_snapshot();
+  void on_reply(std::size_t isp, const crypto::Bytes& wire);
+  bool round_open() const noexcept { return !canrequest_; }
+  std::uint64_t seq() const noexcept { return seq_; }
+
+  const std::vector<CreditViolation>& last_violations() const noexcept {
+    return last_violations_;
+  }
+
+  // --- Accounts --------------------------------------------------------------
+  Money isp_account(std::size_t isp) const;
+  void set_isp_account(std::size_t isp, Money v);
+  // Net clearing position of bank b toward the rest of the federation
+  // (positive: the federation owes b).
+  Money clearing_position(std::size_t bank) const {
+    return clearing_.at(bank);
+  }
+
+  const FederationMetrics& metrics() const noexcept { return metrics_; }
+
+ private:
+  void verify_round();
+
+  const ZmailParams& params_;
+  std::size_t n_banks_;
+  std::vector<crypto::KeyPair> keys_;
+  Rng rng_;
+
+  std::vector<Money> accounts_;       // per ISP, held at its home bank
+  std::vector<Money> clearing_;       // per bank, netted federation position
+  std::vector<std::vector<EPenny>> verify_;
+  std::vector<bool> reported_;
+  std::uint64_t seq_ = 0;
+  std::size_t outstanding_ = 0;
+  bool canrequest_ = true;
+
+  std::vector<CreditViolation> last_violations_;
+  FederationMetrics metrics_;
+};
+
+}  // namespace zmail::core

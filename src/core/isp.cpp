@@ -1,0 +1,465 @@
+#include "core/isp.hpp"
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace zmail::core {
+
+namespace {
+// Header that requests an automatic e-penny acknowledgment (Section 5,
+// mailing lists).  Value is the distributor address the ack returns to.
+constexpr const char* kAckHeader = "X-Zmail-Ack-To";
+// Marks a message as an automatically processed acknowledgment.
+constexpr const char* kAckFlagHeader = "X-Zmail-Acknowledgment";
+}  // namespace
+
+const char* send_result_name(SendResult r) noexcept {
+  switch (r) {
+    case SendResult::kDeliveredLocally: return "delivered-locally";
+    case SendResult::kSentPaid: return "sent-paid";
+    case SendResult::kSentFree: return "sent-free";
+    case SendResult::kBuffered: return "buffered";
+    case SendResult::kNoBalance: return "no-balance";
+    case SendResult::kDailyLimit: return "daily-limit";
+    case SendResult::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+Isp::Isp(std::size_t index, const ZmailParams& params,
+         crypto::RsaKey bank_pub, std::uint64_t secret_seed)
+    : index_(index),
+      params_(params),
+      bank_pub_(bank_pub),
+      rng_(secret_seed ^ (0x1517ULL * (index + 1))),
+      nonce_gen_(secret_seed * 0x9E3779B97F4A7C15ULL + index) {
+  ZMAIL_ASSERT(index < params_.n_isps);
+  users_.resize(params_.users_per_isp);
+  for (auto& u : users_) {
+    u.account = params_.initial_user_account;
+    u.balance = params_.initial_user_balance;
+    u.limit = params_.default_daily_limit;
+  }
+  inboxes_.resize(params_.users_per_isp);
+  avail_ = params_.initial_avail;
+  credit_.assign(params_.n_isps, 0);
+}
+
+EPenny Isp::epennies_held() const noexcept {
+  EPenny total = avail_;
+  for (const auto& u : users_) total += u.balance;
+  return total;
+}
+
+bool Isp::commit_paid_send(std::size_t s) {
+  UserAccount& u = users_.at(s);
+  // Paper guard: balance[s] >= 1 AND sent[s] < limit[s].
+  if (u.balance < 1) {
+    ++metrics_.refused_no_balance;
+    return false;
+  }
+  if (u.sent >= u.limit) {
+    ++metrics_.refused_daily_limit;
+    if (!u.blocked_today) {
+      u.blocked_today = true;
+      send_zombie_warning(s);
+    }
+    return false;
+  }
+  u.balance -= 1;
+  u.sent += 1;
+  u.lifetime_sent += 1;
+  return true;
+}
+
+SendResult Isp::user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
+                          net::EmailMessage msg) {
+  ZMAIL_ASSERT(s < users_.size());
+  ZMAIL_ASSERT(dest_isp < params_.n_isps);
+
+  if (users_.at(s).quarantined) return SendResult::kQuarantined;
+
+  if (dest_isp == index_) {
+    // Local delivery: the e-penny moves from sender to receiver without
+    // touching any channel or the credit array.
+    UserAccount& sender = users_.at(s);
+    if (sender.balance < 1) {
+      ++metrics_.refused_no_balance;
+      return SendResult::kNoBalance;
+    }
+    if (sender.sent >= sender.limit) {
+      ++metrics_.refused_daily_limit;
+      if (!sender.blocked_today) {
+        sender.blocked_today = true;
+        send_zombie_warning(s);
+      }
+      return SendResult::kDailyLimit;
+    }
+    sender.balance -= 1;
+    sender.sent += 1;
+    sender.lifetime_sent += 1;
+    ZMAIL_ASSERT(r < users_.size());
+    users_.at(r).balance += 1;
+    users_.at(r).lifetime_received_paid += 1;
+    ++metrics_.emails_sent_local;
+    deliver_locally(r, msg, /*paid=*/1, /*junk=*/false);
+    maybe_generate_ack(r, msg);
+    return SendResult::kDeliveredLocally;
+  }
+
+  if (!params_.is_compliant(dest_isp)) {
+    // "~compliant[j] -> send email(s, r) to isp[j]": free, unpaid.
+    ++metrics_.emails_sent_noncompliant;
+    if (!cansend_) {
+      buffer_.push_back(BufferedSend{dest_isp, std::move(msg), false});
+      ++metrics_.emails_buffered_during_quiesce;
+      return SendResult::kBuffered;
+    }
+    outbox_.push_back(Outbound{Outbound::Dest::kIsp, dest_isp, kMsgEmail,
+                               msg.serialize()});
+    return SendResult::kSentFree;
+  }
+
+  if (misbehavior_ == Misbehavior::kFreeRide) {
+    // Colluding ISP: ship the mail without charging the sender and without
+    // the credit entry.  Detected by the bank's verification (Section 4.4).
+    ++metrics_.emails_sent_compliant;
+    outbox_.push_back(Outbound{Outbound::Dest::kIsp, dest_isp, kMsgEmail,
+                               msg.serialize()});
+    return SendResult::kSentPaid;
+  }
+
+  // Paid remote send.
+  if (!commit_paid_send(s)) {
+    return users_.at(s).balance < 1 ? SendResult::kNoBalance
+                                    : SendResult::kDailyLimit;
+  }
+  if (!cansend_) {
+    // Section 4.4: "these emails will be buffered and sent right after the
+    // timeout expires".  Payment is committed now; the credit entry is
+    // recorded at actual transmission so the snapshot stays consistent.
+    buffer_.push_back(BufferedSend{dest_isp, std::move(msg), true});
+    buffered_paid_ += 1;
+    ++metrics_.emails_buffered_during_quiesce;
+    return SendResult::kBuffered;
+  }
+  transport_paid_email(dest_isp, msg);
+  return SendResult::kSentPaid;
+}
+
+void Isp::transport_paid_email(std::size_t dest_isp,
+                               const net::EmailMessage& msg) {
+  credit_.at(dest_isp) += 1;
+  ++metrics_.emails_sent_compliant;
+  outbox_.push_back(Outbound{Outbound::Dest::kIsp, dest_isp, kMsgEmail,
+                             msg.serialize()});
+}
+
+void Isp::deliver_locally(std::size_t r, const net::EmailMessage& msg,
+                          EPenny paid, bool junk) {
+  ZMAIL_ASSERT(r < users_.size());
+  // Acknowledgments are "processed automatically, rather than being
+  // delivered to the receiver's inbox for human attention" (Section 5).
+  if (msg.header(kAckFlagHeader)) {
+    ++metrics_.acks_received;
+    if (ack_sink_) ack_sink_(r, msg);
+    return;
+  }
+  ++metrics_.emails_delivered;
+  if (junk) ++metrics_.emails_segregated;
+  if (params_.record_inboxes)
+    inboxes_.at(r).push_back(Delivery{msg, junk, paid});
+}
+
+void Isp::maybe_generate_ack(std::size_t recipient,
+                             const net::EmailMessage& msg) {
+  if (!params_.auto_acknowledge_lists) return;
+  const auto ack_to = msg.header(kAckHeader);
+  if (!ack_to) return;
+  const auto dist = net::parse_address(*ack_to);
+  if (!dist) return;
+  std::size_t dist_isp = 0, dist_user = 0;
+  if (!net::decode_user_address(*dist, dist_isp, dist_user)) return;
+  if (dist_isp >= params_.n_isps) return;
+
+  // The receiving ISP generates the acknowledgment on the user's behalf;
+  // it costs the e-penny the list message just delivered, returning it to
+  // the distributor.  ISP-generated acks do not count against the user's
+  // daily limit (they are bounded by mail *received*, not sent).
+  UserAccount& u = users_.at(recipient);
+  if (u.balance < 1) return;  // cannot happen right after a paid delivery
+
+  net::EmailMessage ack = net::make_email(
+      net::make_user_address(index_, recipient), *dist, "Ack",
+      msg.header("Message-ID").value_or(""), net::MailClass::kAcknowledgment);
+  ack.set_header(kAckFlagHeader, "1");
+
+  u.balance -= 1;
+  ++metrics_.acks_generated;
+
+  if (dist_isp == index_) {
+    users_.at(dist_user).balance += 1;
+    users_.at(dist_user).lifetime_received_paid += 1;
+    deliver_locally(dist_user, ack, 1, false);
+    return;
+  }
+  if (!cansend_) {
+    buffer_.push_back(BufferedSend{dist_isp, std::move(ack), true});
+    buffered_paid_ += 1;
+    ++metrics_.emails_buffered_during_quiesce;
+    return;
+  }
+  credit_.at(dist_isp) += 1;
+  outbox_.push_back(Outbound{Outbound::Dest::kIsp, dist_isp, kMsgEmail,
+                             ack.serialize()});
+}
+
+void Isp::send_zombie_warning(std::size_t s) {
+  // "the user is sent a warning message to check for viruses" (Section 5).
+  // Generated by the ISP itself, free, delivered locally.
+  net::EmailMessage warn = net::make_email(
+      net::EmailAddress{"postmaster", net::isp_domain(index_)},
+      net::make_user_address(index_, s), "Daily sending limit reached",
+      "Your account hit its daily outgoing-mail limit. If you did not send "
+      "this volume of mail, your machine may be infected; please run a "
+      "virus scan.",
+      net::MailClass::kLegitimate);
+  ++metrics_.zombie_warnings_sent;
+  users_.at(s).warnings += 1;
+  deliver_locally(s, warn, 0, false);
+  // Repeat offenders are suspended outright: the account stays blocked
+  // across days until the ISP releases it (after disinfection).
+  if (params_.quarantine_after_warnings > 0 &&
+      users_.at(s).warnings >= params_.quarantine_after_warnings)
+    users_.at(s).quarantined = true;
+}
+
+void Isp::on_email(std::size_t from_isp, const crypto::Bytes& payload) {
+  auto msg = net::EmailMessage::deserialize(payload);
+  if (!msg) {
+    ++metrics_.bad_envelopes;
+    return;
+  }
+  // Resolve the recipient among our users.
+  std::size_t rcpt_isp = 0, rcpt_user = 0;
+  if (msg->to.empty() ||
+      !net::decode_user_address(msg->to.front(), rcpt_isp, rcpt_user) ||
+      rcpt_isp != index_ || rcpt_user >= users_.size()) {
+    ++metrics_.bad_envelopes;
+    return;
+  }
+
+  if (params_.is_compliant(from_isp)) {
+    // "compliant[g] -> balance[r] := balance[r] + 1; credit[g] -= 1".
+    users_.at(rcpt_user).balance += 1;
+    users_.at(rcpt_user).lifetime_received_paid += 1;
+    credit_.at(from_isp) -= 1;
+    ++metrics_.emails_received_compliant;
+    deliver_locally(rcpt_user, *msg, 1, false);
+    maybe_generate_ack(rcpt_user, *msg);
+    return;
+  }
+
+  // Mail from a non-compliant ISP: no payment; apply the Section 5 policy
+  // (the recipient's own choice when set, the ISP default otherwise).
+  ++metrics_.emails_received_noncompliant;
+  const NonCompliantPolicy policy =
+      users_.at(rcpt_user).policy_override.value_or(
+          params_.noncompliant_policy);
+  switch (policy) {
+    case NonCompliantPolicy::kAccept:
+      deliver_locally(rcpt_user, *msg, 0, false);
+      break;
+    case NonCompliantPolicy::kSegregate:
+      deliver_locally(rcpt_user, *msg, 0, true);
+      break;
+    case NonCompliantPolicy::kDiscard:
+      ++metrics_.emails_discarded;
+      break;
+    case NonCompliantPolicy::kFilter:
+      // "require any email from a non-compliant ISP to pass a spam filter".
+      // Fail-open when no filter is installed.
+      if (filter_ && filter_(*msg)) {
+        ++metrics_.emails_filtered_out;
+      } else {
+        deliver_locally(rcpt_user, *msg, 0, false);
+      }
+      break;
+  }
+}
+
+bool Isp::user_buy(std::size_t t, EPenny x) {
+  ZMAIL_ASSERT(t < users_.size());
+  if (x <= 0) return false;
+  UserAccount& u = users_.at(t);
+  const Money cost = Money::from_epennies(x);
+  // Paper guard: account[t] >= x AND avail >= x.
+  if (u.account < cost || avail_ < x) return false;
+  u.account -= cost;
+  till_ += cost;
+  u.balance += x;
+  u.lifetime_epennies_bought += x;
+  avail_ -= x;
+  return true;
+}
+
+bool Isp::user_sell(std::size_t t, EPenny x) {
+  ZMAIL_ASSERT(t < users_.size());
+  if (x <= 0) return false;
+  UserAccount& u = users_.at(t);
+  if (u.balance < x) return false;
+  const Money value = Money::from_epennies(x);
+  u.balance -= x;
+  u.account += value;
+  till_ -= value;
+  u.lifetime_epennies_sold += x;
+  avail_ += x;
+  return true;
+}
+
+void Isp::maybe_trade_with_bank() {
+  if (canbuy_ && avail_ < params_.minavail) {
+    canbuy_ = false;
+    buyvalue_ = params_.maxavail - avail_;  // refill to the upper bound
+    ns1_ = nonce_gen_.next();
+    BuyRequest req{buyvalue_, *ns1_};
+    ++metrics_.bank_buys_attempted;
+    outbox_.push_back(Outbound{Outbound::Dest::kBank, 0, kMsgBuy,
+                               seal(bank_pub_, req.serialize(), rng_)});
+  }
+  if (cansell_ && avail_ > params_.maxavail) {
+    cansell_ = false;
+    sellvalue_ = avail_ - params_.maxavail;
+    // Divergence from the paper's pseudocode, on purpose: the paper leaves
+    // `avail` untouched until the sellreply arrives, so concurrent user
+    // purchases could drive it below `sellvalue` and the later decrement
+    // would mint a negative pool.  We reserve the amount at initiation.
+    // (The AP rendition in ap_spec.cpp keeps the paper's literal behaviour
+    // so the latent race is demonstrable; see EXPERIMENTS.md.)
+    avail_ -= sellvalue_;
+    ns2_ = nonce_gen_.next();
+    SellRequest req{sellvalue_, *ns2_};
+    ++metrics_.bank_sells;
+    outbox_.push_back(Outbound{Outbound::Dest::kBank, 0, kMsgSell,
+                               seal(bank_pub_, req.serialize(), rng_)});
+  }
+}
+
+void Isp::on_buyreply(const crypto::Bytes& wire) {
+  const auto plain = unseal(bank_pub_, wire);
+  if (!plain) {
+    ++metrics_.bad_envelopes;
+    return;
+  }
+  const auto reply = BuyReply::deserialize(*plain);
+  if (!reply) {
+    ++metrics_.bad_envelopes;
+    return;
+  }
+  // Paper: "if ns1 = nr1 -> ..." — replayed or stale replies are ignored.
+  if (!ns1_ || !(reply->nonce == *ns1_)) {
+    ++metrics_.bad_nonce_replies;
+    return;
+  }
+  ns1_.reset();
+  canbuy_ = true;
+  if (reply->accepted) {
+    avail_ += buyvalue_;
+    ++metrics_.bank_buys_accepted;
+  }
+  buyvalue_ = 0;
+}
+
+void Isp::on_sellreply(const crypto::Bytes& wire) {
+  const auto plain = unseal(bank_pub_, wire);
+  if (!plain) {
+    ++metrics_.bad_envelopes;
+    return;
+  }
+  const auto reply = SellReply::deserialize(*plain);
+  if (!reply) {
+    ++metrics_.bad_envelopes;
+    return;
+  }
+  if (!ns2_ || !(reply->nonce == *ns2_)) {
+    ++metrics_.bad_nonce_replies;
+    return;
+  }
+  ns2_.reset();
+  cansell_ = true;
+  sellvalue_ = 0;  // already deducted at initiation (see maybe_trade_with_bank)
+}
+
+void Isp::on_request(const crypto::Bytes& wire) {
+  const auto plain = unseal(bank_pub_, wire);
+  if (!plain) {
+    ++metrics_.bad_envelopes;
+    return;
+  }
+  const auto req = SnapshotRequest::deserialize(*plain);
+  if (!req) {
+    ++metrics_.bad_envelopes;
+    return;
+  }
+  // Paper: "if seq = seq' -> cansend := false; timeout after 10 minutes".
+  if (req->seq != seq_) {
+    ++metrics_.stale_requests;
+    return;
+  }
+  cansend_ = false;
+  quiescing_ = true;
+}
+
+void Isp::on_quiesce_timeout() {
+  if (!quiescing_) return;
+  quiescing_ = false;
+
+  // send reply(NCR(B_b, credit)) to bank
+  CreditReport report{seq_, credit_};
+  outbox_.push_back(Outbound{Outbound::Dest::kBank, 0, kMsgReply,
+                             seal(bank_pub_, report.serialize(), rng_)});
+  ++metrics_.snapshots_answered;
+
+  // credit := 0; cansend := true; seq := seq + 1
+  credit_.assign(params_.n_isps, 0);
+  cansend_ = true;
+  seq_ += 1;
+
+  // Flush mail buffered during the quiesce window.
+  while (!buffer_.empty()) {
+    BufferedSend b = std::move(buffer_.front());
+    buffer_.pop_front();
+    if (b.paid) {
+      // Payment was committed at buffer time; the credit entry and the
+      // transmission happen now.
+      buffered_paid_ -= 1;
+      transport_paid_email(b.dest_isp, b.msg);
+    } else {
+      outbox_.push_back(Outbound{Outbound::Dest::kIsp, b.dest_isp, kMsgEmail,
+                                 b.msg.serialize()});
+    }
+  }
+}
+
+void Isp::release_user(std::size_t u) {
+  UserAccount& acc = users_.at(u);
+  acc.quarantined = false;
+  acc.warnings = 0;
+  acc.blocked_today = false;
+}
+
+void Isp::end_of_day() {
+  // "At the end of every day, array sent is reset to 0."
+  for (auto& u : users_) {
+    u.sent = 0;
+    u.blocked_today = false;
+  }
+}
+
+std::vector<Outbound> Isp::take_outbox() {
+  std::vector<Outbound> out;
+  out.swap(outbox_);
+  return out;
+}
+
+}  // namespace zmail::core

@@ -1,0 +1,206 @@
+// Compliant-ISP state machine (paper Section 4, process isp[i]).
+//
+// The class is I/O-free: every action that would "send" pushes an Outbound
+// record into an outbox which the harness drains — the AP rendition drains
+// it into AP channels, the timed rendition into SMTP sessions over the
+// simulated network.  This keeps one copy of the accounting semantics under
+// both execution models.
+//
+// Responsibilities, mapped to the paper:
+//   - zero-sum email send/receive with the credit array        (Section 4.1)
+//   - user e-penny purchases/sales against the avail pool      (Section 4.2)
+//   - nonce-protected buy/sell against the bank                (Section 4.3)
+//   - snapshot quiesce, credit report, reset                   (Section 4.4)
+//   - per-user daily limit, zombie warnings                    (Section 5)
+//   - mailing-list acknowledgment generation                   (Section 5)
+//   - policy toward mail from non-compliant ISPs               (Section 5)
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "core/metrics.hpp"
+#include "core/user_account.hpp"
+#include "crypto/nonce.hpp"
+#include "net/email.hpp"
+
+namespace zmail::core {
+
+// A message the ISP wants transported; the harness owns actual delivery.
+struct Outbound {
+  enum class Dest : std::uint8_t { kIsp, kBank };
+  Dest dest = Dest::kIsp;
+  std::size_t isp_index = 0;  // meaningful when dest == kIsp
+  std::string type;
+  crypto::Bytes payload;
+};
+
+enum class SendResult : std::uint8_t {
+  kDeliveredLocally,  // i == j: settled inside this ISP
+  kSentPaid,          // queued to a compliant ISP, 1 e-penny committed
+  kSentFree,          // queued to a non-compliant ISP, no payment
+  kBuffered,          // quiesce in progress; committed and held (Section 4.4)
+  kNoBalance,         // balance[s] = 0 branch
+  kDailyLimit,        // sent[s] >= limit[s] branch
+  kQuarantined,       // account suspended after repeated zombie warnings
+};
+
+const char* send_result_name(SendResult r) noexcept;
+
+// One delivered message in a user's inbox.
+struct Delivery {
+  net::EmailMessage msg;
+  bool junk = false;       // segregated (Section 5 policy)
+  EPenny paid = 0;         // e-pennies this delivery earned the user
+};
+
+class Isp {
+ public:
+  // `params` is held by reference and must outlive the Isp; sharing one
+  // params object across all parties lets the bank's compliant-array
+  // updates (Section 4: "broadcast this new compliant array to every
+  // compliant ISP") take effect everywhere at once.
+  Isp(std::size_t index, const ZmailParams& params, crypto::RsaKey bank_pub,
+      std::uint64_t secret_seed);
+
+  std::size_t index() const noexcept { return index_; }
+
+  // --- Section 4.1: sending (the `cansend ->` action) -------------------
+  // User `s` of this ISP sends `msg` to user `r` of ISP `dest_isp`.
+  SendResult user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
+                       net::EmailMessage msg);
+
+  // --- Section 4.1: receiving (the `rcv email` action) ------------------
+  // `from_isp` is the sending ISP's index; payload is a serialized
+  // net::EmailMessage addressed to one of our users.
+  void on_email(std::size_t from_isp, const crypto::Bytes& payload);
+
+  // --- Section 4.2: user <-> ISP e-penny trades --------------------------
+  bool user_buy(std::size_t t, EPenny x);
+  bool user_sell(std::size_t t, EPenny x);
+
+  // --- Section 4.3: ISP <-> bank trades ----------------------------------
+  // The two `canbuy ->` / `cansell ->` actions; call periodically.
+  void maybe_trade_with_bank();
+  void on_buyreply(const crypto::Bytes& wire);
+  void on_sellreply(const crypto::Bytes& wire);
+
+  // --- Section 4.4: snapshot ---------------------------------------------
+  void on_request(const crypto::Bytes& wire);
+  // The `timeout expired ->` action; the harness fires it (10 simulated
+  // minutes in the timed rendition; channels-empty in the AP rendition).
+  void on_quiesce_timeout();
+  bool in_quiesce() const noexcept { return quiescing_; }
+
+  // --- Section 5: daily reset + zombie guard -----------------------------
+  void end_of_day();
+  // Lifts a quarantine (the user cleaned their machine) and resets the
+  // warning counter.
+  void release_user(std::size_t u);
+
+  // --- Harness interface --------------------------------------------------
+  std::vector<Outbound> take_outbox();
+  bool outbox_empty() const noexcept { return outbox_.empty(); }
+
+  // --- Introspection -------------------------------------------------------
+  const ZmailParams& params() const noexcept { return params_; }
+  std::size_t user_count() const noexcept { return users_.size(); }
+  UserAccount& user(std::size_t u) { return users_.at(u); }
+  const UserAccount& user(std::size_t u) const { return users_.at(u); }
+  EPenny avail() const noexcept { return avail_; }
+  const std::vector<EPenny>& credit() const noexcept { return credit_; }
+  bool cansend() const noexcept { return cansend_; }
+  Money till() const noexcept { return till_; }
+  std::uint64_t seq() const noexcept { return seq_; }
+  const IspMetrics& metrics() const noexcept { return metrics_; }
+  const std::vector<Delivery>& inbox(std::size_t u) const {
+    return inboxes_.at(u);
+  }
+  void clear_inbox(std::size_t u) { inboxes_.at(u).clear(); }
+  // E-pennies committed by buffered (not yet transported) sends; free sends
+  // to non-compliant destinations buffer without committing an e-penny.
+  EPenny buffered_paid() const noexcept { return buffered_paid_; }
+  std::size_t buffered_count() const noexcept { return buffer_.size(); }
+
+  // Spam filter consulted for mail from non-compliant ISPs when the policy
+  // is kFilter; returns true when the message should be dropped as spam.
+  void set_filter(std::function<bool(const net::EmailMessage&)> is_spam) {
+    filter_ = std::move(is_spam);
+  }
+
+  // Observer for automatically processed acknowledgments (they never reach
+  // an inbox); the mailing-list distributor uses this to track which
+  // subscribers acknowledged (Section 5).
+  void set_ack_sink(
+      std::function<void(std::size_t user, const net::EmailMessage&)> sink) {
+    ack_sink_ = std::move(sink);
+  }
+  // Sum of user balances + avail pool (for conservation checks).
+  EPenny epennies_held() const noexcept;
+
+  // Testing hooks.
+  void set_avail(EPenny v) noexcept { avail_ = v; }
+  void force_cansend(bool v) noexcept { cansend_ = v; }
+  // Bootstrap hook: an ISP joining mid-deployment adopts the bank's
+  // current snapshot sequence number so it accepts the next request.
+  void set_seq(std::uint64_t s) noexcept { seq_ = s; }
+
+  // Misbehavior injection for the Section 4.4 detection experiment: a
+  // colluding ISP lets (its spammers') mail out without charging the sender
+  // or recording the credit entry.  The receiving ISP still decrements its
+  // credit, so the bank's antisymmetry check exposes the pair.
+  enum class Misbehavior : std::uint8_t { kNone = 0, kFreeRide };
+  void set_misbehavior(Misbehavior m) noexcept { misbehavior_ = m; }
+  Misbehavior misbehavior() const noexcept { return misbehavior_; }
+
+ private:
+  struct BufferedSend {
+    std::size_t dest_isp;
+    net::EmailMessage msg;
+    bool paid = false;  // carries a committed e-penny
+  };
+
+  void deliver_locally(std::size_t r, const net::EmailMessage& msg,
+                       EPenny paid, bool junk);
+  void transport_paid_email(std::size_t dest_isp, const net::EmailMessage& msg);
+  void maybe_generate_ack(std::size_t recipient, const net::EmailMessage& msg);
+  void send_zombie_warning(std::size_t s);
+  bool commit_paid_send(std::size_t s);  // balance/limit check + decrement
+
+  std::size_t index_;
+  const ZmailParams& params_;
+  crypto::RsaKey bank_pub_;
+  Rng rng_;
+  crypto::NonceGenerator nonce_gen_;
+
+  std::vector<UserAccount> users_;
+  std::vector<std::vector<Delivery>> inboxes_;
+  EPenny avail_ = 0;
+  Money till_;  // real money received from users buying e-pennies
+  std::vector<EPenny> credit_;
+
+  bool cansend_ = true;
+  bool canbuy_ = true;
+  bool cansell_ = true;
+  bool quiescing_ = false;
+  EPenny buyvalue_ = 0;
+  EPenny sellvalue_ = 0;
+  std::uint64_t seq_ = 0;
+  std::optional<crypto::Nonce> ns1_;  // outstanding buy nonce
+  std::optional<crypto::Nonce> ns2_;  // outstanding sell nonce
+
+  std::deque<BufferedSend> buffer_;  // held during quiesce
+  EPenny buffered_paid_ = 0;
+  std::vector<Outbound> outbox_;
+  std::function<bool(const net::EmailMessage&)> filter_;
+  std::function<void(std::size_t, const net::EmailMessage&)> ack_sink_;
+  Misbehavior misbehavior_ = Misbehavior::kNone;
+  IspMetrics metrics_;
+};
+
+}  // namespace zmail::core

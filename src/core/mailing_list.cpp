@@ -1,0 +1,152 @@
+#include "core/mailing_list.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace zmail::core {
+
+MailingList::MailingList(ZmailSystem& system, net::EmailAddress distributor,
+                         std::string name, std::uint64_t prune_after,
+                         ListMode mode)
+    : system_(system),
+      distributor_(std::move(distributor)),
+      name_(std::move(name)),
+      prune_after_(prune_after),
+      mode_(mode) {
+  ZMAIL_ASSERT(prune_after_ >= 1);
+  ZMAIL_ASSERT_MSG(
+      net::decode_user_address(distributor_, dist_isp_, dist_user_),
+      "distributor must be a simulated user address");
+  ZMAIL_ASSERT_MSG(system_.is_compliant(dist_isp_),
+                   "distributor must live on a compliant ISP");
+
+  // Watch the distributor's incoming acknowledgments.
+  system_.isp(dist_isp_).set_ack_sink(
+      [this](std::size_t user, const net::EmailMessage& ack) {
+        if (user != dist_user_) return;
+        for (auto& sub : subscribers_) {
+          if (sub.address == ack.from) {
+            ++sub.acks_received;
+            sub.consecutive_missed = 0;
+            ++acks_credited_;
+            return;
+          }
+        }
+      });
+}
+
+void MailingList::subscribe(const net::EmailAddress& member) {
+  for (auto& s : subscribers_) {
+    if (s.address == member) {
+      s.active = true;
+      s.consecutive_missed = 0;
+      return;
+    }
+  }
+  subscribers_.push_back(SubscriberRecord{member, 0, 0, 0, true});
+}
+
+bool MailingList::unsubscribe(const net::EmailAddress& member) {
+  for (auto& s : subscribers_) {
+    if (s.address == member && s.active) {
+      s.active = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t MailingList::post(const std::string& subject,
+                              const std::string& body) {
+  ++posts_;
+  std::size_t sent = 0;
+  for (auto& sub : subscribers_) {
+    if (!sub.active) continue;
+    net::EmailMessage msg =
+        net::make_email(distributor_, sub.address, "[" + name_ + "] " + subject,
+                        body, net::MailClass::kMailingList);
+    msg.set_header("X-Zmail-Ack-To", distributor_.str());
+    msg.set_header("List-Id", name_);
+    const SendResult r = system_.send_email(std::move(msg));
+    if (r == SendResult::kNoBalance || r == SendResult::kDailyLimit) continue;
+    ++sub.posts_sent;
+    ++sent;
+    ++copies_sent_;
+  }
+  return sent;
+}
+
+std::size_t MailingList::reconcile_and_prune() {
+  std::size_t pruned = 0;
+  for (auto& sub : subscribers_) {
+    if (!sub.active) continue;
+    // A subscriber "missed" a post when posts_sent outpaces acks_received.
+    const std::uint64_t missed =
+        sub.posts_sent > sub.acks_received
+            ? sub.posts_sent - sub.acks_received
+            : 0;
+    sub.consecutive_missed = missed;
+    if (missed >= prune_after_) {
+      sub.active = false;
+      ++pruned;
+    }
+  }
+  return pruned;
+}
+
+bool MailingList::is_subscribed(const net::EmailAddress& member) const {
+  for (const auto& s : subscribers_)
+    if (s.address == member && s.active) return true;
+  return false;
+}
+
+bool MailingList::submit(const net::EmailAddress& from,
+                         const std::string& subject, const std::string& body) {
+  if (!is_subscribed(from)) return false;
+
+  // The submission travels as a normal paid email to the distributor.
+  net::EmailMessage msg = net::make_email(
+      from, distributor_, "[" + name_ + "-submit] " + subject, body,
+      net::MailClass::kMailingList);
+  const SendResult r = system_.send_email(std::move(msg));
+  if (r == SendResult::kNoBalance || r == SendResult::kDailyLimit)
+    return false;
+
+  if (mode_ == ListMode::kModerated) {
+    pending_.push_back(PendingPost{next_post_id_++, from, subject, body});
+    return true;
+  }
+  post(subject, body);
+  return true;
+}
+
+bool MailingList::approve(std::uint64_t id) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->id == id) {
+      const PendingPost p = *it;
+      pending_.erase(it);
+      post(p.subject, p.body);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MailingList::reject(std::uint64_t id) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->id == id) {
+      pending_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t MailingList::active_subscribers() const {
+  return static_cast<std::size_t>(
+      std::count_if(subscribers_.begin(), subscribers_.end(),
+                    [](const SubscriberRecord& s) { return s.active; }));
+}
+
+}  // namespace zmail::core

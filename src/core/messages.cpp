@@ -1,0 +1,135 @@
+#include "core/messages.hpp"
+
+namespace zmail::core {
+
+namespace {
+constexpr std::uint8_t kTagBuy = 1;
+constexpr std::uint8_t kTagBuyReply = 2;
+constexpr std::uint8_t kTagSell = 3;
+constexpr std::uint8_t kTagSellReply = 4;
+constexpr std::uint8_t kTagRequest = 5;
+constexpr std::uint8_t kTagReport = 6;
+}  // namespace
+
+crypto::Bytes BuyRequest::serialize() const {
+  crypto::Bytes b;
+  crypto::put_u8(b, kTagBuy);
+  crypto::put_i64(b, buyvalue);
+  crypto::put_nonce(b, nonce);
+  return b;
+}
+
+std::optional<BuyRequest> BuyRequest::deserialize(const crypto::Bytes& b) {
+  crypto::ByteReader r(b);
+  if (r.get_u8() != kTagBuy) return std::nullopt;
+  BuyRequest m;
+  m.buyvalue = r.get_i64();
+  m.nonce = crypto::get_nonce(r);
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return m;
+}
+
+crypto::Bytes BuyReply::serialize() const {
+  crypto::Bytes b;
+  crypto::put_u8(b, kTagBuyReply);
+  crypto::put_nonce(b, nonce);
+  crypto::put_u8(b, accepted ? 1 : 0);
+  return b;
+}
+
+std::optional<BuyReply> BuyReply::deserialize(const crypto::Bytes& b) {
+  crypto::ByteReader r(b);
+  if (r.get_u8() != kTagBuyReply) return std::nullopt;
+  BuyReply m;
+  m.nonce = crypto::get_nonce(r);
+  m.accepted = r.get_u8() != 0;
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return m;
+}
+
+crypto::Bytes SellRequest::serialize() const {
+  crypto::Bytes b;
+  crypto::put_u8(b, kTagSell);
+  crypto::put_i64(b, sellvalue);
+  crypto::put_nonce(b, nonce);
+  return b;
+}
+
+std::optional<SellRequest> SellRequest::deserialize(const crypto::Bytes& b) {
+  crypto::ByteReader r(b);
+  if (r.get_u8() != kTagSell) return std::nullopt;
+  SellRequest m;
+  m.sellvalue = r.get_i64();
+  m.nonce = crypto::get_nonce(r);
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return m;
+}
+
+crypto::Bytes SellReply::serialize() const {
+  crypto::Bytes b;
+  crypto::put_u8(b, kTagSellReply);
+  crypto::put_nonce(b, nonce);
+  return b;
+}
+
+std::optional<SellReply> SellReply::deserialize(const crypto::Bytes& b) {
+  crypto::ByteReader r(b);
+  if (r.get_u8() != kTagSellReply) return std::nullopt;
+  SellReply m;
+  m.nonce = crypto::get_nonce(r);
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return m;
+}
+
+crypto::Bytes SnapshotRequest::serialize() const {
+  crypto::Bytes b;
+  crypto::put_u8(b, kTagRequest);
+  crypto::put_u64(b, seq);
+  return b;
+}
+
+std::optional<SnapshotRequest> SnapshotRequest::deserialize(
+    const crypto::Bytes& b) {
+  crypto::ByteReader r(b);
+  if (r.get_u8() != kTagRequest) return std::nullopt;
+  SnapshotRequest m;
+  m.seq = r.get_u64();
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return m;
+}
+
+crypto::Bytes CreditReport::serialize() const {
+  crypto::Bytes b;
+  crypto::put_u8(b, kTagReport);
+  crypto::put_u64(b, seq);
+  crypto::put_u32(b, static_cast<std::uint32_t>(credit.size()));
+  for (EPenny c : credit) crypto::put_i64(b, c);
+  return b;
+}
+
+std::optional<CreditReport> CreditReport::deserialize(const crypto::Bytes& b) {
+  crypto::ByteReader r(b);
+  if (r.get_u8() != kTagReport) return std::nullopt;
+  CreditReport m;
+  m.seq = r.get_u64();
+  const std::uint32_t n = r.get_u32();
+  m.credit.reserve(n);
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+    m.credit.push_back(r.get_i64());
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return m;
+}
+
+crypto::Bytes seal(const crypto::RsaKey& key, const crypto::Bytes& plaintext,
+                   Rng& rng) {
+  return crypto::ncr(key, plaintext, rng).serialize();
+}
+
+std::optional<crypto::Bytes> unseal(const crypto::RsaKey& key,
+                                    const crypto::Bytes& wire) {
+  auto env = crypto::Envelope::deserialize(wire);
+  if (!env) return std::nullopt;
+  return crypto::dcr(key, *env);
+}
+
+}  // namespace zmail::core

@@ -1,0 +1,94 @@
+// Typed wire messages of the Zmail protocol (Section 4).
+//
+// Bank-bound and bank-originated messages travel inside NCR envelopes; email
+// travels as plain SMTP.  Each struct has a flat big-endian serialization so
+// the same bytes flow through both the AP channels and the timed network.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+#include "crypto/nonce.hpp"
+#include "crypto/rsa.hpp"
+#include "util/money.hpp"
+#include "util/rng.hpp"
+
+namespace zmail::core {
+
+// Message type tags used on channels / the datagram network.
+inline constexpr const char* kMsgEmail = "email";
+inline constexpr const char* kMsgBuy = "buy";
+inline constexpr const char* kMsgBuyReply = "buyreply";
+inline constexpr const char* kMsgSell = "sell";
+inline constexpr const char* kMsgSellReply = "sellreply";
+inline constexpr const char* kMsgRequest = "request";
+inline constexpr const char* kMsgReply = "reply";
+
+// --- Plaintext payloads (encrypted before transmission) ---
+
+// buy(NCR(B_b, buyvalue | ns1))
+struct BuyRequest {
+  EPenny buyvalue = 0;
+  crypto::Nonce nonce;
+
+  crypto::Bytes serialize() const;
+  static std::optional<BuyRequest> deserialize(const crypto::Bytes& b);
+};
+
+// buyreply(NCR(R_b, nr | accepted))
+struct BuyReply {
+  crypto::Nonce nonce;
+  bool accepted = false;
+
+  crypto::Bytes serialize() const;
+  static std::optional<BuyReply> deserialize(const crypto::Bytes& b);
+};
+
+// sell(NCR(B_b, sellvalue | ns2))
+struct SellRequest {
+  EPenny sellvalue = 0;
+  crypto::Nonce nonce;
+
+  crypto::Bytes serialize() const;
+  static std::optional<SellRequest> deserialize(const crypto::Bytes& b);
+};
+
+// sellreply(NCR(R_b, nr))
+struct SellReply {
+  crypto::Nonce nonce;
+
+  crypto::Bytes serialize() const;
+  static std::optional<SellReply> deserialize(const crypto::Bytes& b);
+};
+
+// request(NCR(R_b, seq))
+struct SnapshotRequest {
+  std::uint64_t seq = 0;
+
+  crypto::Bytes serialize() const;
+  static std::optional<SnapshotRequest> deserialize(const crypto::Bytes& b);
+};
+
+// reply(NCR(B_b, credit)) — the ISP's whole credit array.
+struct CreditReport {
+  std::uint64_t seq = 0;
+  std::vector<EPenny> credit;
+
+  crypto::Bytes serialize() const;
+  static std::optional<CreditReport> deserialize(const crypto::Bytes& b);
+};
+
+// --- Envelope helpers ---
+
+// Encrypts a payload under `key` and returns the wire bytes.
+crypto::Bytes seal(const crypto::RsaKey& key, const crypto::Bytes& plaintext,
+                   Rng& rng);
+
+// Decrypts wire bytes with the complementary key half; nullopt on any
+// malformation or MAC failure.
+std::optional<crypto::Bytes> unseal(const crypto::RsaKey& key,
+                                    const crypto::Bytes& wire);
+
+}  // namespace zmail::core

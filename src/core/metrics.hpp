@@ -1,0 +1,71 @@
+// Counters shared by the ISP and bank state machines.
+//
+// Everything the experiments measure is a counter here — the protocol code
+// has no printf-style instrumentation, only counting.
+#pragma once
+
+#include <cstdint>
+
+#include "util/money.hpp"
+
+namespace zmail::core {
+
+struct IspMetrics {
+  // Mail flow.
+  std::uint64_t emails_sent_local = 0;
+  std::uint64_t emails_sent_compliant = 0;     // paid, to other compliant ISPs
+  std::uint64_t emails_sent_noncompliant = 0;  // free, to non-compliant ISPs
+  std::uint64_t emails_received_compliant = 0;
+  std::uint64_t emails_received_noncompliant = 0;
+  std::uint64_t emails_delivered = 0;
+  std::uint64_t emails_segregated = 0;
+  std::uint64_t emails_discarded = 0;
+  std::uint64_t emails_filtered_out = 0;
+
+  // Refusals at send time.
+  std::uint64_t refused_no_balance = 0;
+  std::uint64_t refused_daily_limit = 0;
+
+  // Quiesce behaviour (Section 4.4).
+  std::uint64_t emails_buffered_during_quiesce = 0;
+  std::uint64_t snapshots_answered = 0;
+
+  // Zombie guard (Section 5).
+  std::uint64_t zombie_warnings_sent = 0;
+
+  // Mailing-list acknowledgments (Section 5).
+  std::uint64_t acks_generated = 0;
+  std::uint64_t acks_received = 0;
+
+  // Bank trade.
+  std::uint64_t bank_buys_attempted = 0;
+  std::uint64_t bank_buys_accepted = 0;
+  std::uint64_t bank_sells = 0;
+
+  // Replay / tamper rejections.
+  std::uint64_t bad_nonce_replies = 0;
+  std::uint64_t bad_envelopes = 0;
+  std::uint64_t stale_requests = 0;
+};
+
+struct BankMetrics {
+  std::uint64_t buys_received = 0;
+  std::uint64_t buys_accepted = 0;
+  std::uint64_t buys_rejected = 0;
+  std::uint64_t sells_received = 0;
+  std::uint64_t snapshot_rounds = 0;
+  std::uint64_t credit_reports_received = 0;
+  std::uint64_t inconsistent_pairs_found = 0;
+  std::uint64_t bad_envelopes = 0;
+  std::uint64_t stale_reports = 0;
+
+  // E-penny supply accounting (for the conservation invariant).
+  EPenny epennies_minted = 0;
+  EPenny epennies_burned = 0;
+
+  // Bulk-settlement ledger activity (for E5 vs per-message schemes).
+  std::uint64_t settlement_transfers = 0;
+  std::uint64_t settlement_bytes = 0;
+};
+
+}  // namespace zmail::core

@@ -1,0 +1,313 @@
+#include "core/scenario.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace zmail::core {
+
+namespace {
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+// "key=value" -> value for matching key.
+std::optional<std::string> kv(const std::vector<std::string>& args,
+                              const std::string& key) {
+  const std::string prefix = key + "=";
+  for (const auto& a : args)
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> to_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<std::pair<std::size_t, std::size_t>> parse_user_ref(
+    const std::string& token) {
+  if (token.find('@') != std::string::npos) {
+    const auto addr = net::parse_address(token);
+    if (!addr) return std::nullopt;
+    std::size_t isp = 0, user = 0;
+    if (!net::decode_user_address(*addr, isp, user)) return std::nullopt;
+    return std::make_pair(isp, user);
+  }
+  const std::size_t dot = token.find('.');
+  if (dot == std::string::npos) return std::nullopt;
+  const auto isp = to_int(token.substr(0, dot));
+  const auto user = to_int(token.substr(dot + 1));
+  if (!isp || !user || *isp < 0 || *user < 0) return std::nullopt;
+  return std::make_pair(static_cast<std::size_t>(*isp),
+                        static_cast<std::size_t>(*user));
+}
+
+std::optional<sim::Duration> parse_duration(const std::string& token) {
+  if (token.size() < 2) return std::nullopt;
+  const char suffix = token.back();
+  const auto value = to_int(token.substr(0, token.size() - 1));
+  if (!value || *value < 0) return std::nullopt;
+  switch (suffix) {
+    case 's': return *value * sim::kSecond;
+    case 'm': return *value * sim::kMinute;
+    case 'h': return *value * sim::kHour;
+    case 'd': return *value * sim::kDay;
+    default: return std::nullopt;
+  }
+}
+
+std::optional<Scenario> Scenario::parse(const std::string& text,
+                                        ScenarioError* error) {
+  auto fail = [&](std::size_t line, const std::string& msg) {
+    if (error) *error = ScenarioError{line, msg};
+    return std::nullopt;
+  };
+
+  Scenario s;
+  bool world_seen = false;
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::vector<std::string> toks = split_ws(raw);
+    if (toks.empty()) continue;
+
+    if (toks[0] == "world") {
+      if (world_seen) return fail(lineno, "duplicate world line");
+      world_seen = true;
+      const std::vector<std::string> args(toks.begin() + 1, toks.end());
+      if (const auto v = kv(args, "isps"); v && to_int(*v))
+        s.params_.n_isps = static_cast<std::size_t>(*to_int(*v));
+      if (const auto v = kv(args, "users"); v && to_int(*v))
+        s.params_.users_per_isp = static_cast<std::size_t>(*to_int(*v));
+      if (const auto v = kv(args, "balance"); v && to_int(*v))
+        s.params_.initial_user_balance = *to_int(*v);
+      if (const auto v = kv(args, "limit"); v && to_int(*v))
+        s.params_.default_daily_limit = *to_int(*v);
+      if (const auto v = kv(args, "seed"); v && to_int(*v))
+        s.seed_ = static_cast<std::uint64_t>(*to_int(*v));
+      if (const auto v = kv(args, "compliant")) {
+        if (v->size() != s.params_.n_isps)
+          return fail(lineno, "compliant mask length != isps");
+        s.params_.compliant.clear();
+        for (char c : *v) {
+          if (c != '0' && c != '1')
+            return fail(lineno, "compliant mask must be 0s and 1s");
+          s.params_.compliant.push_back(c == '1');
+        }
+      }
+      continue;
+    }
+
+    if (!world_seen) return fail(lineno, "script must start with `world`");
+    static const std::vector<std::string> kVerbs = {
+        "send", "spam", "buy",      "sell",   "run",   "day",
+        "flip", "snapshot", "expect", "print", "policy"};
+    bool known = false;
+    for (const auto& v : kVerbs) known = known || v == toks[0];
+    if (!known) return fail(lineno, "unknown command: " + toks[0]);
+
+    Command cmd;
+    cmd.line = lineno;
+    cmd.verb = toks[0];
+    cmd.args.assign(toks.begin() + 1, toks.end());
+    s.commands_.push_back(std::move(cmd));
+  }
+  if (!world_seen) return fail(0, "empty script (no world line)");
+  return s;
+}
+
+std::string ScenarioResult::output_text() const {
+  std::string out;
+  for (const auto& line : output) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+ScenarioRunner::ScenarioRunner(const Scenario& scenario)
+    : scenario_(scenario),
+      system_(std::make_unique<ZmailSystem>(scenario.params_,
+                                            scenario.seed_)) {}
+
+ScenarioResult ScenarioRunner::run() {
+  ScenarioResult result;
+  auto fail = [&](std::size_t line, const std::string& msg) {
+    result.failures.push_back(ScenarioError{line, msg});
+  };
+  auto addr = [](std::size_t isp, std::size_t user) {
+    return net::make_user_address(isp, user);
+  };
+  auto in_range = [&](const std::pair<std::size_t, std::size_t>& who) {
+    return who.first < system_->params().n_isps &&
+           who.second < system_->params().users_per_isp;
+  };
+
+  for (const auto& cmd : scenario_.commands_) {
+    ++result.commands_executed;
+    const auto& a = cmd.args;
+
+    if (cmd.verb == "send") {
+      if (a.size() < 2) {
+        fail(cmd.line, "send needs <from> <to>");
+        continue;
+      }
+      const auto from = parse_user_ref(a[0]);
+      const auto to = parse_user_ref(a[1]);
+      if (!from || !to || !in_range(*from) || !in_range(*to)) {
+        fail(cmd.line, "send: bad or out-of-range user ref");
+        continue;
+      }
+      std::string subject = "scenario";
+      for (std::size_t i = 3; i < a.size(); ++i) subject += " " + a[i];
+      if (a.size() > 2 && a[2] == "subject" && a.size() > 3)
+        subject = a[3];
+      system_->send_email(addr(from->first, from->second),
+                          addr(to->first, to->second), subject, "body");
+    } else if (cmd.verb == "spam") {
+      const auto from = a.empty() ? std::nullopt : parse_user_ref(a[0]);
+      const auto count = kv(a, "count");
+      if (!from || !count || !in_range(*from)) {
+        fail(cmd.line, "spam needs an in-range <from> and count=N");
+        continue;
+      }
+      const auto n = to_int(*count);
+      Rng rng(cmd.line * 7919 + 13);
+      for (std::int64_t k = 0; n && k < *n; ++k) {
+        const auto ti = rng.next_below(system_->params().n_isps);
+        const auto tu = rng.next_below(system_->params().users_per_isp);
+        system_->send_email(addr(from->first, from->second), addr(ti, tu),
+                            "zxoffer", "zxbuy zxnow",
+                            net::MailClass::kSpam);
+      }
+    } else if (cmd.verb == "buy" || cmd.verb == "sell") {
+      if (a.size() != 2) {
+        fail(cmd.line, cmd.verb + " needs <user> <n>");
+        continue;
+      }
+      const auto who = parse_user_ref(a[0]);
+      const auto n = to_int(a[1]);
+      if (!who || !n || !in_range(*who)) {
+        fail(cmd.line, cmd.verb + ": bad arguments");
+        continue;
+      }
+      const auto address = addr(who->first, who->second);
+      const bool ok = cmd.verb == "buy" ? system_->buy_epennies(address, *n)
+                                        : system_->sell_epennies(address, *n);
+      if (!ok) fail(cmd.line, cmd.verb + " refused");
+    } else if (cmd.verb == "run") {
+      const auto d = a.empty() ? std::nullopt : parse_duration(a[0]);
+      if (!d) {
+        fail(cmd.line, "run needs a duration like 10m");
+        continue;
+      }
+      system_->run_for(*d);
+    } else if (cmd.verb == "day") {
+      for (std::size_t i = 0; i < system_->params().n_isps; ++i)
+        if (system_->is_compliant(i)) system_->isp(i).end_of_day();
+    } else if (cmd.verb == "flip") {
+      const auto i = a.empty() ? std::nullopt : to_int(a[0]);
+      if (!i || *i < 0 ||
+          static_cast<std::size_t>(*i) >= system_->params().n_isps) {
+        fail(cmd.line, "flip needs a valid isp index");
+        continue;
+      }
+      system_->make_compliant(static_cast<std::size_t>(*i));
+    } else if (cmd.verb == "snapshot") {
+      system_->start_snapshot();
+    } else if (cmd.verb == "policy") {
+      // policy <isp> <accept|segregate|discard|filter>: how this ISP's
+      // users treat mail from non-compliant senders (per-user overrides).
+      const auto i = a.size() == 2 ? to_int(a[0]) : std::nullopt;
+      std::optional<NonCompliantPolicy> policy;
+      if (a.size() == 2) {
+        if (a[1] == "accept") policy = NonCompliantPolicy::kAccept;
+        else if (a[1] == "segregate") policy = NonCompliantPolicy::kSegregate;
+        else if (a[1] == "discard") policy = NonCompliantPolicy::kDiscard;
+        else if (a[1] == "filter") policy = NonCompliantPolicy::kFilter;
+      }
+      if (!i || *i < 0 ||
+          static_cast<std::size_t>(*i) >= system_->params().n_isps ||
+          !system_->is_compliant(static_cast<std::size_t>(*i)) || !policy) {
+        fail(cmd.line, "policy needs a compliant isp and a policy name");
+        continue;
+      }
+      Isp& isp = system_->isp(static_cast<std::size_t>(*i));
+      for (std::size_t u = 0; u < system_->params().users_per_isp; ++u)
+        isp.user(u).policy_override = *policy;
+    } else if (cmd.verb == "expect") {
+      if (a.empty()) {
+        fail(cmd.line, "empty expect");
+        continue;
+      }
+      if (a[0] == "balance" && a.size() == 3) {
+        const auto who = parse_user_ref(a[1]);
+        const auto want = to_int(a[2]);
+        if (!who || !want || !in_range(*who) ||
+            !system_->is_compliant(who->first)) {
+          fail(cmd.line, "expect balance <user> <n>");
+          continue;
+        }
+        const EPenny got =
+            system_->isp(who->first).user(who->second).balance;
+        if (got != *want) {
+          fail(cmd.line, "expect balance " + a[1] + ": got " +
+                             std::to_string(got) + ", want " + a[2]);
+        }
+      } else if (a[0] == "violations" && a.size() == 2) {
+        const auto want = to_int(a[1]);
+        const auto got = static_cast<std::int64_t>(
+            system_->bank().last_violations().size());
+        if (!want || got != *want)
+          fail(cmd.line,
+               "expect violations: got " + std::to_string(got));
+      } else if (a[0] == "conservation") {
+        if (!system_->conservation_holds())
+          fail(cmd.line, "conservation violated");
+      } else {
+        fail(cmd.line, "unknown expectation: " + a[0]);
+      }
+    } else if (cmd.verb == "print") {
+      if (!a.empty() && a[0] == "balances") {
+        for (std::size_t i = 0; i < system_->params().n_isps; ++i) {
+          if (!system_->is_compliant(i)) continue;
+          for (std::size_t u = 0; u < system_->params().users_per_isp; ++u) {
+            char line[96];
+            std::snprintf(line, sizeof line, "%s balance=%lld",
+                          net::make_user_address(i, u).str().c_str(),
+                          static_cast<long long>(
+                              system_->isp(i).user(u).balance));
+            result.output.emplace_back(line);
+          }
+        }
+      } else {
+        char line[64];
+        std::snprintf(line, sizeof line, "t=%s",
+                      sim::format_time(system_->now()).c_str());
+        result.output.emplace_back(line);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace zmail::core

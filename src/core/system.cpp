@@ -1,0 +1,340 @@
+#include "core/system.hpp"
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace zmail::core {
+
+namespace {
+// Quiesce window of Section 4.4 ("say 10 minutes").
+constexpr sim::Duration kQuiesceWindow = 10 * sim::kMinute;
+}  // namespace
+
+ZmailSystem::ZmailSystem(ZmailParams params, std::uint64_t seed)
+    : params_(std::move(params)),
+      rng_(seed),
+      seed_(seed),
+      sim_(),
+      net_(sim_, Rng(seed ^ 0x4E455455ULL), net::LatencyModel{}) {
+  const auto problems = params_.validate();
+  ZMAIL_ASSERT_MSG(problems.empty(),
+                   problems.empty() ? "" : problems.front().c_str());
+
+  bank_keys_ = crypto::generate_keypair(rng_);
+  bank_ = std::make_unique<Bank>(params_, bank_keys_, seed ^ 0xB0B0ULL);
+
+  legacy_.resize(params_.n_isps);
+  smtp_bytes_in_.assign(params_.n_isps, 0);
+  isps_.resize(params_.n_isps);
+  for (std::size_t i = 0; i < params_.n_isps; ++i) {
+    if (params_.is_compliant(i))
+      isps_[i] = std::make_unique<Isp>(i, params_, bank_keys_.pub,
+                                       seed * 0x5851F42D4C957F2DULL + i);
+    const net::HostId h = net_.add_host(
+        net::isp_domain(i),
+        [this, i](const net::Datagram& d) { on_datagram(i, d); });
+    ZMAIL_ASSERT(h == i);
+    net_.bind_domain(net::isp_domain(i), h);
+  }
+  const net::HostId bh = net_.add_host(
+      "bank.example",
+      [this](const net::Datagram& d) { on_datagram(bank_host(), d); });
+  ZMAIL_ASSERT(bh == bank_host());
+}
+
+Isp& ZmailSystem::isp(std::size_t i) {
+  ZMAIL_ASSERT_MSG(isps_.at(i) != nullptr, "ISP is non-compliant (legacy)");
+  return *isps_[i];
+}
+
+const Isp& ZmailSystem::isp(std::size_t i) const {
+  ZMAIL_ASSERT_MSG(isps_.at(i) != nullptr, "ISP is non-compliant (legacy)");
+  return *isps_[i];
+}
+
+const LegacyHostStats& ZmailSystem::legacy_stats(std::size_t i) const {
+  return legacy_.at(i).stats;
+}
+
+void ZmailSystem::set_spam_filter(
+    std::function<bool(const net::EmailMessage&)> f) {
+  for (auto& isp : isps_)
+    if (isp) isp->set_filter(f);
+}
+
+SendResult ZmailSystem::send_email(const net::EmailAddress& from,
+                                   const net::EmailAddress& to,
+                                   std::string subject, std::string body,
+                                   net::MailClass truth) {
+  return send_email(
+      net::make_email(from, to, std::move(subject), std::move(body), truth));
+}
+
+SendResult ZmailSystem::send_email(net::EmailMessage msg) {
+  // Submission timestamp for the latency sample (survives quiesce
+  // buffering; an ordinary header, so it rides plain SMTP).
+  msg.set_header("X-Zmail-Sent-At", std::to_string(sim_.now()));
+  std::size_t from_isp = 0, from_user = 0, to_isp = 0, to_user = 0;
+  ZMAIL_ASSERT_MSG(!msg.to.empty(), "message needs a recipient");
+  ZMAIL_ASSERT_MSG(
+      net::decode_user_address(msg.from, from_isp, from_user) &&
+          net::decode_user_address(msg.to.front(), to_isp, to_user),
+      "addresses must be simulated user addresses (u<k>@isp<i>.example)");
+  ZMAIL_ASSERT(from_isp < params_.n_isps && to_isp < params_.n_isps);
+
+  if (params_.is_compliant(from_isp)) {
+    const SendResult r =
+        isps_[from_isp]->user_send(from_user, to_isp, to_user, std::move(msg));
+    pump_isp(from_isp);
+    return r;
+  }
+
+  // Legacy sender: plain SMTP, free, no accounting.
+  ++legacy_[from_isp].stats.emails_sent;
+  if (to_isp == from_isp) {
+    ++legacy_[from_isp].stats.emails_received;
+    if (msg.truth == net::MailClass::kSpam)
+      ++legacy_[from_isp].stats.emails_received_spam;
+    return SendResult::kDeliveredLocally;
+  }
+  net_.send(from_isp, to_isp, kMsgEmail, msg.serialize());
+  return SendResult::kSentFree;
+}
+
+ZmailSystem::MultiSendResult ZmailSystem::send_email_multi(
+    const net::EmailMessage& msg) {
+  MultiSendResult out;
+  for (const net::EmailAddress& rcpt : msg.to) {
+    net::EmailMessage copy = msg;
+    copy.to = {rcpt};
+    switch (send_email(std::move(copy))) {
+      case SendResult::kNoBalance:
+      case SendResult::kDailyLimit:
+        ++out.refused;
+        break;
+      default:
+        ++out.sent;
+        break;
+    }
+  }
+  return out;
+}
+
+void ZmailSystem::make_compliant(std::size_t isp_index) {
+  ZMAIL_ASSERT(isp_index < params_.n_isps);
+  if (params_.is_compliant(isp_index)) return;
+  ZMAIL_ASSERT_MSG(in_flight_paid_ == 0,
+                   "flip compliance only while no paid mail is in flight");
+  // The bank flips compliant[j] and broadcasts; our shared params object
+  // makes the new array visible to every party at once.
+  if (params_.compliant.empty())
+    params_.compliant.assign(params_.n_isps, true);
+  params_.compliant[isp_index] = true;
+  isps_[isp_index] = std::make_unique<Isp>(
+      isp_index, params_, bank_keys_.pub,
+      seed_ * 0x5851F42D4C957F2DULL + isp_index + 0x9E37ULL);
+  // Join the bank's current billing period.
+  isps_[isp_index]->set_seq(bank_->seq());
+}
+
+bool ZmailSystem::buy_epennies(const net::EmailAddress& user, EPenny n) {
+  std::size_t i = 0, u = 0;
+  if (!net::decode_user_address(user, i, u) || !params_.is_compliant(i))
+    return false;
+  const bool ok = isps_[i]->user_buy(u, n);
+  pump_isp(i);
+  return ok;
+}
+
+bool ZmailSystem::sell_epennies(const net::EmailAddress& user, EPenny n) {
+  std::size_t i = 0, u = 0;
+  if (!net::decode_user_address(user, i, u) || !params_.is_compliant(i))
+    return false;
+  const bool ok = isps_[i]->user_sell(u, n);
+  pump_isp(i);
+  return ok;
+}
+
+void ZmailSystem::enable_daily_resets() {
+  sim_.schedule_every(sim::kDay, [this] {
+    for (auto& isp : isps_)
+      if (isp) isp->end_of_day();
+    return true;
+  });
+}
+
+void ZmailSystem::enable_bank_trading(sim::Duration poll) {
+  sim_.schedule_every(poll, [this] {
+    for (std::size_t i = 0; i < isps_.size(); ++i) {
+      if (!isps_[i]) continue;
+      isps_[i]->maybe_trade_with_bank();
+      pump_isp(i);
+    }
+    return true;
+  });
+}
+
+void ZmailSystem::enable_periodic_snapshots(sim::Duration period) {
+  snapshots_enabled_ = true;
+  sim_.schedule_every(period, [this] {
+    start_snapshot();
+    return true;
+  });
+}
+
+void ZmailSystem::start_snapshot() {
+  // All ISPs share one absolute report deadline.  If each ISP instead timed
+  // its own 10 minutes from request *arrival*, the earliest-served ISP
+  // would resume sending one network-latency before the latest-served ISP
+  // reports, and its first new-period email could contaminate that peer's
+  // still-open period (the timed twin of the AP resume barrier; the fuzz
+  // suite caught exactly this).  A common deadline — "everyone reports at
+  // 00:10" — removes the skew.
+  const auto requests = bank_->start_snapshot();
+  if (requests.empty()) return;
+  const sim::SimTime deadline = sim_.now() + kQuiesceWindow;
+  for (auto& [isp_index, wire] : requests) {
+    net_.send(bank_host(), isp_index, kMsgRequest, wire);
+    sim_.schedule_at(deadline, [this, i = isp_index] {
+      if (isps_[i] && isps_[i]->in_quiesce()) {
+        isps_[i]->on_quiesce_timeout();
+        pump_isp(i);
+      }
+    });
+  }
+}
+
+void ZmailSystem::run_for(sim::Duration d) { sim_.run(sim_.now() + d); }
+
+void ZmailSystem::run_until_quiet(sim::Duration max) {
+  sim_.run(sim_.now() + max);
+}
+
+void ZmailSystem::pump_isp(std::size_t i) {
+  ZMAIL_ASSERT(isps_[i] != nullptr);
+  for (Outbound& o : isps_[i]->take_outbox()) {
+    if (o.dest == Outbound::Dest::kBank) {
+      net_.send(i, bank_host(), std::move(o.type), std::move(o.payload));
+      continue;
+    }
+    if (o.type == kMsgEmail && params_.is_compliant(o.isp_index))
+      in_flight_paid_ += 1;  // the e-penny rides inside the message
+    net_.send(i, o.isp_index, std::move(o.type), std::move(o.payload));
+  }
+}
+
+void ZmailSystem::pump_all() {
+  for (std::size_t i = 0; i < isps_.size(); ++i)
+    if (isps_[i]) pump_isp(i);
+}
+
+void ZmailSystem::deliver_via_smtp(std::size_t to_isp, std::size_t from_isp,
+                                   const crypto::Bytes& payload) {
+  // Reconstruct the message and play a real SMTP dialogue into the
+  // destination host, so every inter-ISP email exercises RFC-821 framing
+  // and the byte counters reflect true protocol overhead.
+  auto msg = net::EmailMessage::deserialize(payload);
+  if (!msg) return;
+
+  std::optional<net::EmailMessage> received;
+  net::SmtpServerSession session(
+      net::isp_domain(to_isp),
+      [&received](const net::EmailMessage& m) { received = m; });
+  const net::SmtpTransferResult xfer =
+      net::smtp_transfer(*msg, net::isp_domain(from_isp), session);
+  smtp_bytes_in_.at(to_isp) +=
+      xfer.bytes_client_to_server + xfer.bytes_server_to_client;
+  if (!xfer.accepted || !received) return;
+
+  // SMTP does not carry the simulation's ground-truth label; restore it.
+  received->truth = msg->truth;
+
+  if (const auto stamp = received->header("X-Zmail-Sent-At")) {
+    try {
+      const auto sent_at = static_cast<sim::SimTime>(std::stoll(*stamp));
+      if (sent_at >= 0 && sent_at <= sim_.now())
+        latency_.add(sim::to_seconds(sim_.now() - sent_at));
+    } catch (...) {
+      // Foreign or corrupted stamp: not a latency sample.
+    }
+  }
+
+  if (isps_[to_isp]) {
+    isps_[to_isp]->on_email(from_isp, received->serialize());
+    pump_isp(to_isp);  // acknowledgments may have been generated
+  } else {
+    ++legacy_[to_isp].stats.emails_received;
+    if (received->truth == net::MailClass::kSpam)
+      ++legacy_[to_isp].stats.emails_received_spam;
+  }
+}
+
+void ZmailSystem::on_datagram(std::size_t host, const net::Datagram& d) {
+  if (host == bank_host()) {
+    const std::size_t g = d.from;
+    if (d.type == kMsgBuy) {
+      crypto::Bytes reply = bank_->on_buy(g, d.payload);
+      if (!reply.empty()) net_.send(bank_host(), g, kMsgBuyReply, reply);
+    } else if (d.type == kMsgSell) {
+      crypto::Bytes reply = bank_->on_sell(g, d.payload);
+      if (!reply.empty()) net_.send(bank_host(), g, kMsgSellReply, reply);
+    } else if (d.type == kMsgReply) {
+      bank_->on_reply(g, d.payload);
+    }
+    return;
+  }
+
+  // ISP host.
+  if (d.type == kMsgEmail) {
+    if (d.from < params_.n_isps && params_.is_compliant(d.from) &&
+        params_.is_compliant(host))
+      in_flight_paid_ -= 1;
+    deliver_via_smtp(host, d.from, d.payload);
+    return;
+  }
+  if (!isps_[host]) return;  // legacy hosts ignore protocol traffic
+  Isp& isp = *isps_[host];
+  if (d.type == kMsgBuyReply) {
+    isp.on_buyreply(d.payload);
+  } else if (d.type == kMsgSellReply) {
+    isp.on_sellreply(d.payload);
+  } else if (d.type == kMsgRequest) {
+    // The matching quiesce-timeout event was scheduled (at the round's
+    // common deadline) when the snapshot started.
+    isp.on_request(d.payload);
+  }
+  pump_isp(host);
+}
+
+EPenny ZmailSystem::total_epennies() const {
+  EPenny total = in_flight_paid_;
+  for (const auto& isp : isps_)
+    if (isp) total += isp->epennies_held() + isp->buffered_paid();
+  return total;
+}
+
+Money ZmailSystem::total_real_money() const {
+  Money total = Money::zero();
+  for (std::size_t i = 0; i < params_.n_isps; ++i) {
+    total += bank_->account(i);
+    if (!isps_[i]) continue;
+    total += isps_[i]->till();
+    for (std::size_t u = 0; u < isps_[i]->user_count(); ++u)
+      total += isps_[i]->user(u).account;
+  }
+  return total;
+}
+
+bool ZmailSystem::conservation_holds() const {
+  // Initial endowment + net minted must equal current holdings.
+  EPenny initial = 0;
+  for (std::size_t i = 0; i < params_.n_isps; ++i) {
+    if (!params_.is_compliant(i)) continue;
+    initial += params_.initial_avail +
+               static_cast<EPenny>(params_.users_per_isp) *
+                   params_.initial_user_balance;
+  }
+  return total_epennies() == initial + bank_->epennies_outstanding();
+}
+
+}  // namespace zmail::core

@@ -1,0 +1,156 @@
+// ZmailSystem — the timed, end-to-end rendition of the protocol and the
+// library's main public facade.
+//
+// It wires together:
+//   - one core::Isp per compliant ISP and a lightweight legacy host per
+//     non-compliant ISP (plain SMTP, no accounting),
+//   - the core::Bank,
+//   - a latency-modelled Network over the discrete-event Simulator,
+//   - real SMTP dialogues for every inter-ISP message (the byte counts feed
+//     the ISP-overhead experiment),
+//   - periodic machinery: daily `sent` resets, bank-trade polling, and the
+//     Section 4.4 snapshot with its 10-minute quiesce.
+//
+// Typical use (see examples/quickstart.cpp):
+//   ZmailSystem sys(params, seed);
+//   sys.enable_daily_resets();
+//   sys.send_email(addr_a, addr_b, "hi", "body");
+//   sys.run_for(sim::kHour);
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/bank.hpp"
+#include "core/config.hpp"
+#include "core/isp.hpp"
+#include "net/network.hpp"
+#include "net/smtp.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace zmail::core {
+
+// Observed state of a non-compliant (legacy, plain-SMTP) ISP.
+struct LegacyHostStats {
+  std::uint64_t emails_sent = 0;
+  std::uint64_t emails_received = 0;
+  std::uint64_t emails_received_spam = 0;  // by ground truth
+};
+
+class ZmailSystem {
+ public:
+  explicit ZmailSystem(ZmailParams params, std::uint64_t seed = 42);
+
+  // --- Mail ----------------------------------------------------------------
+  // Sends from any user (compliant or legacy) to any user.  For compliant
+  // senders this runs the full Section 4.1 action; for legacy senders the
+  // mail is free.  Returns the protocol outcome.
+  SendResult send_email(const net::EmailAddress& from,
+                        const net::EmailAddress& to, std::string subject,
+                        std::string body,
+                        net::MailClass truth = net::MailClass::kLegitimate);
+  SendResult send_email(net::EmailMessage msg);
+
+  // Multi-recipient send: one e-penny per recipient (RFC-821 RCPT fan-out
+  // with Zmail's per-receiver payment semantics).  Returns the per-outcome
+  // counts.
+  struct MultiSendResult {
+    std::size_t sent = 0;       // paid, free, buffered, or delivered locally
+    std::size_t refused = 0;    // no balance / daily limit
+  };
+  MultiSendResult send_email_multi(const net::EmailMessage& msg);
+
+  // --- User e-penny trades (Section 4.2) -----------------------------------
+  bool buy_epennies(const net::EmailAddress& user, EPenny n);
+  bool sell_epennies(const net::EmailAddress& user, EPenny n);
+
+  // --- Deployment dynamics (Section 5) --------------------------------------
+  // Flips a legacy ISP to compliant at runtime: the bank updates the
+  // published compliant array (visible to all parties immediately — the
+  // paper's broadcast) and the ISP starts running Zmail with fresh state.
+  // Must be called while no mail is in flight (e.g. between simulated
+  // days); billing-period boundaries are where real deployments would do
+  // this, and it keeps the first snapshot after the flip consistent.
+  void make_compliant(std::size_t isp_index);
+
+  // --- Periodic machinery ---------------------------------------------------
+  void enable_daily_resets();
+  void enable_bank_trading(sim::Duration poll = 5 * sim::kMinute);
+  void enable_periodic_snapshots(sim::Duration period);
+  // One snapshot round now (requests go out over the network).
+  void start_snapshot();
+
+  // --- Time ----------------------------------------------------------------
+  void run_for(sim::Duration d);
+  void run_until_quiet(sim::Duration max = 365 * sim::kDay);
+  sim::SimTime now() const { return sim_.now(); }
+  sim::Simulator& simulator() noexcept { return sim_; }
+
+  // --- Introspection ---------------------------------------------------------
+  const ZmailParams& params() const noexcept { return params_; }
+  bool is_compliant(std::size_t i) const { return params_.is_compliant(i); }
+  Isp& isp(std::size_t i);
+  const Isp& isp(std::size_t i) const;
+  Bank& bank() noexcept { return *bank_; }
+  const Bank& bank() const noexcept { return *bank_; }
+  net::Network& network() noexcept { return net_; }
+  const LegacyHostStats& legacy_stats(std::size_t i) const;
+  Rng& rng() noexcept { return rng_; }
+
+  // Per-compliant-ISP SMTP bytes processed (inbound), for E3.
+  std::uint64_t smtp_bytes_received(std::size_t isp) const {
+    return smtp_bytes_in_.at(isp);
+  }
+
+  // End-to-end delivery latency of every inter-ISP email, in seconds
+  // (submission at the sender's ISP to delivery at the recipient's ISP;
+  // includes quiesce buffering).  Populated automatically.
+  const Sample& delivery_latency() const noexcept { return latency_; }
+
+  // Spam filter used by NonCompliantPolicy::kFilter (installed on every
+  // compliant ISP).
+  void set_spam_filter(std::function<bool(const net::EmailMessage&)> f);
+
+  // --- Conservation invariants (checked by tests after run_until_quiet) ----
+  // All e-pennies everywhere: user balances + avail pools + buffered sends +
+  // e-pennies travelling inside in-flight paid emails.
+  EPenny total_epennies() const;
+  EPenny epennies_in_flight() const noexcept { return in_flight_paid_; }
+  // Σ ISP bank accounts + Σ user real-money accounts + Σ ISP tills.
+  Money total_real_money() const;
+  // True when supply equals holdings: minted - burned == total_epennies().
+  bool conservation_holds() const;
+
+ private:
+  struct LegacyHost {
+    LegacyHostStats stats;
+  };
+
+  void on_datagram(std::size_t host, const net::Datagram& d);
+  void deliver_via_smtp(std::size_t to_isp, std::size_t from_isp,
+                        const crypto::Bytes& payload);
+  void pump_isp(std::size_t i);
+  void pump_all();
+  std::size_t bank_host() const noexcept { return params_.n_isps; }
+
+  ZmailParams params_;
+  Rng rng_;
+  crypto::KeyPair bank_keys_;
+  std::uint64_t seed_;
+  sim::Simulator sim_;
+  net::Network net_;
+
+  std::vector<std::unique_ptr<Isp>> isps_;       // null for legacy slots
+  std::vector<LegacyHost> legacy_;               // indexed like isps_
+  std::unique_ptr<Bank> bank_;
+
+  std::vector<std::uint64_t> smtp_bytes_in_;
+  Sample latency_;
+  EPenny in_flight_paid_ = 0;
+  bool snapshots_enabled_ = false;
+};
+
+}  // namespace zmail::core

@@ -1,0 +1,37 @@
+// Per-user state held by an ISP (the paper's account / balance / sent /
+// limit arrays, folded into one record per user).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/config.hpp"
+#include "util/money.hpp"
+
+namespace zmail::core {
+
+struct UserAccount {
+  // Section 5: "a user in a compliant ISP may decide to segregate or
+  // discard email from non-compliant ISPs, or require any email from a
+  // non-compliant ISP to pass a spam filter."  When set, this overrides
+  // the ISP-wide default for this user.
+  std::optional<NonCompliantPolicy> policy_override;
+
+  Money account;            // real-money balance with the ISP
+  EPenny balance = 0;       // e-penny balance
+  std::int64_t sent = 0;    // paid emails sent today
+  std::int64_t limit = 0;   // max paid emails per day (zombie guard)
+
+  // Zombie-guard bookkeeping (Section 5).
+  bool blocked_today = false;   // hit the limit; outgoing mail blocked
+  std::int64_t warnings = 0;    // "check for viruses" warnings sent
+  bool quarantined = false;     // suspended after repeated warnings
+
+  // Lifetime accounting, for the zero-sum experiment (E2).
+  std::int64_t lifetime_sent = 0;
+  std::int64_t lifetime_received_paid = 0;  // deliveries that paid an e-penny
+  EPenny lifetime_epennies_bought = 0;
+  EPenny lifetime_epennies_sold = 0;
+};
+
+}  // namespace zmail::core

@@ -1,0 +1,54 @@
+// Byte-buffer helpers shared across the crypto and protocol layers.
+//
+// Protocol messages are serialized into Bytes before encryption (the paper's
+// NCR/DCR operate on opaque data items), so a tiny big-endian reader/writer
+// pair is all the wire format needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zmail::crypto {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// Big-endian primitive writers.
+void put_u8(Bytes& b, std::uint8_t v);
+void put_u32(Bytes& b, std::uint32_t v);
+void put_u64(Bytes& b, std::uint64_t v);
+void put_i64(Bytes& b, std::int64_t v);
+// Length-prefixed (u32) byte string.
+void put_bytes(Bytes& b, const Bytes& v);
+void put_string(Bytes& b, std::string_view v);
+
+// Sequential reader over a Bytes buffer.  Reads past the end abort (protocol
+// messages in the simulation are never truncated unless a test does it on
+// purpose, and those tests use `ok()`).
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& b) noexcept : data_(&b) {}
+
+  bool ok() const noexcept { return !failed_; }
+  bool at_end() const noexcept { return pos_ == data_->size(); }
+
+  std::uint8_t get_u8() noexcept;
+  std::uint32_t get_u32() noexcept;
+  std::uint64_t get_u64() noexcept;
+  std::int64_t get_i64() noexcept;
+  Bytes get_bytes() noexcept;
+  std::string get_string() noexcept;
+
+ private:
+  bool have(std::size_t n) noexcept;
+  const Bytes* data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+std::string to_hex(const Bytes& b);
+Bytes from_hex(std::string_view hex);
+Bytes from_string(std::string_view s);
+
+}  // namespace zmail::crypto

@@ -1,0 +1,37 @@
+#include "crypto/hashcash.hpp"
+
+#include "util/assert.hpp"
+
+namespace zmail::crypto {
+
+namespace {
+Digest stamp_digest(const std::string& resource, std::uint64_t counter) {
+  Bytes msg;
+  put_string(msg, resource);
+  put_u64(msg, counter);
+  return sha256(msg);
+}
+}  // namespace
+
+PowStamp pow_solve(const std::string& resource, int difficulty_bits,
+                   std::uint64_t start_counter, std::uint64_t* attempts_out) {
+  ZMAIL_ASSERT(difficulty_bits >= 0 && difficulty_bits <= 64);
+  std::uint64_t counter = start_counter;
+  std::uint64_t attempts = 0;
+  for (;;) {
+    ++attempts;
+    if (leading_zero_bits(stamp_digest(resource, counter)) >=
+        difficulty_bits) {
+      if (attempts_out) *attempts_out = attempts;
+      return PowStamp{resource, counter, difficulty_bits};
+    }
+    ++counter;
+  }
+}
+
+bool pow_verify(const PowStamp& stamp) {
+  return leading_zero_bits(stamp_digest(stamp.resource, stamp.counter)) >=
+         stamp.difficulty_bits;
+}
+
+}  // namespace zmail::crypto

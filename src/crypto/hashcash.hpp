@@ -1,0 +1,32 @@
+// Hashcash-style proof-of-work (Back, 2002).
+//
+// This is the substrate for the *computational-cost* baseline of Section 2.3
+// ("pricing via processing"): a sender must find a counter whose SHA-256
+// together with the message stamp has `difficulty_bits` leading zero bits.
+// Expected work doubles per difficulty bit, which is exactly the knob the
+// baseline bench sweeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.hpp"
+
+namespace zmail::crypto {
+
+struct PowStamp {
+  std::string resource;      // e.g. recipient address
+  std::uint64_t counter = 0; // the found solution
+  int difficulty_bits = 0;
+};
+
+// Solve a stamp for `resource` at the given difficulty; `attempts_out`, when
+// non-null, receives the number of hash evaluations performed (the "cost").
+PowStamp pow_solve(const std::string& resource, int difficulty_bits,
+                   std::uint64_t start_counter = 0,
+                   std::uint64_t* attempts_out = nullptr);
+
+// Cheap verification: a single hash.
+bool pow_verify(const PowStamp& stamp);
+
+}  // namespace zmail::crypto

@@ -1,0 +1,50 @@
+#include "crypto/hmac.hpp"
+
+namespace zmail::crypto {
+
+namespace {
+Digest hmac_impl(const Bytes& key, const std::uint8_t* msg,
+                 std::size_t len) noexcept {
+  constexpr std::size_t kBlock = 64;
+  Bytes k = key;
+  if (k.size() > kBlock) {
+    const Digest d = sha256(k);
+    k.assign(d.begin(), d.end());
+  }
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(msg, len);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finish();
+}
+}  // namespace
+
+Digest hmac_sha256(const Bytes& key, const Bytes& message) noexcept {
+  return hmac_impl(key, message.data(), message.size());
+}
+
+Digest hmac_sha256(const Bytes& key, std::string_view message) noexcept {
+  return hmac_impl(key, reinterpret_cast<const std::uint8_t*>(message.data()),
+                   message.size());
+}
+
+bool digest_equal(const Digest& a, const Digest& b) noexcept {
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  return acc == 0;
+}
+
+}  // namespace zmail::crypto

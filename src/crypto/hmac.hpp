@@ -1,0 +1,18 @@
+// HMAC-SHA256 (RFC 2104) over the from-scratch SHA-256.
+//
+// Used as the integrity tag inside Envelope and as the PRF behind NNC.
+#pragma once
+
+#include "crypto/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace zmail::crypto {
+
+Digest hmac_sha256(const Bytes& key, const Bytes& message) noexcept;
+Digest hmac_sha256(const Bytes& key, std::string_view message) noexcept;
+
+// Constant-time digest comparison (good hygiene even in a simulation; the
+// replay-resistance bench deliberately probes tag checks).
+bool digest_equal(const Digest& a, const Digest& b) noexcept;
+
+}  // namespace zmail::crypto

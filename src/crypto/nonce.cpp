@@ -1,0 +1,35 @@
+#include "crypto/nonce.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace zmail::crypto {
+
+void put_nonce(Bytes& b, const Nonce& n) {
+  put_u64(b, n.counter);
+  put_u64(b, n.prf);
+}
+
+Nonce get_nonce(ByteReader& r) {
+  Nonce n;
+  n.counter = r.get_u64();
+  n.prf = r.get_u64();
+  return n;
+}
+
+NonceGenerator::NonceGenerator(std::uint64_t secret) noexcept {
+  put_u64(secret_, secret);
+}
+
+Nonce NonceGenerator::next() noexcept {
+  Nonce n;
+  n.counter = counter_++;
+  Bytes msg;
+  put_u64(msg, n.counter);
+  const Digest d = hmac_sha256(secret_, msg);
+  std::uint64_t prf = 0;
+  for (int i = 0; i < 8; ++i) prf = (prf << 8) | d[static_cast<std::size_t>(i)];
+  n.prf = prf;
+  return n;
+}
+
+}  // namespace zmail::crypto

@@ -1,0 +1,125 @@
+#include "crypto/rsa.hpp"
+
+#include "crypto/hmac.hpp"
+#include "crypto/primes.hpp"
+#include "crypto/xtea.hpp"
+#include "util/assert.hpp"
+
+namespace zmail::crypto {
+
+KeyPair generate_keypair(zmail::Rng& rng, int modulus_bits) {
+  ZMAIL_ASSERT(modulus_bits >= 16 && modulus_bits <= 62);
+  const int half = modulus_bits / 2;
+  constexpr std::uint64_t kE = 65537;
+  for (;;) {
+    const std::uint64_t p = random_prime(rng, half);
+    const std::uint64_t q = random_prime(rng, modulus_bits - half);
+    if (p == q) continue;
+    const std::uint64_t n = p * q;
+    const std::uint64_t phi = (p - 1) * (q - 1);
+    if (gcd_u64(kE, phi) != 1) continue;
+    const std::uint64_t d = modinv(kE, phi);
+    return KeyPair{RsaKey{n, kE}, RsaKey{n, d}};
+  }
+}
+
+std::uint64_t rsa_apply(const RsaKey& key, std::uint64_t m) noexcept {
+  ZMAIL_ASSERT(m < key.n);
+  return powmod(m, key.exp, key.n);
+}
+
+Bytes Envelope::serialize() const {
+  Bytes out;
+  put_u64(out, wrapped_key1);
+  put_u64(out, wrapped_key2);
+  put_u64(out, ctr_nonce);
+  put_bytes(out, ciphertext);
+  out.insert(out.end(), mac.begin(), mac.end());
+  return out;
+}
+
+std::optional<Envelope> Envelope::deserialize(const Bytes& wire) {
+  ByteReader r(wire);
+  Envelope env;
+  env.wrapped_key1 = r.get_u64();
+  env.wrapped_key2 = r.get_u64();
+  env.ctr_nonce = r.get_u64();
+  env.ciphertext = r.get_bytes();
+  if (!r.ok()) return std::nullopt;
+  for (auto& byte : env.mac) byte = r.get_u8();
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return env;
+}
+
+namespace {
+
+// Session-key bytes from the two RSA-transported halves.
+Bytes session_key_material(std::uint64_t k1, std::uint64_t k2) {
+  Bytes material;
+  put_u64(material, k1);
+  put_u64(material, k2);
+  return material;
+}
+
+Digest envelope_mac(const Bytes& key_material, const Envelope& env) {
+  Bytes mac_input;
+  put_u64(mac_input, env.ctr_nonce);
+  put_bytes(mac_input, env.ciphertext);
+  return hmac_sha256(key_material, mac_input);
+}
+
+}  // namespace
+
+Envelope ncr(const RsaKey& key, const Bytes& plaintext, zmail::Rng& rng) {
+  ZMAIL_ASSERT(key.n > 1);
+  const std::uint64_t k1 = rng.next_below(key.n);
+  const std::uint64_t k2 = rng.next_below(key.n);
+
+  Envelope env;
+  env.wrapped_key1 = rsa_apply(key, k1);
+  env.wrapped_key2 = rsa_apply(key, k2);
+  env.ctr_nonce = rng.next_u64();
+
+  const Bytes material = session_key_material(k1, k2);
+  const XteaKey sym = xtea_key_from_bytes(material);
+  env.ciphertext = xtea_ctr(plaintext, sym, env.ctr_nonce);
+  env.mac = envelope_mac(material, env);
+  return env;
+}
+
+std::optional<Bytes> dcr(const RsaKey& key, const Envelope& env) {
+  if (key.n <= 1 || env.wrapped_key1 >= key.n || env.wrapped_key2 >= key.n)
+    return std::nullopt;
+  const std::uint64_t k1 = rsa_apply(key, env.wrapped_key1);
+  const std::uint64_t k2 = rsa_apply(key, env.wrapped_key2);
+  const Bytes material = session_key_material(k1, k2);
+  if (!digest_equal(envelope_mac(material, env), env.mac))
+    return std::nullopt;  // tampered, replay-spliced, or wrong key
+  const XteaKey sym = xtea_key_from_bytes(material);
+  return xtea_ctr(env.ciphertext, sym, env.ctr_nonce);
+}
+
+namespace {
+// Fold a digest into a value < n for textbook signing.
+std::uint64_t digest_to_residue(const Digest& d, std::uint64_t n) noexcept {
+  std::uint64_t acc = 0;
+  for (std::uint8_t byte : d)
+    acc = static_cast<std::uint64_t>(
+        ((static_cast<__uint128_t>(acc) << 8) | byte) % n);
+  return acc;
+}
+}  // namespace
+
+std::uint64_t rsa_sign(const RsaKey& priv, const Bytes& message) noexcept {
+  const Digest d = sha256(message);
+  return rsa_apply(priv, digest_to_residue(d, priv.n));
+}
+
+bool rsa_verify(const RsaKey& pub, const Bytes& message,
+                std::uint64_t signature) noexcept {
+  if (signature >= pub.n) return false;
+  const Digest d = sha256(message);
+  return rsa_apply(pub, signature) == digest_to_residue(d, pub.n);
+}
+
+}  // namespace zmail::crypto

@@ -1,0 +1,68 @@
+// RSA-style keypair and the paper's NCR/DCR operations (Section 4.3).
+//
+// The Zmail specification encrypts small protocol payloads both with the
+// bank's public key B_b (confidentiality: `buy`/`sell` requests) and with the
+// bank's private key R_b (authenticity: `buyreply`/`sellreply`/`request`).
+// We model both directions with textbook RSA over a 62-bit modulus wrapped
+// in a hybrid envelope: RSA transports a fresh session key, XTEA-CTR carries
+// the payload, and HMAC-SHA256 authenticates the whole envelope.
+//
+// The modulus is deliberately small — this is a *protocol simulation*, not a
+// production cryptosystem — but every operation (keygen, wrap, unwrap, sign,
+// verify, tamper detection) is real, so the replay/tamper experiments in
+// bench_e11 exercise genuine code paths.
+#pragma once
+
+#include <optional>
+
+#include "crypto/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "util/rng.hpp"
+
+namespace zmail::crypto {
+
+// One half of a keypair: modulus plus one exponent.  NCR with one half is
+// reversed by DCR with the complementary half.
+struct RsaKey {
+  std::uint64_t n = 0;
+  std::uint64_t exp = 0;
+
+  bool operator==(const RsaKey&) const = default;
+};
+
+struct KeyPair {
+  RsaKey pub;   // (n, e)
+  RsaKey priv;  // (n, d)
+};
+
+// Generate a keypair with two fresh `bits/2`-bit primes (default 62-bit n).
+KeyPair generate_keypair(zmail::Rng& rng, int modulus_bits = 62);
+
+// Raw textbook-RSA on a value < n.
+std::uint64_t rsa_apply(const RsaKey& key, std::uint64_t m) noexcept;
+
+// Hybrid envelope produced by NCR.
+struct Envelope {
+  std::uint64_t wrapped_key1 = 0;  // RSA-wrapped session key halves
+  std::uint64_t wrapped_key2 = 0;
+  std::uint64_t ctr_nonce = 0;
+  Bytes ciphertext;
+  Digest mac{};
+
+  Bytes serialize() const;
+  static std::optional<Envelope> deserialize(const Bytes& wire);
+};
+
+// NCR(k, d): encrypt data item d under key half k (paper notation).
+Envelope ncr(const RsaKey& key, const Bytes& plaintext, zmail::Rng& rng);
+
+// DCR(k', x): decrypt with the complementary key half; returns nullopt when
+// the MAC fails or the envelope is malformed (tampering / wrong key).
+std::optional<Bytes> dcr(const RsaKey& key, const Envelope& env);
+
+// Detached signature over a byte string: RSA on the folded SHA-256 digest.
+std::uint64_t rsa_sign(const RsaKey& priv, const Bytes& message) noexcept;
+bool rsa_verify(const RsaKey& pub, const Bytes& message,
+                std::uint64_t signature) noexcept;
+
+}  // namespace zmail::crypto

@@ -1,0 +1,68 @@
+#include "crypto/xtea.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace zmail::crypto {
+
+namespace {
+constexpr std::uint32_t kDelta = 0x9E3779B9;
+constexpr int kCycles = 32;
+}  // namespace
+
+std::uint64_t xtea_encrypt_block(std::uint64_t block,
+                                 const XteaKey& key) noexcept {
+  auto v0 = static_cast<std::uint32_t>(block >> 32);
+  auto v1 = static_cast<std::uint32_t>(block);
+  std::uint32_t sum = 0;
+  for (int i = 0; i < kCycles; ++i) {
+    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+    sum += kDelta;
+    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+  }
+  return (static_cast<std::uint64_t>(v0) << 32) | v1;
+}
+
+std::uint64_t xtea_decrypt_block(std::uint64_t block,
+                                 const XteaKey& key) noexcept {
+  auto v0 = static_cast<std::uint32_t>(block >> 32);
+  auto v1 = static_cast<std::uint32_t>(block);
+  std::uint32_t sum = kDelta * kCycles;
+  for (int i = 0; i < kCycles; ++i) {
+    v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+    sum -= kDelta;
+    v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+  }
+  return (static_cast<std::uint64_t>(v0) << 32) | v1;
+}
+
+Bytes xtea_ctr(const Bytes& data, const XteaKey& key,
+               std::uint64_t nonce) noexcept {
+  Bytes out;
+  out.reserve(data.size());
+  std::uint64_t counter = 0;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint64_t keystream =
+        xtea_encrypt_block(nonce ^ counter, key);
+    ++counter;
+    for (int b = 0; b < 8 && i < data.size(); ++b, ++i) {
+      const auto ks_byte =
+          static_cast<std::uint8_t>(keystream >> (56 - 8 * b));
+      out.push_back(static_cast<std::uint8_t>(data[i] ^ ks_byte));
+    }
+  }
+  return out;
+}
+
+XteaKey xtea_key_from_bytes(const Bytes& material) noexcept {
+  const Digest d = sha256(material);
+  XteaKey key{};
+  for (int w = 0; w < 4; ++w) {
+    std::uint32_t v = 0;
+    for (int b = 0; b < 4; ++b) v = (v << 8) | d[4 * w + b];
+    key[static_cast<std::size_t>(w)] = v;
+  }
+  return key;
+}
+
+}  // namespace zmail::crypto

@@ -1,0 +1,30 @@
+// XTEA block cipher (Needham & Wheeler) plus a CTR-mode stream.
+//
+// XTEA is small enough to implement exactly and fast enough for simulated
+// mail volumes; CTR mode turns it into the symmetric layer of the hybrid
+// NCR/DCR envelope.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/bytes.hpp"
+
+namespace zmail::crypto {
+
+using XteaKey = std::array<std::uint32_t, 4>;
+
+// One 64-bit block, 64 rounds (the standard 32 cycles).
+std::uint64_t xtea_encrypt_block(std::uint64_t block,
+                                 const XteaKey& key) noexcept;
+std::uint64_t xtea_decrypt_block(std::uint64_t block,
+                                 const XteaKey& key) noexcept;
+
+// CTR mode: encryption and decryption are the same operation.
+Bytes xtea_ctr(const Bytes& data, const XteaKey& key,
+               std::uint64_t nonce) noexcept;
+
+// Derive an XTEA key from arbitrary key material (first 16 bytes of SHA-256).
+XteaKey xtea_key_from_bytes(const Bytes& material) noexcept;
+
+}  // namespace zmail::crypto

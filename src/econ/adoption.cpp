@@ -1,0 +1,100 @@
+#include "econ/adoption.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace zmail::econ {
+
+std::vector<AdoptionStep> simulate_adoption(const AdoptionParams& p,
+                                            zmail::Rng& rng) {
+  ZMAIL_ASSERT(p.n_isps >= 2 && p.initial_compliant >= 1 &&
+               p.initial_compliant <= p.n_isps);
+
+  std::vector<bool> compliant(p.n_isps, false);
+  std::vector<double> users(p.n_isps, p.users_per_isp);
+  const double total_users = p.users_per_isp * static_cast<double>(p.n_isps);
+  for (std::size_t i = 0; i < p.initial_compliant; ++i) compliant[i] = true;
+
+  // ISPs differ in how much user loss they tolerate before flipping;
+  // heterogeneity spreads the flip cascade into the S-curve the paper
+  // sketches instead of one synchronized jump.
+  std::vector<double> flip_threshold(p.n_isps);
+  for (auto& t : flip_threshold)
+    t = p.flip_threshold * rng.uniform(0.5, 1.8);
+
+  std::vector<AdoptionStep> trace;
+  trace.reserve(p.steps + 1);
+
+  for (std::size_t step = 0; step <= p.steps; ++step) {
+    double compliant_users = 0.0;
+    std::size_t compliant_isps = 0;
+    for (std::size_t i = 0; i < p.n_isps; ++i) {
+      if (compliant[i]) {
+        compliant_users += users[i];
+        ++compliant_isps;
+      }
+    }
+    const double share = compliant_users / total_users;
+
+    // Spam exposure.  Spammers do not pay: into the compliant world, only
+    // the residual fraction leaks (Section 5 policies); the non-compliant
+    // world keeps its full dose, concentrated as spammers retarget the
+    // remaining free audience.
+    const double concentration = 1.0 / std::max(0.05, 1.0 - 0.5 * share);
+    const double spam_nc = p.spam_per_user_day * concentration;
+    const double spam_c = p.spam_per_user_day * p.residual_spam_fraction;
+
+    trace.push_back(
+        AdoptionStep{step, compliant_isps, share, spam_c, spam_nc});
+    if (step == p.steps) break;
+
+    // Utility difference (positive favors compliance).  Compliant users
+    // lose a little reachability to the shrinking non-compliant world.
+    const double u_compliant = -spam_c * p.utility_per_spam -
+                               p.reachability_weight * (1.0 - share);
+    const double u_noncompliant = -spam_nc * p.utility_per_spam;
+    const double delta = u_compliant - u_noncompliant;
+
+    // Users migrate across the compliance boundary proportionally to the
+    // utility gap, with small idiosyncratic noise per ISP.  Departures are
+    // collected first and redistributed once, so the population is
+    // conserved exactly.
+    double total_leaving = 0.0;
+    if (compliant_users > 0.0) {
+      for (std::size_t i = 0; i < p.n_isps; ++i) {
+        if (compliant[i]) continue;
+        const double noise = rng.normal(0.0, 0.1);
+        const double pressure = delta * (1.0 + noise);
+        const double leaving =
+            std::clamp(p.switch_rate * pressure, 0.0, 0.5) * users[i];
+        users[i] -= leaving;
+        total_leaving += leaving;
+      }
+      for (std::size_t j = 0; j < p.n_isps; ++j)
+        if (compliant[j])
+          users[j] += total_leaving * users[j] / compliant_users;
+    }
+
+    // ISPs flip when they have bled past their own threshold (or, rarely,
+    // early adopters jump on their own).
+    for (std::size_t i = 0; i < p.n_isps; ++i) {
+      if (compliant[i]) continue;
+      const double lost = 1.0 - users[i] / p.users_per_isp;
+      if (lost >= flip_threshold[i] ||
+          (delta > 0.0 && rng.bernoulli(0.002))) {
+        compliant[i] = true;
+      }
+    }
+  }
+  return trace;
+}
+
+std::size_t steps_to_share(const std::vector<AdoptionStep>& trace,
+                           double share) {
+  for (const auto& s : trace)
+    if (s.compliant_user_share >= share) return s.step;
+  return trace.empty() ? 0 : trace.back().step + 1;
+}
+
+}  // namespace zmail::econ

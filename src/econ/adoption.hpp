@@ -1,0 +1,65 @@
+// Incremental-deployment dynamics (paper Section 5, "Incremental
+// Deployment").
+//
+// "It can be bootstrapped with as few as two compliant ISPs ... The good
+//  experience of the users of compliant ISPs will attract more people to
+//  switch to compliant ISPs and more ISPs will therefore become compliant.
+//  Eventually, we envision that Zmail will spread over the Internet."
+//
+// The model: a population of ISPs, each with a user base.  Per step,
+// users experience spam (spammers avoid paying, so spam flows freely only
+// between/into non-compliant ISPs once compliant users segregate or discard
+// unpaid mail); users migrate toward whichever side offers higher utility;
+// an ISP flips compliant when enough of its users have defected or its
+// relative utility gap crosses a threshold.  The paper predicts positive
+// feedback: adoption accelerates as the compliant share grows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace zmail::econ {
+
+struct AdoptionParams {
+  std::size_t n_isps = 50;
+  double users_per_isp = 1e5;
+
+  // Baseline spam experienced by a non-compliant user (messages/day).
+  double spam_per_user_day = 10.0;
+  // Fraction of that spam a compliant user still sees (paid spam, or mail
+  // from non-compliant ISPs that passed the filter/segregation policy).
+  double residual_spam_fraction = 0.05;
+  // Utility penalty per spam message per day (attention cost).
+  double utility_per_spam = 0.1;
+  // Inter-ISP friction: inertia against switching providers.
+  double switch_rate = 0.02;
+  // A non-compliant ISP flips when it has lost this fraction of its users.
+  double flip_threshold = 0.25;
+  // Additional penalty for a compliant user: mail from the non-compliant
+  // world is degraded (segregated/discarded), scaled by its share.
+  double reachability_weight = 0.3;
+
+  std::size_t initial_compliant = 2;  // the paper's bootstrap
+  std::size_t steps = 200;            // simulation steps ("weeks")
+};
+
+struct AdoptionStep {
+  std::size_t step = 0;
+  std::size_t compliant_isps = 0;
+  double compliant_user_share = 0.0;  // fraction of all users on compliant ISPs
+  double avg_spam_compliant = 0.0;    // spam/day seen by a compliant user
+  double avg_spam_noncompliant = 0.0;
+};
+
+// Runs the dynamics and returns one row per step (including step 0).
+std::vector<AdoptionStep> simulate_adoption(const AdoptionParams& p,
+                                            zmail::Rng& rng);
+
+// Convenience: first step at which the compliant user share exceeds `share`
+// (returns steps+1 when never reached).
+std::size_t steps_to_share(const std::vector<AdoptionStep>& trace,
+                           double share);
+
+}  // namespace zmail::econ

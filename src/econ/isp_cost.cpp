@@ -1,0 +1,48 @@
+#include "econ/isp_cost.hpp"
+
+namespace zmail::econ {
+
+IspCostBreakdown isp_cost(const IspLoad& load, const MessageProfile& profile,
+                          const ResourcePrices& prices,
+                          double spam_stored_fraction) noexcept {
+  const double total_msgs =
+      static_cast<double>(load.legit_messages + load.spam_messages);
+  const double spam_msgs = static_cast<double>(load.spam_messages);
+  const double legit_msgs = static_cast<double>(load.legit_messages);
+
+  const double gb_per_msg = profile.avg_size_kb / (1024.0 * 1024.0);
+
+  const double bandwidth_dollars =
+      total_msgs * gb_per_msg * prices.dollars_per_gb_bandwidth;
+
+  const double stored_msgs = legit_msgs + spam_msgs * spam_stored_fraction;
+  const double storage_dollars = stored_msgs * gb_per_msg *
+                                 profile.storage_months *
+                                 prices.dollars_per_gb_month_storage;
+
+  const double cpu_hours =
+      profile.filtered ? total_msgs * profile.filter_cpu_ms / 3.6e6 : 0.0;
+  const double cpu_dollars = cpu_hours * prices.dollars_per_cpu_hour;
+
+  IspCostBreakdown out;
+  out.bandwidth = Money::from_dollars(bandwidth_dollars);
+  out.storage = Money::from_dollars(storage_dollars);
+  out.filter_cpu = Money::from_dollars(cpu_dollars);
+  out.total = out.bandwidth + out.storage + out.filter_cpu;
+
+  // Marginal spam cost: rerun with the spam removed and subtract.
+  const double bw_no_spam =
+      legit_msgs * gb_per_msg * prices.dollars_per_gb_bandwidth;
+  const double st_no_spam = legit_msgs * gb_per_msg * profile.storage_months *
+                            prices.dollars_per_gb_month_storage;
+  const double cpu_no_spam =
+      profile.filtered
+          ? legit_msgs * profile.filter_cpu_ms / 3.6e6 *
+                prices.dollars_per_cpu_hour
+          : 0.0;
+  out.attributable_to_spam =
+      out.total - Money::from_dollars(bw_no_spam + st_no_spam + cpu_no_spam);
+  return out;
+}
+
+}  // namespace zmail::econ

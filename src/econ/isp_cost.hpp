@@ -1,0 +1,54 @@
+// ISP overhead cost model (paper Section 1.2, claim 3).
+//
+// "The Zmail protocol significantly reduces spam and therefore reduces the
+//  overhead costs of ISPs by saving their disk space, bandwidth, and
+//  computational cost for running spam filters."
+//
+// Per-message resource consumption times unit prices, split by message
+// class, so benches can compare a 60%-spam SMTP world (Brightmail, April
+// 2004) against a Zmail world where the spam share collapses.
+#pragma once
+
+#include <cstdint>
+
+#include "util/money.hpp"
+
+namespace zmail::econ {
+
+using zmail::Money;
+
+struct ResourcePrices {
+  // Dollars per GB transferred / stored per month / CPU-hour, 2004-flavored.
+  double dollars_per_gb_bandwidth = 0.50;
+  double dollars_per_gb_month_storage = 2.00;
+  double dollars_per_cpu_hour = 0.40;
+};
+
+struct MessageProfile {
+  double avg_size_kb = 12.0;          // average message size
+  double storage_months = 0.5;        // average retention
+  double filter_cpu_ms = 4.0;         // content-filter CPU per message
+  bool filtered = true;               // whether a filter runs at all
+};
+
+struct IspLoad {
+  std::uint64_t legit_messages = 0;
+  std::uint64_t spam_messages = 0;
+};
+
+struct IspCostBreakdown {
+  Money bandwidth;
+  Money storage;
+  Money filter_cpu;
+  Money total;
+  Money attributable_to_spam;  // marginal cost of the spam share
+};
+
+// Cost of carrying `load`, with `profile` applied to every message.
+// Spam that is filtered out early still consumes bandwidth and filter CPU,
+// but only `spam_stored_fraction` of it incurs storage.
+IspCostBreakdown isp_cost(const IspLoad& load, const MessageProfile& profile,
+                          const ResourcePrices& prices,
+                          double spam_stored_fraction = 1.0) noexcept;
+
+}  // namespace zmail::econ

@@ -1,0 +1,51 @@
+#include "econ/legal.hpp"
+
+#include <algorithm>
+
+namespace zmail::econ {
+
+LegalOutcome evaluate_legal(const LegalParams& p) noexcept {
+  LegalOutcome out;
+
+  // A covered spammer compares three annual payoffs:
+  //   keep spamming at home:  campaigns * (profit - enforcement * fine)
+  //   relocate offshore:      campaigns * profit - relocation (year one)
+  //   quit:                   0
+  const double yearly_profit =
+      p.campaign_profit.dollars() * static_cast<double>(p.campaigns_per_year);
+  const double stay_payoff =
+      yearly_profit - p.enforcement_prob * p.fine.dollars() *
+                          static_cast<double>(p.campaigns_per_year);
+  const double move_payoff = yearly_profit - p.relocation_cost.dollars();
+
+  double stops = 0.0, moves = 0.0;
+  if (stay_payoff >= move_payoff && stay_payoff > 0.0) {
+    // The law changes nothing: staying still pays.
+    stops = 0.0;
+    moves = 0.0;
+  } else if (move_payoff > 0.0) {
+    // Enforcement bites, but relocation is cheap: spammers move, spam
+    // volume is unchanged (the paper: "a lot of spammers have already
+    // done so").
+    moves = 1.0;
+  } else {
+    // Only when both staying and moving are unprofitable does spam stop.
+    stops = 1.0;
+  }
+
+  out.covered_compliance = stops;
+  out.relocated = moves;
+  out.spam_suppressed = p.covered_origin_share * stops;
+  out.spam_change = -out.spam_suppressed;
+
+  if (p.registry) {
+    // The FTC scenario: offshore (non-compliant) spammers treat the
+    // registry as a verified-live address list.
+    const double uncovered = 1.0 - p.covered_origin_share * stops;
+    out.spam_change += uncovered * p.registry_leak_boost;
+  }
+  out.spam_change = std::max(out.spam_change, -1.0);
+  return out;
+}
+
+}  // namespace zmail::econ

@@ -1,0 +1,56 @@
+// Legal-approach baseline (paper Section 2.1).
+//
+// The paper argues legal approaches fail for two reasons: spam is hard to
+// define tightly enough to regulate, and "spammers can simply move their
+// operations to a country that has no anti-spam laws" — per the Sophos
+// figures it cites, 57.47% of spam already originated outside the U.S. in
+// August 2004, and the FTC concluded a National Do-Not-Email Registry
+// "would fail to reduce the amount of spam consumers receive, might
+// increase it, and could not be enforced effectively."
+//
+// The model: spammers are distributed over jurisdictions; a law covers some
+// jurisdictions with some enforcement probability; covered spammers either
+// comply, risk the penalty, or relocate offshore at a one-time cost.  The
+// output is the fraction of spam actually suppressed — and the registry
+// variant adds the FTC's harvesting worry (the registry doubles as a list
+// of live addresses for non-compliant spammers).
+#pragma once
+
+#include <cstdint>
+
+#include "util/money.hpp"
+#include "util/rng.hpp"
+
+namespace zmail::econ {
+
+struct LegalParams {
+  // Fraction of spam volume originating inside covered jurisdictions
+  // (paper-cited Sophos figure: 1 - 0.5747 for a U.S.-only law).
+  double covered_origin_share = 1.0 - 0.5747;
+  // Probability a covered spammer is caught and fined per campaign.
+  double enforcement_prob = 0.05;
+  Money fine = Money::from_dollars(10'000);
+  // One-time cost of relocating operations offshore.
+  Money relocation_cost = Money::from_dollars(5'000);
+  // Expected profit per campaign for a covered spammer (SMTP economics).
+  Money campaign_profit = Money::from_dollars(2'000);
+  std::uint64_t campaigns_per_year = 50;
+
+  // Registry variant: fraction of registry addresses that leak to
+  // non-compliant spammers as a verified-live list (the FTC's worry).
+  bool registry = false;
+  double registry_leak_boost = 0.10;  // extra spam to registered addresses
+};
+
+struct LegalOutcome {
+  double spam_suppressed = 0.0;   // fraction of total spam volume removed
+  double spam_change = 0.0;       // net change (negative = reduction);
+                                  // registry leakage can make it positive
+  double covered_compliance = 0.0;  // covered spammers who actually stop
+  double relocated = 0.0;           // covered spammers who move offshore
+};
+
+// Closed-form expected-value analysis of one legal regime.
+LegalOutcome evaluate_legal(const LegalParams& p) noexcept;
+
+}  // namespace zmail::econ

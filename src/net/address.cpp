@@ -1,0 +1,64 @@
+#include "net/address.hpp"
+
+#include <cctype>
+
+namespace zmail::net {
+
+namespace {
+bool valid_part(std::string_view part) noexcept {
+  if (part.empty()) return false;
+  for (char c : part) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isalnum(u) || c == '.' || c == '-' || c == '_' || c == '+')
+      continue;
+    return false;
+  }
+  // Dots must not lead, trail, or double.
+  if (part.front() == '.' || part.back() == '.') return false;
+  for (std::size_t i = 1; i < part.size(); ++i)
+    if (part[i] == '.' && part[i - 1] == '.') return false;
+  return true;
+}
+}  // namespace
+
+std::optional<EmailAddress> parse_address(std::string_view s) {
+  const std::size_t at = s.find('@');
+  if (at == std::string_view::npos) return std::nullopt;
+  if (s.find('@', at + 1) != std::string_view::npos) return std::nullopt;
+  EmailAddress a{std::string(s.substr(0, at)), std::string(s.substr(at + 1))};
+  if (!valid_part(a.local) || !valid_part(a.domain)) return std::nullopt;
+  return a;
+}
+
+std::optional<EmailAddress> parse_path(std::string_view s) {
+  if (s.size() < 2 || s.front() != '<' || s.back() != '>')
+    return std::nullopt;
+  return parse_address(s.substr(1, s.size() - 2));
+}
+
+EmailAddress make_user_address(std::size_t isp_index, std::size_t user_index) {
+  return EmailAddress{"u" + std::to_string(user_index),
+                      isp_domain(isp_index)};
+}
+
+std::string isp_domain(std::size_t isp_index) {
+  return "isp" + std::to_string(isp_index) + ".example";
+}
+
+bool decode_user_address(const EmailAddress& a, std::size_t& isp_index,
+                         std::size_t& user_index) {
+  if (a.local.size() < 2 || a.local[0] != 'u') return false;
+  if (a.domain.size() < 12 || a.domain.substr(0, 3) != "isp") return false;
+  const std::size_t dot = a.domain.find('.');
+  if (dot == std::string::npos || a.domain.substr(dot) != ".example")
+    return false;
+  try {
+    user_index = std::stoul(a.local.substr(1));
+    isp_index = std::stoul(a.domain.substr(3, dot - 3));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace zmail::net

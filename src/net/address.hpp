@@ -1,0 +1,43 @@
+// Email addresses: `local@domain` with RFC-821-ish validation.
+//
+// In the simulation a domain names an ISP ("isp3.example") and a local part
+// names a user within it ("u17"); the MX directory resolves domains to
+// simulated hosts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace zmail::net {
+
+struct EmailAddress {
+  std::string local;
+  std::string domain;
+
+  std::string str() const { return local + "@" + domain; }
+
+  bool operator==(const EmailAddress&) const = default;
+  auto operator<=>(const EmailAddress&) const = default;
+};
+
+// Parses "local@domain"; rejects empty parts, whitespace, angle brackets and
+// a second '@'.  Returns nullopt on malformed input.
+std::optional<EmailAddress> parse_address(std::string_view s);
+
+// Parses the bracketed form used in SMTP paths: "<local@domain>".
+std::optional<EmailAddress> parse_path(std::string_view s);
+
+// Convenience constructor for simulated populations: user `u` at ISP `i`.
+EmailAddress make_user_address(std::size_t isp_index, std::size_t user_index);
+
+// The reverse mapping; returns false if the address is not of the simulated
+// "u<k>@isp<i>.example" shape.
+bool decode_user_address(const EmailAddress& a, std::size_t& isp_index,
+                         std::size_t& user_index);
+
+// Domain of the simulated ISP `i`.
+std::string isp_domain(std::size_t isp_index);
+
+}  // namespace zmail::net

@@ -1,0 +1,67 @@
+// Email message model: SMTP envelope plus RFC-822-ish headers and body.
+//
+// Zmail rides on ordinary mail (Section 1.3: "Zmail can be implemented on
+// top of the existing SMTP email protocol.  Zmail requires no change to
+// SMTP."), so the message model carries optional Zmail annotations as plain
+// `X-Zmail-*` headers — non-compliant software simply ignores them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+#include "net/address.hpp"
+
+namespace zmail::net {
+
+// Email categories used by workload generators and filter baselines.  The
+// category is ground truth for measuring filter errors; it never influences
+// protocol behaviour (the paper: "Zmail requires no definition of what is
+// and is not spam").
+enum class MailClass : std::uint8_t {
+  kLegitimate = 0,
+  kSpam,
+  kNewsletter,   // solicited bulk (the classic false-positive victim)
+  kMailingList,
+  kAcknowledgment,  // Zmail mailing-list e-penny return (Section 5)
+  kVirus,
+};
+
+std::string_view mail_class_name(MailClass c) noexcept;
+
+struct EmailMessage {
+  EmailAddress from;               // envelope sender (MAIL FROM)
+  std::vector<EmailAddress> to;    // envelope recipients (RCPT TO)
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  // Simulation ground truth; carried out-of-band, not on the wire.
+  MailClass truth = MailClass::kLegitimate;
+
+  // Header access (first match; header names compare case-insensitively).
+  std::optional<std::string> header(std::string_view name) const;
+  void set_header(std::string_view name, std::string_view value);
+
+  std::string subject() const { return header("Subject").value_or(""); }
+
+  // Approximate on-the-wire size in bytes (envelope + headers + body).
+  std::size_t wire_size() const noexcept;
+
+  // RFC-822-style text: headers, blank line, dot-stuffed body NOT applied
+  // (dot-stuffing happens in the SMTP layer).
+  std::string to_rfc822() const;
+
+  // Binary serialization for channel payloads.
+  crypto::Bytes serialize() const;
+  static std::optional<EmailMessage> deserialize(const crypto::Bytes& wire);
+};
+
+// Builds a plain message with standard headers filled in.
+EmailMessage make_email(const EmailAddress& from, const EmailAddress& to,
+                        std::string subject, std::string body,
+                        MailClass truth = MailClass::kLegitimate);
+
+}  // namespace zmail::net

@@ -1,0 +1,47 @@
+#include "net/network.hpp"
+
+#include "util/assert.hpp"
+
+namespace zmail::net {
+
+Network::Network(sim::Simulator& simulator, Rng rng, LatencyModel latency)
+    : sim_(simulator), rng_(rng), latency_(latency) {}
+
+HostId Network::add_host(std::string name, HandlerFn handler) {
+  ZMAIL_ASSERT(handler != nullptr);
+  hosts_.push_back(Host{std::move(name), std::move(handler), {}});
+  bytes_to_.push_back(0);
+  return hosts_.size() - 1;
+}
+
+void Network::bind_domain(const std::string& domain, HostId host) {
+  ZMAIL_ASSERT(host < hosts_.size());
+  mx_[domain] = host;
+}
+
+HostId Network::resolve(const std::string& domain) const {
+  const auto it = mx_.find(domain);
+  return it == mx_.end() ? kNoHost : it->second;
+}
+
+void Network::send(HostId from, HostId to, std::string type,
+                   crypto::Bytes payload) {
+  ZMAIL_ASSERT(from < hosts_.size() && to < hosts_.size());
+  const std::size_t size = payload.size() + type.size() + 16;
+  ++datagrams_;
+  bytes_ += size;
+  bytes_to_[to] += size;
+
+  sim::SimTime deliver_at = sim_.now() + latency_.sample(rng_);
+  // Enforce per-(from,to) FIFO: never deliver before an earlier datagram.
+  auto& last = hosts_[to].last_delivery[from];
+  if (deliver_at <= last) deliver_at = last + 1;
+  last = deliver_at;
+
+  Datagram d{std::move(type), std::move(payload), from, to};
+  sim_.schedule_at(deliver_at, [this, to, d = std::move(d)]() mutable {
+    hosts_[to].handler(d);
+  });
+}
+
+}  // namespace zmail::net

@@ -1,0 +1,86 @@
+// Simulated host-to-host network with latency, bound to the event simulator.
+//
+// Hosts (ISP mail servers, the bank) register a handler for named datagrams;
+// `send` schedules delivery after a sampled latency.  Delivery is reliable
+// and per-pair FIFO (matching the AP channel abstraction); the byte counters
+// feed the ISP-overhead experiment (E3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace zmail::net {
+
+using HostId = std::size_t;
+constexpr HostId kNoHost = static_cast<HostId>(-1);
+
+struct Datagram {
+  std::string type;
+  crypto::Bytes payload;
+  HostId from = kNoHost;
+  HostId to = kNoHost;
+};
+
+// Latency model: base plus exponential jitter.
+struct LatencyModel {
+  sim::Duration base = 20 * sim::kMillisecond;
+  sim::Duration jitter_mean = 10 * sim::kMillisecond;
+
+  sim::Duration sample(Rng& rng) const {
+    return base + sim::from_seconds(
+                      rng.exponential(1.0 / sim::to_seconds(jitter_mean)));
+  }
+};
+
+class Network {
+ public:
+  using HandlerFn = std::function<void(const Datagram&)>;
+
+  Network(sim::Simulator& simulator, Rng rng,
+          LatencyModel latency = LatencyModel{});
+
+  // Registers a host; the handler runs at delivery time.
+  HostId add_host(std::string name, HandlerFn handler);
+
+  // Reliable, latency-delayed, per-pair FIFO delivery.
+  void send(HostId from, HostId to, std::string type, crypto::Bytes payload);
+
+  // MX-style name resolution (domain -> host).
+  void bind_domain(const std::string& domain, HostId host);
+  HostId resolve(const std::string& domain) const;
+
+  std::size_t host_count() const noexcept { return hosts_.size(); }
+  const std::string& host_name(HostId h) const { return hosts_.at(h).name; }
+
+  std::uint64_t datagrams_sent() const noexcept { return datagrams_; }
+  std::uint64_t bytes_sent() const noexcept { return bytes_; }
+  std::uint64_t bytes_sent_to(HostId h) const {
+    return bytes_to_.at(h);
+  }
+
+ private:
+  struct Host {
+    std::string name;
+    HandlerFn handler;
+    // Last scheduled delivery per sender, to preserve FIFO under jitter.
+    std::map<HostId, sim::SimTime> last_delivery;
+  };
+
+  sim::Simulator& sim_;
+  Rng rng_;
+  LatencyModel latency_;
+  std::vector<Host> hosts_;
+  std::map<std::string, HostId> mx_;
+  std::uint64_t datagrams_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::vector<std::uint64_t> bytes_to_;
+};
+
+}  // namespace zmail::net

@@ -1,0 +1,244 @@
+#include "net/smtp.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace zmail::net {
+
+namespace {
+
+// Case-insensitive prefix match; returns the remainder after the prefix.
+std::optional<std::string> strip_prefix_ci(const std::string& line,
+                                           std::string_view prefix) {
+  if (line.size() < prefix.size()) return std::nullopt;
+  for (std::size_t i = 0; i < prefix.size(); ++i)
+    if (std::toupper(static_cast<unsigned char>(line[i])) !=
+        std::toupper(static_cast<unsigned char>(prefix[i])))
+      return std::nullopt;
+  return line.substr(prefix.size());
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+SmtpServerSession::SmtpServerSession(std::string server_domain,
+                                     DeliverFn deliver)
+    : domain_(std::move(server_domain)), deliver_(std::move(deliver)) {
+  ZMAIL_ASSERT(deliver_ != nullptr);
+}
+
+SmtpReply SmtpServerSession::greeting() const {
+  return {220, domain_ + " Simple Mail Transfer Service Ready"};
+}
+
+void SmtpServerSession::reset_transaction() {
+  envelope_from_ = {};
+  envelope_to_.clear();
+  data_lines_.clear();
+  data_bytes_ = 0;
+  if (state_ != State::kConnected) state_ = State::kGreeted;
+}
+
+SmtpReply SmtpServerSession::consume_line(const std::string& line) {
+  if (state_ == State::kData) {
+    if (line == ".") {
+      EmailMessage msg =
+          parse_rfc822(envelope_from_, envelope_to_, data_lines_);
+      deliver_(msg);
+      ++accepted_;
+      reset_transaction();
+      return {250, "OK"};
+    }
+    // Reverse dot-stuffing: a leading ".." becomes ".".
+    if (line.size() >= 2 && line[0] == '.' && line[1] == '.')
+      data_lines_.push_back(line.substr(1));
+    else
+      data_lines_.push_back(line);
+    data_bytes_ += line.size() + 2;
+    if (max_size_ > 0 && data_bytes_ > max_size_) {
+      reset_transaction();
+      return {552, "Message exceeds maximum size"};
+    }
+    return {0, ""};
+  }
+  return handle_command(line);
+}
+
+SmtpReply SmtpServerSession::handle_command(const std::string& line) {
+  if (auto rest = strip_prefix_ci(line, "HELO");
+      rest || (rest = strip_prefix_ci(line, "EHLO"))) {
+    if (trim(*rest).empty()) return {501, "Syntax: HELO hostname"};
+    reset_transaction();
+    state_ = State::kGreeted;
+    return {250, domain_ + " Hello " + trim(*rest)};
+  }
+  if (auto rest = strip_prefix_ci(line, "MAIL FROM:")) {
+    if (state_ == State::kConnected) return {503, "Polite people say HELO first"};
+    if (state_ != State::kGreeted) return {503, "Nested MAIL command"};
+    // Optional RFC-1870 SIZE parameter: "MAIL FROM:<a@b> SIZE=12345".
+    std::string spec = trim(*rest);
+    const std::size_t space = spec.find(' ');
+    if (space != std::string::npos) {
+      const std::string param = trim(spec.substr(space + 1));
+      spec = spec.substr(0, space);
+      if (auto size = strip_prefix_ci(param, "SIZE=")) {
+        char* end = nullptr;
+        const unsigned long long declared =
+            std::strtoull(size->c_str(), &end, 10);
+        if (end == size->c_str() || *end != '\0')
+          return {501, "Bad SIZE parameter"};
+        if (max_size_ > 0 && declared > max_size_)
+          return {552, "Message size exceeds fixed maximum"};
+      } else {
+        return {501, "Unrecognized MAIL parameter"};
+      }
+    }
+    auto addr = parse_path(spec);
+    if (!addr) return {501, "Syntax error in MAIL FROM path"};
+    envelope_from_ = *addr;
+    state_ = State::kMailFrom;
+    return {250, "OK"};
+  }
+  if (auto rest = strip_prefix_ci(line, "RCPT TO:")) {
+    if (state_ != State::kMailFrom && state_ != State::kRcptTo)
+      return {503, "Need MAIL command first"};
+    auto addr = parse_path(trim(*rest));
+    if (!addr) return {501, "Syntax error in RCPT TO path"};
+    if (verify_ && addr->domain == domain_ && !verify_(*addr))
+      return {550, "No such user here"};
+    envelope_to_.push_back(*addr);
+    state_ = State::kRcptTo;
+    return {250, "OK"};
+  }
+  if (auto rest = strip_prefix_ci(line, "VRFY")) {
+    const std::string who = trim(*rest);
+    if (who.empty()) return {501, "VRFY needs an address"};
+    const auto addr = parse_address(who);
+    if (!addr) return {501, "Syntax error in address"};
+    if (!verify_) return {252, "Cannot VRFY user, but will accept message"};
+    return verify_(*addr) ? SmtpReply{250, addr->str()}
+                          : SmtpReply{550, "No such user here"};
+  }
+  if (strip_prefix_ci(line, "HELP")) {
+    return {214, "Commands: HELO MAIL RCPT DATA RSET NOOP VRFY HELP QUIT"};
+  }
+  if (strip_prefix_ci(line, "DATA") && trim(line).size() == 4) {
+    if (state_ != State::kRcptTo)
+      return {503, "Need RCPT before DATA"};
+    state_ = State::kData;
+    return {354, "Start mail input; end with <CRLF>.<CRLF>"};
+  }
+  if (strip_prefix_ci(line, "RSET") && trim(line).size() == 4) {
+    reset_transaction();
+    return {250, "OK"};
+  }
+  if (strip_prefix_ci(line, "NOOP")) return {250, "OK"};
+  if (strip_prefix_ci(line, "QUIT")) {
+    quit_ = true;
+    return {221, domain_ + " Service closing transmission channel"};
+  }
+  return {500, "Syntax error, command unrecognized"};
+}
+
+std::vector<std::string> smtp_client_script(const EmailMessage& msg,
+                                            const std::string& client_domain) {
+  std::vector<std::string> lines;
+  lines.push_back("HELO " + client_domain);
+  lines.push_back("MAIL FROM:<" + msg.from.str() + ">");
+  for (const auto& r : msg.to) lines.push_back("RCPT TO:<" + r.str() + ">");
+  lines.push_back("DATA");
+
+  // Render headers + body as individual lines with dot-stuffing.
+  std::string text = msg.to_rfc822();
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty() && current[0] == '.')
+      lines.push_back("." + current);  // dot-stuffing
+    else
+      lines.push_back(current);
+    current.clear();
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\r' && i + 1 < text.size() && text[i + 1] == '\n') {
+      flush();
+      ++i;
+    } else if (text[i] == '\n') {
+      flush();
+    } else {
+      current += text[i];
+    }
+  }
+  if (!current.empty()) flush();
+
+  lines.push_back(".");
+  lines.push_back("QUIT");
+  return lines;
+}
+
+SmtpTransferResult smtp_transfer(const EmailMessage& msg,
+                                 const std::string& client_domain,
+                                 SmtpServerSession& server) {
+  SmtpTransferResult result;
+  const SmtpReply greet = server.greeting();
+  result.bytes_server_to_client += greet.line().size();
+  if (!greet.positive()) {
+    result.first_error_code = greet.code;
+    return result;
+  }
+
+  bool data_accepted = false;
+  for (const auto& line : smtp_client_script(msg, client_domain)) {
+    result.bytes_client_to_server += line.size() + 2;  // + CRLF
+    const SmtpReply reply = server.consume_line(line);
+    if (reply.code == 0) continue;  // swallowed data line
+    result.bytes_server_to_client += reply.line().size();
+    if (!reply.positive()) {
+      if (result.first_error_code == 0) result.first_error_code = reply.code;
+      return result;
+    }
+    if (line == "." && reply.code == 250) data_accepted = true;
+  }
+  result.accepted = data_accepted;
+  return result;
+}
+
+EmailMessage parse_rfc822(const EmailAddress& envelope_from,
+                          const std::vector<EmailAddress>& envelope_to,
+                          const std::vector<std::string>& lines) {
+  EmailMessage msg;
+  msg.from = envelope_from;
+  msg.to = envelope_to;
+  std::size_t i = 0;
+  for (; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (line.empty()) {
+      ++i;
+      break;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;  // tolerate malformed headers
+    std::string key = trim(line.substr(0, colon));
+    std::string value = trim(line.substr(colon + 1));
+    // From:/To: duplicate the envelope in this simulation; keep the rest.
+    if (key == "From" || key == "To") continue;
+    msg.headers.emplace_back(std::move(key), std::move(value));
+  }
+  std::string body;
+  for (; i < lines.size(); ++i) {
+    body += lines[i];
+    body += '\n';
+  }
+  if (!body.empty() && body.back() == '\n') body.pop_back();
+  msg.body = std::move(body);
+  return msg;
+}
+
+}  // namespace zmail::net

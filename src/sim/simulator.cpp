@@ -1,0 +1,67 @@
+#include "sim/simulator.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace zmail::sim {
+
+std::string format_time(SimTime t) {
+  const std::int64_t days = t / kDay;
+  t %= kDay;
+  const std::int64_t hours = t / kHour;
+  t %= kHour;
+  const std::int64_t minutes = t / kMinute;
+  t %= kMinute;
+  const std::int64_t seconds = t / kSecond;
+  const std::int64_t millis = (t % kSecond) / kMillisecond;
+  char buf[64];
+  std::snprintf(buf, sizeof buf,
+                "%" PRId64 "d %02" PRId64 ":%02" PRId64 ":%02" PRId64
+                ".%03" PRId64,
+                days, hours, minutes, seconds, millis);
+  return buf;
+}
+
+void Simulator::schedule_at(SimTime at, EventFn fn) {
+  ZMAIL_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_after(Duration delay, EventFn fn) {
+  ZMAIL_ASSERT(delay >= 0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_every(Duration period, std::function<bool()> fn,
+                               SimTime first) {
+  ZMAIL_ASSERT(period > 0);
+  const SimTime start = first >= 0 ? first : now_ + period;
+  auto task = std::make_shared<RecurringTask>(RecurringTask{period, std::move(fn)});
+  schedule_at(start, [this, task] { run_recurring(task); });
+}
+
+void Simulator::run_recurring(const std::shared_ptr<RecurringTask>& task) {
+  if (task->fn()) schedule_after(task->period, [this, task] { run_recurring(task); });
+}
+
+bool Simulator::step(SimTime until) {
+  if (queue_.empty() || queue_.top().at > until) return false;
+  Event e = queue_.top();
+  queue_.pop();
+  now_ = e.at;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+std::uint64_t Simulator::run(SimTime until) {
+  std::uint64_t n = 0;
+  while (step(until)) ++n;
+  // When a finite horizon was requested, the clock advances to it even if
+  // the queue drained early; an open-ended run leaves the clock at the last
+  // event.
+  if (until != INT64_MAX && now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace zmail::sim

@@ -1,0 +1,74 @@
+// Discrete-event simulator: a priority queue of timestamped callbacks.
+//
+// The AP scheduler models *untimed* nondeterministic interleaving (good for
+// protocol safety properties); this simulator models *timed* behaviour —
+// network latency, the 10-minute snapshot quiesce of Section 4.4, daily
+// `sent` resets, monthly reconciliation — for the quantitative experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace zmail::sim {
+
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  SimTime now() const noexcept { return now_; }
+
+  // Schedule `fn` to run at absolute time `at` (>= now).  Ties break in
+  // insertion order, so the run is deterministic.
+  void schedule_at(SimTime at, EventFn fn);
+  // Schedule `fn` after a relative delay (>= 0).
+  void schedule_after(Duration delay, EventFn fn);
+
+  // Schedule `fn` every `period`, starting at `first` (defaults to one
+  // period from now).  The callback receives no arguments; cancel by
+  // returning false from the supplied predicate variant.
+  void schedule_every(Duration period, std::function<bool()> fn,
+                      SimTime first = -1);
+
+  // Run until the queue drains or `until` (inclusive) is passed.
+  // Returns the number of events executed.
+  std::uint64_t run(SimTime until = INT64_MAX);
+
+  // Execute exactly one event; returns false if the queue is empty or the
+  // next event is after `until`.
+  bool step(SimTime until = INT64_MAX);
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+ private:
+  struct RecurringTask {
+    Duration period;
+    std::function<bool()> fn;
+  };
+  void run_recurring(const std::shared_ptr<RecurringTask>& task);
+
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace zmail::sim

@@ -1,0 +1,34 @@
+// Virtual time for the discrete-event simulator.
+//
+// Time is measured in integral microseconds so that scheduling is exact and
+// deterministic; helpers construct the durations the paper mentions
+// (10-minute snapshot quiesce, daily `sent` resets, monthly billing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace zmail::sim {
+
+// Microseconds since simulation start.
+using SimTime = std::int64_t;
+using Duration = std::int64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1'000 * kMicrosecond;
+constexpr Duration kSecond = 1'000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+constexpr Duration kHour = 60 * kMinute;
+constexpr Duration kDay = 24 * kHour;
+
+constexpr double to_seconds(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr Duration from_seconds(double s) noexcept {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+// "3d 04:05:06.123" style rendering for example programs.
+std::string format_time(SimTime t);
+
+}  // namespace zmail::sim

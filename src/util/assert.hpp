@@ -1,0 +1,30 @@
+// Lightweight always-on assertion macro.
+//
+// Protocol code in this library checks its invariants in every build type:
+// the whole point of reproducing a protocol paper is that the invariants
+// hold, so silently compiling the checks out in release defeats the purpose.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace zmail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "ZMAIL_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace zmail
+
+#define ZMAIL_ASSERT(expr)                                        \
+  do {                                                            \
+    if (!(expr)) ::zmail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define ZMAIL_ASSERT_MSG(expr, msg)                               \
+  do {                                                            \
+    if (!(expr)) ::zmail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

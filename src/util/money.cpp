@@ -1,0 +1,30 @@
+#include "util/money.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace zmail {
+
+std::string Money::str() const {
+  const bool neg = micros_ < 0;
+  const std::int64_t abs = neg ? -micros_ : micros_;
+  const std::int64_t whole = abs / kMicrosPerDollar;
+  std::int64_t frac = abs % kMicrosPerDollar;
+  char buf[64];
+  if (frac == 0) {
+    std::snprintf(buf, sizeof buf, "%s$%" PRId64, neg ? "-" : "", whole);
+    return buf;
+  }
+  // Use as many decimals as needed (2, 4, or 6) to render exactly.
+  int digits = 6;
+  while (digits > 2 && frac % 10 == 0) {
+    frac /= 10;
+    --digits;
+  }
+  std::snprintf(buf, sizeof buf, "%s$%" PRId64 ".%0*" PRId64, neg ? "-" : "",
+                whole, digits, frac);
+  return buf;
+}
+
+}  // namespace zmail

@@ -1,0 +1,98 @@
+// Fixed-point money arithmetic.
+//
+// Zmail's accounting (Section 4 of the paper) moves two currencies around:
+// real money (dollars, held in `account` arrays) and e-pennies (held in
+// `balance`/`avail`).  E-pennies are integral by construction.  Real money is
+// represented in micro-dollars (1e-6 USD) as a strong type so that dollars
+// and e-pennies can never be silently mixed; the exchange rate lives in one
+// place (`Money::from_epennies`, at the paper's $0.01 per e-penny).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace zmail {
+
+// Count of e-pennies.  Signed so that per-peer `credit` bookkeeping (which
+// legitimately goes negative) reuses the same type.
+using EPenny = std::int64_t;
+
+// Real money in micro-dollars, as a value type with checked arithmetic.
+class Money {
+ public:
+  static constexpr std::int64_t kMicrosPerDollar = 1'000'000;
+  // The paper's simplifying assumption: one e-penny costs $0.01.
+  static constexpr std::int64_t kMicrosPerEPenny = kMicrosPerDollar / 100;
+
+  constexpr Money() noexcept = default;
+
+  static constexpr Money from_micros(std::int64_t micros) noexcept {
+    return Money(micros);
+  }
+  static constexpr Money from_dollars(double dollars) noexcept {
+    return Money(static_cast<std::int64_t>(
+        dollars * static_cast<double>(kMicrosPerDollar) +
+        (dollars >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr Money from_cents(std::int64_t cents) noexcept {
+    return Money(cents * (kMicrosPerDollar / 100));
+  }
+  static constexpr Money from_epennies(EPenny n) noexcept {
+    return Money(n * kMicrosPerEPenny);
+  }
+  static constexpr Money zero() noexcept { return Money(0); }
+
+  constexpr std::int64_t micros() const noexcept { return micros_; }
+  constexpr double dollars() const noexcept {
+    return static_cast<double>(micros_) / kMicrosPerDollar;
+  }
+  // Whole e-pennies purchasable with this amount (floor).
+  constexpr EPenny whole_epennies() const noexcept {
+    return micros_ / kMicrosPerEPenny;
+  }
+
+  constexpr bool is_zero() const noexcept { return micros_ == 0; }
+  constexpr bool is_negative() const noexcept { return micros_ < 0; }
+
+  constexpr Money operator+(Money o) const noexcept {
+    return Money(micros_ + o.micros_);
+  }
+  constexpr Money operator-(Money o) const noexcept {
+    return Money(micros_ - o.micros_);
+  }
+  constexpr Money operator-() const noexcept { return Money(-micros_); }
+  constexpr Money operator*(std::int64_t k) const noexcept {
+    return Money(micros_ * k);
+  }
+  // Disambiguates integer literals against the double overload.
+  constexpr Money operator*(int k) const noexcept {
+    return *this * static_cast<std::int64_t>(k);
+  }
+  Money operator*(double k) const noexcept {
+    return Money(static_cast<std::int64_t>(static_cast<double>(micros_) * k +
+                                           (micros_ >= 0 ? 0.5 : -0.5)));
+  }
+  constexpr Money& operator+=(Money o) noexcept {
+    micros_ += o.micros_;
+    return *this;
+  }
+  constexpr Money& operator-=(Money o) noexcept {
+    micros_ -= o.micros_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Money&) const noexcept = default;
+
+  // "$12.34" / "-$0.000150" style rendering; trims to the needed precision.
+  std::string str() const;
+
+ private:
+  constexpr explicit Money(std::int64_t micros) noexcept : micros_(micros) {}
+  std::int64_t micros_ = 0;
+};
+
+constexpr Money operator*(std::int64_t k, Money m) noexcept { return m * k; }
+
+}  // namespace zmail

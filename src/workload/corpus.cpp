@@ -1,0 +1,116 @@
+#include "workload/corpus.hpp"
+
+#include <cctype>
+
+namespace zmail::workload {
+
+CorpusGenerator::CorpusGenerator(const CorpusParams& params, zmail::Rng rng)
+    : params_(params), rng_(rng) {}
+
+std::string CorpusGenerator::token(bool spam_vocab, std::uint64_t rank) const {
+  // Deterministic synthetic words: prefix encodes the vocabulary, the rank
+  // is spelled in letters so tokenization round-trips.
+  std::string word = spam_vocab ? "zx" : "w";
+  std::uint64_t v = rank;
+  do {
+    word += static_cast<char>('a' + (v % 26));
+    v /= 26;
+  } while (v > 0);
+  return word;
+}
+
+bool CorpusGenerator::is_spam_token(const std::string& t) const {
+  return t.size() >= 2 && t[0] == 'z' && t[1] == 'x';
+}
+
+std::string CorpusGenerator::draw_body(double spam_fraction) {
+  std::string body;
+  for (std::size_t i = 0; i < params_.tokens_per_message; ++i) {
+    const bool spam_vocab = rng_.bernoulli(spam_fraction);
+    const std::uint64_t vocab =
+        spam_vocab ? params_.spam_vocab : params_.ham_vocab;
+    const std::uint64_t rank = rng_.zipf(vocab, params_.zipf_exponent) - 1;
+    if (!body.empty()) body += ' ';
+    body += token(spam_vocab, rank);
+  }
+  return body;
+}
+
+std::string CorpusGenerator::ham_body() { return draw_body(0.0); }
+
+std::string CorpusGenerator::spam_body() {
+  return draw_body(1.0 - params_.spam_ham_mix);
+}
+
+std::string CorpusGenerator::newsletter_body() {
+  return draw_body(params_.newsletter_spam_mix);
+}
+
+std::string CorpusGenerator::evade(const std::string& body, double strength) {
+  // Obfuscate spam-vocabulary tokens: "zx..." -> "z-x..." / char swaps,
+  // producing tokens the filter has never seen (the paper's "se><" trick).
+  std::string out;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty() && is_spam_token(current) &&
+        rng_.bernoulli(strength)) {
+      // Replace a letter with a lookalike symbol, splitting the token.
+      std::string mangled = current;
+      const std::size_t pos = 2 + rng_.next_below(mangled.size() - 2);
+      mangled[pos] = '0';  // digit breaks the learned token
+      out += mangled;
+    } else {
+      out += current;
+    }
+    current.clear();
+  };
+  for (char c : body) {
+    if (c == ' ') {
+      flush();
+      out += ' ';
+    } else {
+      current += c;
+    }
+  }
+  flush();
+  return out;
+}
+
+net::EmailMessage CorpusGenerator::make_message(const net::EmailAddress& from,
+                                                const net::EmailAddress& to,
+                                                net::MailClass cls) {
+  std::string subject, body;
+  switch (cls) {
+    case net::MailClass::kSpam:
+      subject = "zxgreat zxoffer " + token(true, rng_.next_below(30));
+      body = spam_body();
+      break;
+    case net::MailClass::kNewsletter:
+      subject = "weekly wnews zxdeal";
+      body = newsletter_body();
+      break;
+    default:
+      subject = "wmeeting wnotes";
+      body = ham_body();
+      break;
+  }
+  return net::make_email(from, to, subject, body, cls);
+}
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) {
+      current += static_cast<char>(std::tolower(u));
+    } else if (!current.empty()) {
+      if (current.size() >= 2) tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (current.size() >= 2) tokens.push_back(current);
+  return tokens;
+}
+
+}  // namespace zmail::workload

@@ -1,0 +1,92 @@
+// Traffic generators that drive a ZmailSystem.
+//
+// Two populations from the paper's Section 1.2 discussion:
+//   - normal users, whose send/receive volumes are roughly balanced in
+//     aggregate (lognormal daily rates, recipients drawn from a contact
+//     mixture of local and remote users), and
+//   - spammers, who blast large unsolicited campaigns at the whole
+//     population.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.hpp"
+#include "workload/corpus.hpp"
+
+namespace zmail::workload {
+
+struct TrafficParams {
+  double mean_sends_per_user_day = 8.0;
+  double lognormal_sigma = 0.8;     // heterogeneity in user activity
+  double local_recipient_prob = 0.3;  // same-ISP recipients
+  std::size_t contacts_per_user = 12;
+
+  // Diurnal shaping: when true, send times follow a sinusoidal day profile
+  // (peak mid-afternoon, trough in the small hours) instead of uniform.
+  bool diurnal = false;
+  double diurnal_amplitude = 0.8;  // 0 = flat, 1 = trough reaches zero
+  double peak_hour = 14.0;         // local time of maximum intensity
+
+  // Recipient popularity: when > 0, contacts are drawn with a Zipf
+  // distribution over user index (low indices are celebrities) instead of
+  // uniformly.
+  double zipf_popularity = 0.0;
+};
+
+// Generates one simulated day of normal traffic on `system` by scheduling
+// send events at random offsets within the day.  Returns messages queued.
+class TrafficGenerator {
+ public:
+  TrafficGenerator(core::ZmailSystem& system, const TrafficParams& params,
+                   CorpusGenerator& corpus, zmail::Rng rng);
+
+  // Builds the (static) contact graph; call once.
+  void build_contacts();
+
+  // Schedules a full day's sends starting at the current simulation time.
+  // Returns the number of send events scheduled.
+  std::size_t schedule_day();
+
+  // Immediately performs `count` sends from random users (no scheduling).
+  std::size_t burst(std::size_t count);
+
+ private:
+  struct UserRef {
+    std::size_t isp;
+    std::size_t user;
+  };
+  UserRef pick_recipient(const UserRef& sender);
+  void do_send(const UserRef& from, const UserRef& to);
+  std::size_t pick_contact_user();
+  sim::Duration sample_day_offset();
+
+  core::ZmailSystem& system_;
+  TrafficParams params_;
+  CorpusGenerator& corpus_;
+  zmail::Rng rng_;
+  // contacts_[isp][user] -> contact list
+  std::vector<std::vector<std::vector<UserRef>>> contacts_;
+};
+
+struct SpamCampaignParams {
+  std::size_t spammer_isp = 0;
+  std::size_t spammer_user = 0;
+  std::size_t messages = 1'000;
+  double evade_strength = 0.0;  // misspelling obfuscation for filter tests
+  bool spread_over_day = false;
+};
+
+struct SpamCampaignResult {
+  std::size_t attempted = 0;
+  std::size_t sent = 0;           // accepted by the sender's ISP
+  std::size_t refused_balance = 0;
+  std::size_t refused_limit = 0;
+};
+
+// Fires a spam campaign at uniformly random recipients across the system.
+SpamCampaignResult run_spam_campaign(core::ZmailSystem& system,
+                                     const SpamCampaignParams& params,
+                                     CorpusGenerator& corpus, zmail::Rng& rng);
+
+}  // namespace zmail::workload

@@ -1,0 +1,253 @@
+#include "core/federation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/isp.hpp"
+
+namespace zmail::core {
+namespace {
+
+ZmailParams fed_params(std::size_t n = 6) {
+  ZmailParams p;
+  p.n_isps = n;
+  p.users_per_isp = 2;
+  return p;
+}
+
+class FederationTest : public ::testing::Test {
+ protected:
+  // Drives a full snapshot round through real Isp state machines that seal
+  // to their home banks' keys.
+  void run_round(BankFederation& fed, std::vector<Isp>& isps) {
+    for (auto& [idx, wire] : fed.start_snapshot()) {
+      isps[idx].on_request(wire);
+      isps[idx].on_quiesce_timeout();
+      for (const Outbound& o : isps[idx].take_outbox())
+        if (o.type == kMsgReply) fed.on_reply(idx, o.payload);
+    }
+  }
+
+  ZmailParams params_ = fed_params();
+};
+
+TEST_F(FederationTest, HomeBankAssignmentIsRoundRobin) {
+  BankFederation fed(params_, 3, 1);
+  EXPECT_EQ(fed.home_bank(0), 0u);
+  EXPECT_EQ(fed.home_bank(1), 1u);
+  EXPECT_EQ(fed.home_bank(2), 2u);
+  EXPECT_EQ(fed.home_bank(3), 0u);
+  EXPECT_EQ(fed.bank_count(), 3u);
+}
+
+TEST_F(FederationTest, SingleBankDegeneratesToCentralBank) {
+  BankFederation fed(params_, 1, 2);
+  for (std::size_t i = 0; i < params_.n_isps; ++i)
+    EXPECT_EQ(fed.home_bank(i), 0u);
+  EXPECT_EQ(fed.metrics().interbank_messages, 0u);
+}
+
+TEST_F(FederationTest, BanksHaveDistinctKeys) {
+  BankFederation fed(params_, 3, 3);
+  EXPECT_NE(fed.bank_keys(0).pub.n, fed.bank_keys(1).pub.n);
+  EXPECT_NE(fed.bank_keys(1).pub.n, fed.bank_keys(2).pub.n);
+  EXPECT_EQ(fed.public_key_for(4).n, fed.bank_keys(1).pub.n);  // 4 % 3 == 1
+}
+
+TEST_F(FederationTest, BuySellRoutedToHomeBank) {
+  BankFederation fed(params_, 2, 4);
+  ZmailParams p2 = params_;
+  p2.minavail = 50;
+  p2.maxavail = 200;
+  Isp isp2(3, p2, fed.public_key_for(3), 7);  // home bank 1
+  isp2.set_avail(10);
+  isp2.maybe_trade_with_bank();
+  crypto::Bytes reply;
+  for (const Outbound& o : isp2.take_outbox())
+    reply = fed.on_buy(3, o.payload);
+  ASSERT_FALSE(reply.empty());
+  isp2.on_buyreply(reply);
+  EXPECT_EQ(isp2.avail(), 200);
+  EXPECT_EQ(fed.isp_account(3), params_.initial_isp_bank_account -
+                                    Money::from_epennies(190));
+  EXPECT_EQ(fed.metrics().epennies_minted, 190);
+}
+
+TEST_F(FederationTest, BuySealedToWrongBankRejected) {
+  BankFederation fed(params_, 2, 5);
+  ZmailParams p2 = params_;
+  p2.minavail = 50;
+  // ISP 3's home bank is 1, but it seals to bank 0's key.
+  Isp wrong(3, p2, fed.bank_keys(0).pub, 8);
+  wrong.set_avail(10);
+  wrong.maybe_trade_with_bank();
+  for (const Outbound& o : wrong.take_outbox())
+    EXPECT_TRUE(fed.on_buy(3, o.payload).empty());
+}
+
+TEST_F(FederationTest, CleanRoundAcrossBanks) {
+  BankFederation fed(params_, 3, 6);
+  std::vector<Isp> isps;
+  isps.reserve(params_.n_isps);
+  for (std::size_t i = 0; i < params_.n_isps; ++i)
+    isps.emplace_back(i, params_, fed.public_key_for(i), 100 + i);
+
+  // Cross-bank mail: 0 (bank0) -> 1 (bank1) x3; 1 -> 5 (bank2) x2.
+  for (int k = 0; k < 3; ++k)
+    isps[0].user_send(0, 1, 0, net::make_email(net::make_user_address(0, 0),
+                                               net::make_user_address(1, 0),
+                                               "s", "b"));
+  for (const Outbound& o : isps[0].take_outbox())
+    isps[1].on_email(0, o.payload);
+  for (int k = 0; k < 2; ++k)
+    isps[1].user_send(0, 5, 0, net::make_email(net::make_user_address(1, 0),
+                                               net::make_user_address(5, 0),
+                                               "s", "b"));
+  for (const Outbound& o : isps[1].take_outbox())
+    isps[5].on_email(1, o.payload);
+
+  run_round(fed, isps);
+  EXPECT_FALSE(fed.round_open());
+  EXPECT_TRUE(fed.last_violations().empty());
+  EXPECT_EQ(fed.metrics().rounds_completed, 1u);
+  EXPECT_EQ(fed.seq(), 1u);
+
+  // Settlement: 0 paid 1 three e-pennies; 1 paid 5 two.
+  EXPECT_EQ(fed.isp_account(0),
+            params_.initial_isp_bank_account - Money::from_epennies(3));
+  EXPECT_EQ(fed.isp_account(1),
+            params_.initial_isp_bank_account + Money::from_epennies(1));
+  EXPECT_EQ(fed.isp_account(5),
+            params_.initial_isp_bank_account + Money::from_epennies(2));
+  EXPECT_EQ(fed.metrics().settlements_cross_bank, 2u);
+  EXPECT_EQ(fed.metrics().settlements_intra_bank, 0u);
+}
+
+TEST_F(FederationTest, ClearingPositionsNetToZero) {
+  BankFederation fed(params_, 3, 7);
+  std::vector<Isp> isps;
+  for (std::size_t i = 0; i < params_.n_isps; ++i)
+    isps.emplace_back(i, params_, fed.public_key_for(i), 200 + i);
+  // A messy flow pattern.
+  auto mail_between = [&](std::size_t a, std::size_t b, int k) {
+    for (int m = 0; m < k; ++m) {
+      isps[a].user_send(0, b, 0,
+                        net::make_email(net::make_user_address(a, 0),
+                                        net::make_user_address(b, 0), "s",
+                                        "b"));
+    }
+    for (const Outbound& o : isps[a].take_outbox())
+      isps[b].on_email(a, o.payload);
+  };
+  mail_between(0, 4, 5);
+  mail_between(4, 2, 3);
+  mail_between(2, 0, 1);
+  mail_between(1, 3, 7);
+
+  run_round(fed, isps);
+  EXPECT_TRUE(fed.last_violations().empty());
+  Money net = Money::zero();
+  for (std::size_t b = 0; b < 3; ++b) net += fed.clearing_position(b);
+  EXPECT_TRUE(net.is_zero());
+  EXPECT_GT(fed.metrics().clearing_transfers, 0u);
+}
+
+TEST_F(FederationTest, CrossBankCheatDetected) {
+  BankFederation fed(params_, 2, 8);
+  std::vector<Isp> isps;
+  for (std::size_t i = 0; i < params_.n_isps; ++i)
+    isps.emplace_back(i, params_, fed.public_key_for(i), 300 + i);
+  isps[0].set_misbehavior(Isp::Misbehavior::kFreeRide);
+  // 0 (bank 0) free-rides mail to 1 (bank 1).
+  for (int k = 0; k < 4; ++k)
+    isps[0].user_send(0, 1, 0, net::make_email(net::make_user_address(0, 0),
+                                               net::make_user_address(1, 0),
+                                               "s", "b"));
+  for (const Outbound& o : isps[0].take_outbox())
+    isps[1].on_email(0, o.payload);
+
+  run_round(fed, isps);
+  ASSERT_EQ(fed.last_violations().size(), 1u);
+  EXPECT_EQ(fed.last_violations()[0].isp_i, 0u);
+  EXPECT_EQ(fed.last_violations()[0].isp_j, 1u);
+  EXPECT_EQ(fed.last_violations()[0].discrepancy, -4);
+  // The disputed pair is not settled.
+  EXPECT_EQ(fed.isp_account(1), params_.initial_isp_bank_account);
+}
+
+TEST_F(FederationTest, InterbankTrafficScalesWithBanks) {
+  std::uint64_t msgs2 = 0, msgs4 = 0;
+  for (std::size_t n_banks : {2u, 4u}) {
+    ZmailParams p = fed_params(8);
+    BankFederation fed(p, n_banks, 9);
+    std::vector<Isp> isps;
+    for (std::size_t i = 0; i < p.n_isps; ++i)
+      isps.emplace_back(i, p, fed.public_key_for(i), 400 + i);
+    std::vector<Isp>& ref = isps;
+    for (auto& [idx, wire] : fed.start_snapshot()) {
+      ref[idx].on_request(wire);
+      ref[idx].on_quiesce_timeout();
+      for (const Outbound& o : ref[idx].take_outbox())
+        if (o.type == kMsgReply) fed.on_reply(idx, o.payload);
+    }
+    if (n_banks == 2) msgs2 = fed.metrics().interbank_messages;
+    if (n_banks == 4) msgs4 = fed.metrics().interbank_messages;
+  }
+  EXPECT_EQ(msgs2, 2u);   // 2 * 1
+  EXPECT_EQ(msgs4, 12u);  // 4 * 3
+}
+
+TEST_F(FederationTest, PartialComplianceSkipsLegacyIsps) {
+  ZmailParams p = fed_params(6);
+  p.compliant = {true, true, false, true, false, true};
+  BankFederation fed(p, 2, 11);
+  std::vector<Isp> isps;
+  for (std::size_t i = 0; i < p.n_isps; ++i)
+    isps.emplace_back(i, p, fed.public_key_for(i), 600 + i);
+  const auto requests = fed.start_snapshot();
+  EXPECT_EQ(requests.size(), 4u);  // only the compliant four
+  for (auto& [idx, wire] : requests) {
+    isps[idx].on_request(wire);
+    isps[idx].on_quiesce_timeout();
+    for (const Outbound& o : isps[idx].take_outbox())
+      if (o.type == kMsgReply) fed.on_reply(idx, o.payload);
+  }
+  EXPECT_FALSE(fed.round_open());
+  EXPECT_TRUE(fed.last_violations().empty());
+}
+
+TEST_F(FederationTest, GarbageWireIgnoredEverywhere) {
+  BankFederation fed(params_, 2, 12);
+  EXPECT_TRUE(fed.on_buy(0, {1, 2, 3}).empty());
+  EXPECT_TRUE(fed.on_sell(1, {}).empty());
+  fed.start_snapshot();
+  fed.on_reply(0, {0xFF, 0xEE});
+  EXPECT_TRUE(fed.round_open());  // nothing counted
+}
+
+TEST_F(FederationTest, StaleAndDuplicateRepliesIgnored) {
+  BankFederation fed(params_, 2, 10);
+  std::vector<Isp> isps;
+  for (std::size_t i = 0; i < params_.n_isps; ++i)
+    isps.emplace_back(i, params_, fed.public_key_for(i), 500 + i);
+
+  auto requests = fed.start_snapshot();
+  // ISP 0 replies twice (duplicate); others once.
+  crypto::Bytes first_report;
+  for (auto& [idx, wire] : requests) {
+    isps[idx].on_request(wire);
+    isps[idx].on_quiesce_timeout();
+    for (const Outbound& o : isps[idx].take_outbox()) {
+      if (o.type != kMsgReply) continue;
+      fed.on_reply(idx, o.payload);
+      if (idx == 0) first_report = o.payload;
+    }
+  }
+  EXPECT_FALSE(fed.round_open());
+  const std::uint64_t reports = fed.metrics().reports_received;
+  fed.on_reply(0, first_report);  // replay after the round closed
+  EXPECT_EQ(fed.metrics().reports_received, reports);
+  EXPECT_EQ(fed.metrics().rounds_completed, 1u);
+}
+
+}  // namespace
+}  // namespace zmail::core

@@ -1,0 +1,188 @@
+// Failure injection and randomized fuzzing of the protocol surfaces.
+//
+// Two layers:
+//   1. wire fuzz — every handler that accepts bytes from the network is
+//      fed random garbage, truncations, and bit-flipped real messages; it
+//      must never crash and never change monetary state;
+//   2. operation fuzz — long random sequences of API operations (sends,
+//      trades, snapshots, day rollovers, compliance flips, quiesces) with
+//      the global invariants checked throughout.
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+namespace zmail::core {
+namespace {
+
+net::EmailAddress user(std::size_t i, std::size_t u) {
+  return net::make_user_address(i, u);
+}
+
+// --- Layer 1: wire fuzz -------------------------------------------------------
+
+class WireFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzzTest, GarbageNeverCrashesOrMovesMoney) {
+  Rng rng(GetParam());
+  ZmailParams p;
+  p.n_isps = 2;
+  p.users_per_isp = 2;
+  Rng key_rng(GetParam() ^ 0xFF);
+  const crypto::KeyPair keys = crypto::generate_keypair(key_rng);
+  Isp isp(0, p, keys.pub, 5);
+  Bank bank(p, keys, 6);
+
+  const EPenny isp_held = isp.epennies_held();
+  const Money bank_account = bank.account(0);
+
+  for (int i = 0; i < 300; ++i) {
+    crypto::Bytes junk(rng.next_below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_u64());
+    switch (rng.next_below(6)) {
+      case 0: isp.on_email(1, junk); break;
+      case 1: isp.on_buyreply(junk); break;
+      case 2: isp.on_sellreply(junk); break;
+      case 3: isp.on_request(junk); break;
+      case 4: (void)bank.on_buy(0, junk); break;
+      case 5: bank.on_reply(0, junk); break;
+    }
+  }
+  EXPECT_EQ(isp.epennies_held(), isp_held);
+  EXPECT_EQ(bank.account(0), bank_account);
+  EXPECT_FALSE(isp.in_quiesce());
+  EXPECT_GT(isp.metrics().bad_envelopes, 0u);
+}
+
+TEST_P(WireFuzzTest, BitFlippedRealMessagesRejected) {
+  Rng rng(GetParam() + 1'000);
+  ZmailParams p;
+  p.n_isps = 2;
+  p.users_per_isp = 2;
+  p.minavail = 50;
+  p.maxavail = 200;
+  Rng key_rng(GetParam() ^ 0xAA);
+  const crypto::KeyPair keys = crypto::generate_keypair(key_rng);
+  Isp isp(0, p, keys.pub, 7);
+  Bank bank(p, keys, 8);
+
+  // Produce one real buy, capture its reply, then flip bits in copies.
+  isp.set_avail(10);
+  isp.maybe_trade_with_bank();
+  crypto::Bytes reply;
+  for (const Outbound& o : isp.take_outbox()) reply = bank.on_buy(0, o.payload);
+  ASSERT_FALSE(reply.empty());
+
+  for (int i = 0; i < 200; ++i) {
+    crypto::Bytes mutated = reply;
+    const std::size_t byte = rng.next_below(mutated.size());
+    mutated[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    isp.on_buyreply(mutated);
+    EXPECT_EQ(isp.avail(), 10) << "tampered reply changed state";
+  }
+  // The pristine reply still works exactly once afterwards.
+  isp.on_buyreply(reply);
+  EXPECT_EQ(isp.avail(), 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+// --- Layer 2: operation fuzz ---------------------------------------------------
+
+class OpFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OpFuzzTest, InvariantsSurviveRandomOperationSequences) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  ZmailParams p;
+  p.n_isps = 4;
+  p.users_per_isp = 5;
+  p.initial_user_balance = 60;
+  p.default_daily_limit = 40;
+  p.minavail = 200;
+  p.maxavail = 2'000;
+  p.initial_avail = 1'000;
+  p.compliant = {true, true, true, false};
+  ZmailSystem sys(p, seed);
+  Money money_total = sys.total_real_money();
+
+  auto random_user = [&](bool compliant_only) {
+    for (;;) {
+      const std::size_t i = rng.next_below(p.n_isps);
+      if (compliant_only && !sys.is_compliant(i)) continue;
+      return user(i, rng.next_below(p.users_per_isp));
+    }
+  };
+
+  for (int op = 0; op < 400; ++op) {
+    switch (rng.next_below(10)) {
+      case 0:
+      case 1:
+      case 2:  // plain send (any sender)
+        sys.send_email(random_user(false), random_user(false), "f", "b",
+                       rng.bernoulli(0.2) ? net::MailClass::kSpam
+                                          : net::MailClass::kLegitimate);
+        break;
+      case 3: {  // multi-recipient send
+        net::EmailMessage msg = net::make_email(random_user(false),
+                                                random_user(false), "m", "b");
+        msg.to.push_back(random_user(false));
+        msg.to.push_back(random_user(false));
+        sys.send_email_multi(msg);
+        break;
+      }
+      case 4:
+        sys.buy_epennies(random_user(true), rng.uniform_int(1, 30));
+        break;
+      case 5:
+        sys.sell_epennies(random_user(true), rng.uniform_int(1, 30));
+        break;
+      case 6:  // short idle
+        sys.run_for(static_cast<sim::Duration>(
+            rng.next_below(static_cast<std::uint64_t>(sim::kMinute))));
+        break;
+      case 7:  // snapshot (possibly overlapping quiesce windows)
+        sys.start_snapshot();
+        sys.run_for(rng.bernoulli(0.5) ? 15 * sim::kMinute : sim::kMinute);
+        break;
+      case 8:  // day rollover
+        for (std::size_t i = 0; i < p.n_isps; ++i)
+          if (sys.is_compliant(i)) sys.isp(i).end_of_day();
+        break;
+      case 9:  // drain fully, then occasionally flip the legacy ISP
+        sys.run_for(30 * sim::kMinute);
+        if (!sys.is_compliant(3) && sys.epennies_in_flight() == 0 &&
+            rng.bernoulli(0.3)) {
+          sys.make_compliant(3);
+          // The flip brings ISP 3's users' real-money accounts (and its
+          // till) into the measured economy.
+          money_total = sys.total_real_money();
+        }
+        break;
+    }
+
+    // Cheap invariants on every step.
+    for (std::size_t i = 0; i < p.n_isps; ++i) {
+      if (!sys.is_compliant(i)) continue;
+      ASSERT_GE(sys.isp(i).avail(), 0) << "seed " << seed << " op " << op;
+      for (std::size_t u = 0; u < p.users_per_isp; ++u)
+        ASSERT_GE(sys.isp(i).user(u).balance, 0)
+            << "seed " << seed << " op " << op;
+    }
+  }
+
+  // Full drain, then the global invariants.
+  sys.run_for(2 * sim::kHour);
+  EXPECT_EQ(sys.epennies_in_flight(), 0) << "seed " << seed;
+  EXPECT_TRUE(sys.conservation_holds()) << "seed " << seed;
+  EXPECT_EQ(sys.total_real_money(), money_total) << "seed " << seed;
+  EXPECT_EQ(sys.bank().metrics().inconsistent_pairs_found, 0u)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpFuzzTest,
+                         ::testing::Range<std::uint64_t>(10, 26));
+
+}  // namespace
+}  // namespace zmail::core

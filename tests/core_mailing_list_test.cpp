@@ -1,0 +1,207 @@
+#include "core/mailing_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zmail::core {
+namespace {
+
+ZmailParams list_params() {
+  ZmailParams p;
+  p.n_isps = 3;
+  p.users_per_isp = 10;
+  p.initial_user_balance = 100;
+  p.default_daily_limit = 1'000;
+  return p;
+}
+
+net::EmailAddress user(std::size_t i, std::size_t u) {
+  return net::make_user_address(i, u);
+}
+
+class MailingListTest : public ::testing::Test {
+ protected:
+  MailingListTest() : sys_(list_params(), 21), list_(sys_, user(0, 0), "dev") {
+    // Subscribers across all three ISPs, skipping the distributor.
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t u = 0; u < 5; ++u)
+        if (!(i == 0 && u == 0)) list_.subscribe(user(i, u));
+  }
+
+  ZmailSystem sys_;
+  MailingList list_;
+};
+
+TEST_F(MailingListTest, PostReachesEveryActiveSubscriber) {
+  const std::size_t sent = list_.post("release", "v1.0 is out");
+  EXPECT_EQ(sent, 14u);
+  sys_.run_for(sim::kHour);
+  ASSERT_EQ(sys_.isp(1).inbox(0).size(), 1u);
+  EXPECT_EQ(sys_.isp(1).inbox(0)[0].msg.subject(), "[dev] release");
+}
+
+TEST_F(MailingListTest, AcknowledgmentsReturnEveryEPenny) {
+  const EPenny before = sys_.isp(0).user(0).balance;
+  list_.post("n1", "b");
+  sys_.run_for(sim::kHour);
+  list_.reconcile_and_prune();
+  // Every subscriber's ISP acknowledged: distributor net cost is zero.
+  EXPECT_EQ(list_.net_epenny_cost(), 0);
+  EXPECT_EQ(sys_.isp(0).user(0).balance, before);
+  EXPECT_TRUE(sys_.conservation_holds());
+}
+
+TEST_F(MailingListTest, WithoutAcksDistributorPaysFullFreight) {
+  ZmailParams p = list_params();
+  p.auto_acknowledge_lists = false;
+  ZmailSystem sys(p, 22);
+  MailingList list(sys, user(0, 0), "dev");
+  for (std::size_t u = 1; u < 6; ++u) list.subscribe(user(1, u));
+  const EPenny before = sys.isp(0).user(0).balance;
+  list.post("n", "b");
+  sys.run_for(sim::kHour);
+  EXPECT_EQ(sys.isp(0).user(0).balance, before - 5);
+  EXPECT_EQ(list.net_epenny_cost(), 5);
+}
+
+TEST_F(MailingListTest, DeadSubscribersArePruned) {
+  // ISP 2 stops acknowledging (its users' mailboxes are dead).
+  ZmailParams p = list_params();
+  ZmailSystem sys(p, 23);
+  MailingList list(sys, user(0, 0), "dev", /*prune_after=*/2);
+  for (std::size_t u = 1; u < 4; ++u) list.subscribe(user(1, u));
+  for (std::size_t u = 0; u < 3; ++u) list.subscribe(user(2, u));
+  // Disable acks only on ISP 2 by swapping its params... simplest: make
+  // ISP 2 non-compliant so its deliveries never generate acks.
+  // (Non-compliant receivers don't run Zmail at all.)
+  ZmailParams p2 = list_params();
+  p2.compliant = {true, true, false};
+  ZmailSystem sys2(p2, 24);
+  MailingList list2(sys2, user(0, 0), "dev", 2);
+  for (std::size_t u = 1; u < 4; ++u) list2.subscribe(user(1, u));
+  for (std::size_t u = 0; u < 3; ++u) list2.subscribe(user(2, u));
+
+  EXPECT_EQ(list2.active_subscribers(), 6u);
+  for (int post = 0; post < 2; ++post) {
+    list2.post("n", "b");
+    sys2.run_for(sim::kHour);
+  }
+  const std::size_t pruned = list2.reconcile_and_prune();
+  EXPECT_EQ(pruned, 3u);  // the three silent ISP-2 subscribers
+  EXPECT_EQ(list2.active_subscribers(), 3u);
+  // Next post only goes to live subscribers.
+  EXPECT_EQ(list2.post("n2", "b"), 3u);
+}
+
+TEST_F(MailingListTest, UnsubscribeStopsDelivery) {
+  EXPECT_TRUE(list_.unsubscribe(user(1, 1)));
+  EXPECT_FALSE(list_.unsubscribe(user(1, 1)));  // already inactive
+  const std::size_t sent = list_.post("n", "b");
+  EXPECT_EQ(sent, 13u);
+  sys_.run_for(sim::kHour);
+  EXPECT_TRUE(sys_.isp(1).inbox(1).empty());
+}
+
+TEST_F(MailingListTest, ResubscribeReactivates) {
+  list_.unsubscribe(user(1, 1));
+  list_.subscribe(user(1, 1));
+  EXPECT_EQ(list_.active_subscribers(), 14u);
+}
+
+TEST_F(MailingListTest, PostsAreCounted) {
+  list_.post("a", "1");
+  list_.post("b", "2");
+  EXPECT_EQ(list_.posts(), 2u);
+}
+
+// --- Moderation (paper: moderated vs unmoderated distributors) -------------
+
+TEST_F(MailingListTest, UnmoderatedSubmissionDistributesImmediately) {
+  EXPECT_TRUE(list_.submit(user(1, 1), "from the floor", "hello all"));
+  EXPECT_TRUE(list_.pending().empty());
+  EXPECT_EQ(list_.posts(), 1u);
+  sys_.run_for(sim::kHour);
+  // The submission email itself reached the distributor's inbox.
+  bool saw_submission = false;
+  for (const auto& d : sys_.isp(0).inbox(0))
+    if (d.msg.subject() == "[dev-submit] from the floor") saw_submission = true;
+  EXPECT_TRUE(saw_submission);
+}
+
+TEST_F(MailingListTest, NonSubscriberCannotSubmit) {
+  EXPECT_FALSE(list_.submit(user(2, 9), "intruder", "spam"));
+  EXPECT_EQ(list_.posts(), 0u);
+}
+
+class ModeratedListTest : public ::testing::Test {
+ protected:
+  ModeratedListTest()
+      : sys_(list_params(), 31),
+        list_(sys_, user(0, 0), "dev", 3, ListMode::kModerated) {
+    for (std::size_t u = 1; u < 6; ++u) list_.subscribe(user(1, u));
+  }
+  ZmailSystem sys_;
+  MailingList list_;
+};
+
+TEST_F(ModeratedListTest, SubmissionQueuesForApproval) {
+  EXPECT_TRUE(list_.submit(user(1, 1), "pending", "body"));
+  ASSERT_EQ(list_.pending().size(), 1u);
+  EXPECT_EQ(list_.pending()[0].subject, "pending");
+  EXPECT_EQ(list_.posts(), 0u);  // not distributed yet
+}
+
+TEST_F(ModeratedListTest, ApprovalDistributes) {
+  list_.submit(user(1, 1), "ok", "body");
+  const std::uint64_t id = list_.pending()[0].id;
+  EXPECT_TRUE(list_.approve(id));
+  EXPECT_TRUE(list_.pending().empty());
+  EXPECT_EQ(list_.posts(), 1u);
+  sys_.run_for(sim::kHour);
+  EXPECT_FALSE(sys_.isp(1).inbox(2).empty());
+}
+
+TEST_F(ModeratedListTest, RejectionDropsPostButKeepsTheEPenny) {
+  const EPenny submitter_before = sys_.isp(1).user(1).balance;
+  const EPenny moderator_before = sys_.isp(0).user(0).balance;
+  list_.submit(user(1, 1), "junk", "junk body");
+  sys_.run_for(sim::kHour);
+  const std::uint64_t id = list_.pending()[0].id;
+  EXPECT_TRUE(list_.reject(id));
+  EXPECT_EQ(list_.posts(), 0u);
+  // The spam submission cost its author an e-penny, paid to the moderator:
+  // abusive submissions fund moderation instead of spamming the list.
+  EXPECT_EQ(sys_.isp(1).user(1).balance, submitter_before - 1);
+  EXPECT_EQ(sys_.isp(0).user(0).balance, moderator_before + 1);
+}
+
+TEST_F(ModeratedListTest, UnknownIdsRejected) {
+  EXPECT_FALSE(list_.approve(42));
+  EXPECT_FALSE(list_.reject(42));
+}
+
+TEST_F(ModeratedListTest, MultiplePendingHandledInAnyOrder) {
+  list_.submit(user(1, 1), "a", "1");
+  list_.submit(user(1, 2), "b", "2");
+  list_.submit(user(1, 3), "c", "3");
+  ASSERT_EQ(list_.pending().size(), 3u);
+  const std::uint64_t b_id = list_.pending()[1].id;
+  EXPECT_TRUE(list_.reject(b_id));
+  EXPECT_EQ(list_.pending().size(), 2u);
+  EXPECT_TRUE(list_.approve(list_.pending()[1].id));  // "c"
+  EXPECT_TRUE(list_.approve(list_.pending()[0].id));  // "a"
+  EXPECT_EQ(list_.posts(), 2u);
+}
+
+TEST_F(MailingListTest, AckTracksPerSubscriberCounts) {
+  list_.post("n", "b");
+  sys_.run_for(sim::kHour);
+  list_.reconcile_and_prune();
+  for (const auto& sub : list_.subscribers()) {
+    EXPECT_EQ(sub.posts_sent, 1u) << sub.address.str();
+    EXPECT_EQ(sub.acks_received, 1u) << sub.address.str();
+    EXPECT_TRUE(sub.active);
+  }
+}
+
+}  // namespace
+}  // namespace zmail::core

@@ -1,0 +1,115 @@
+#include "core/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zmail::core {
+namespace {
+
+class MessagesTest : public ::testing::Test {
+ protected:
+  Rng rng_{77};
+  crypto::KeyPair keys_ = crypto::generate_keypair(rng_);
+  crypto::NonceGenerator nnc_{55};
+};
+
+TEST_F(MessagesTest, BuyRequestRoundTrip) {
+  const BuyRequest m{1234, nnc_.next()};
+  const auto back = BuyRequest::deserialize(m.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->buyvalue, 1234);
+  EXPECT_EQ(back->nonce, m.nonce);
+}
+
+TEST_F(MessagesTest, BuyReplyRoundTripBothFlags) {
+  for (bool accepted : {true, false}) {
+    const BuyReply m{nnc_.next(), accepted};
+    const auto back = BuyReply::deserialize(m.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->accepted, accepted);
+    EXPECT_EQ(back->nonce, m.nonce);
+  }
+}
+
+TEST_F(MessagesTest, SellRequestReplyRoundTrip) {
+  const SellRequest s{999, nnc_.next()};
+  const auto sb = SellRequest::deserialize(s.serialize());
+  ASSERT_TRUE(sb.has_value());
+  EXPECT_EQ(sb->sellvalue, 999);
+
+  const SellReply r{s.nonce};
+  const auto rb = SellReply::deserialize(r.serialize());
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_EQ(rb->nonce, s.nonce);
+}
+
+TEST_F(MessagesTest, SnapshotRequestRoundTrip) {
+  const SnapshotRequest m{42};
+  const auto back = SnapshotRequest::deserialize(m.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, 42u);
+}
+
+TEST_F(MessagesTest, CreditReportRoundTripIncludingNegatives) {
+  const CreditReport m{7, {3, -5, 0, 1'000'000, -1'000'000}};
+  const auto back = CreditReport::deserialize(m.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, 7u);
+  EXPECT_EQ(back->credit, m.credit);
+}
+
+TEST_F(MessagesTest, CrossTypeDeserializationFails) {
+  const BuyRequest buy{10, nnc_.next()};
+  EXPECT_FALSE(SellRequest::deserialize(buy.serialize()).has_value());
+  EXPECT_FALSE(BuyReply::deserialize(buy.serialize()).has_value());
+  EXPECT_FALSE(SnapshotRequest::deserialize(buy.serialize()).has_value());
+  EXPECT_FALSE(CreditReport::deserialize(buy.serialize()).has_value());
+}
+
+TEST_F(MessagesTest, TruncationDetected) {
+  const CreditReport m{1, {1, 2, 3}};
+  crypto::Bytes wire = m.serialize();
+  wire.pop_back();
+  EXPECT_FALSE(CreditReport::deserialize(wire).has_value());
+}
+
+TEST_F(MessagesTest, TrailingBytesDetected) {
+  const SnapshotRequest m{1};
+  crypto::Bytes wire = m.serialize();
+  wire.push_back(0xFF);
+  EXPECT_FALSE(SnapshotRequest::deserialize(wire).has_value());
+}
+
+TEST_F(MessagesTest, SealUnsealRoundTrip) {
+  const BuyRequest m{500, nnc_.next()};
+  const crypto::Bytes wire = seal(keys_.pub, m.serialize(), rng_);
+  const auto plain = unseal(keys_.priv, wire);
+  ASSERT_TRUE(plain.has_value());
+  const auto back = BuyRequest::deserialize(*plain);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->buyvalue, 500);
+}
+
+TEST_F(MessagesTest, UnsealRejectsTamperedWire) {
+  const crypto::Bytes wire =
+      seal(keys_.pub, SnapshotRequest{3}.serialize(), rng_);
+  crypto::Bytes bad = wire;
+  bad[bad.size() / 2] ^= 0x40;
+  EXPECT_FALSE(unseal(keys_.priv, bad).has_value());
+}
+
+TEST_F(MessagesTest, UnsealRejectsGarbage) {
+  EXPECT_FALSE(unseal(keys_.priv, {}).has_value());
+  EXPECT_FALSE(unseal(keys_.priv, {1, 2, 3, 4}).has_value());
+}
+
+TEST_F(MessagesTest, SealedMessagesAreConfidential) {
+  // The same plaintext seals to different wires (fresh session keys), and
+  // the plaintext bytes do not appear in the ciphertext.
+  const crypto::Bytes plain = BuyRequest{777, nnc_.next()}.serialize();
+  const crypto::Bytes w1 = seal(keys_.pub, plain, rng_);
+  const crypto::Bytes w2 = seal(keys_.pub, plain, rng_);
+  EXPECT_NE(w1, w2);
+}
+
+}  // namespace
+}  // namespace zmail::core

@@ -1,0 +1,233 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zmail::core {
+namespace {
+
+// --- Low-level parsing helpers ------------------------------------------------
+
+TEST(ParseUserRef, DotForm) {
+  const auto r = parse_user_ref("1.2");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 1u);
+  EXPECT_EQ(r->second, 2u);
+}
+
+TEST(ParseUserRef, AddressForm) {
+  const auto r = parse_user_ref("u2@isp1.example");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, 1u);
+  EXPECT_EQ(r->second, 2u);
+}
+
+TEST(ParseUserRef, Malformed) {
+  EXPECT_FALSE(parse_user_ref("").has_value());
+  EXPECT_FALSE(parse_user_ref("12").has_value());
+  EXPECT_FALSE(parse_user_ref("a.b").has_value());
+  EXPECT_FALSE(parse_user_ref("bob@gmail.com").has_value());
+}
+
+TEST(ParseDuration, AllSuffixes) {
+  EXPECT_EQ(parse_duration("90s"), 90 * sim::kSecond);
+  EXPECT_EQ(parse_duration("15m"), 15 * sim::kMinute);
+  EXPECT_EQ(parse_duration("2h"), 2 * sim::kHour);
+  EXPECT_EQ(parse_duration("1d"), sim::kDay);
+}
+
+TEST(ParseDuration, Malformed) {
+  EXPECT_FALSE(parse_duration("").has_value());
+  EXPECT_FALSE(parse_duration("10").has_value());
+  EXPECT_FALSE(parse_duration("m").has_value());
+  EXPECT_FALSE(parse_duration("10w").has_value());
+  EXPECT_FALSE(parse_duration("-5m").has_value());
+}
+
+// --- Script parsing -------------------------------------------------------------
+
+TEST(ScenarioParse, MinimalScript) {
+  const auto s = Scenario::parse("world isps=2 users=3\n");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->params().n_isps, 2u);
+  EXPECT_EQ(s->params().users_per_isp, 3u);
+  EXPECT_EQ(s->command_count(), 0u);
+}
+
+TEST(ScenarioParse, CommentsAndBlanksIgnored) {
+  const auto s = Scenario::parse(
+      "# a zmail scenario\n"
+      "world isps=2 users=2   # inline comment\n"
+      "\n"
+      "send 0.0 1.1\n");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->command_count(), 1u);
+}
+
+TEST(ScenarioParse, CompliantMask) {
+  const auto s = Scenario::parse("world isps=3 users=2 compliant=110\n");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->params().is_compliant(0));
+  EXPECT_TRUE(s->params().is_compliant(1));
+  EXPECT_FALSE(s->params().is_compliant(2));
+}
+
+TEST(ScenarioParse, BadMaskLengthRejected) {
+  ScenarioError err;
+  EXPECT_FALSE(
+      Scenario::parse("world isps=3 users=2 compliant=11\n", &err)
+          .has_value());
+  EXPECT_EQ(err.line, 1u);
+}
+
+TEST(ScenarioParse, UnknownVerbRejected) {
+  ScenarioError err;
+  EXPECT_FALSE(Scenario::parse("world isps=2 users=2\nfrobnicate\n", &err)
+                   .has_value());
+  EXPECT_EQ(err.line, 2u);
+  EXPECT_NE(err.message.find("frobnicate"), std::string::npos);
+}
+
+TEST(ScenarioParse, MissingWorldRejected) {
+  ScenarioError err;
+  EXPECT_FALSE(Scenario::parse("send 0.0 1.0\n", &err).has_value());
+}
+
+TEST(ScenarioParse, DuplicateWorldRejected) {
+  ScenarioError err;
+  EXPECT_FALSE(Scenario::parse("world isps=2 users=2\nworld isps=3 users=2\n",
+                               &err)
+                   .has_value());
+}
+
+// --- Execution -------------------------------------------------------------------
+
+TEST(ScenarioRun, SendAndExpectBalance) {
+  const auto s = Scenario::parse(
+      "world isps=2 users=2 balance=10\n"
+      "send 0.0 1.1 subject hi\n"
+      "run 5m\n"
+      "expect balance 0.0 9\n"
+      "expect balance 1.1 11\n"
+      "expect conservation\n");
+  ASSERT_TRUE(s.has_value());
+  ScenarioRunner runner(*s);
+  const ScenarioResult r = runner.run();
+  EXPECT_TRUE(r.ok()) << (r.failures.empty() ? "" : r.failures[0].message);
+  EXPECT_EQ(r.commands_executed, 5u);
+}
+
+TEST(ScenarioRun, FailedExpectationIsReported) {
+  const auto s = Scenario::parse(
+      "world isps=2 users=2 balance=10\n"
+      "expect balance 0.0 999\n");
+  ASSERT_TRUE(s.has_value());
+  ScenarioRunner runner(*s);
+  const ScenarioResult r = runner.run();
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_EQ(r.failures[0].line, 2u);
+  EXPECT_NE(r.failures[0].message.find("want 999"), std::string::npos);
+}
+
+TEST(ScenarioRun, SnapshotAndViolationsExpectation) {
+  const auto s = Scenario::parse(
+      "world isps=2 users=2 balance=50\n"
+      "send 0.0 1.0\n"
+      "run 1h\n"
+      "snapshot\n"
+      "run 30m\n"
+      "expect violations 0\n"
+      "expect conservation\n");
+  ASSERT_TRUE(s.has_value());
+  ScenarioRunner runner(*s);
+  EXPECT_TRUE(runner.run().ok());
+  EXPECT_EQ(runner.system().bank().seq(), 1u);
+}
+
+TEST(ScenarioRun, SpamBuySellDayFlip) {
+  const auto s = Scenario::parse(
+      "world isps=3 users=3 balance=30 limit=10 compliant=110\n"
+      "spam 0.0 count=15\n"   // daily limit refuses some
+      "day\n"
+      "buy 1.1 20\n"
+      "sell 1.1 5\n"
+      "run 1h\n"
+      "flip 2\n"
+      "send 2.0 0.0\n"
+      "run 10m\n"
+      "expect conservation\n");
+  ASSERT_TRUE(s.has_value());
+  ScenarioRunner runner(*s);
+  const ScenarioResult r = runner.run();
+  EXPECT_TRUE(r.ok()) << (r.failures.empty() ? "" : r.failures[0].message);
+  EXPECT_TRUE(runner.system().is_compliant(2));
+  // 30 initial + 20 bought - 5 sold, plus any spam windfall that happened
+  // to land on this user.
+  const UserAccount& u = runner.system().isp(1).user(1);
+  EXPECT_EQ(u.balance, 45 + u.lifetime_received_paid);
+}
+
+TEST(ScenarioRun, PrintBalancesProducesOutput) {
+  const auto s = Scenario::parse(
+      "world isps=2 users=2 balance=7\n"
+      "print balances\n");
+  ASSERT_TRUE(s.has_value());
+  ScenarioRunner runner(*s);
+  const ScenarioResult r = runner.run();
+  ASSERT_EQ(r.output.size(), 4u);
+  EXPECT_NE(r.output[0].find("balance=7"), std::string::npos);
+  EXPECT_NE(r.output_text().find("u1@isp1.example"), std::string::npos);
+}
+
+TEST(ScenarioRun, PolicyVerbSetsUserOverrides) {
+  const auto s = Scenario::parse(
+      "world isps=3 users=2 compliant=110\n"
+      "policy 0 discard\n"
+      "spam 2.0 count=10\n"   // legacy spammer
+      "run 1h\n");
+  ASSERT_TRUE(s.has_value());
+  ScenarioRunner runner(*s);
+  const ScenarioResult r = runner.run();
+  EXPECT_TRUE(r.ok()) << (r.failures.empty() ? "" : r.failures[0].message);
+  // ISP 0's users discard legacy mail; ISP 1's accept it.
+  EXPECT_EQ(runner.system().isp(0).metrics().emails_delivered, 0u);
+  EXPECT_GT(runner.system().isp(0).metrics().emails_discarded +
+                runner.system().isp(1).metrics().emails_delivered,
+            0u);
+}
+
+TEST(ScenarioRun, PolicyVerbRejectsBadArguments) {
+  const auto s = Scenario::parse(
+      "world isps=3 users=2 compliant=110\n"
+      "policy 2 discard\n"    // legacy isp
+      "policy 0 frobnicate\n"
+      "policy 0\n");
+  ASSERT_TRUE(s.has_value());
+  ScenarioRunner runner(*s);
+  EXPECT_EQ(runner.run().failures.size(), 3u);
+}
+
+TEST(ScenarioRun, OutOfRangeUserRefsFailGracefully) {
+  const auto s = Scenario::parse(
+      "world isps=2 users=2\n"
+      "send 5.0 0.0\n"     // isp 5 does not exist
+      "send 0.0 0.9\n"     // user 9 does not exist
+      "buy 3.3 10\n"
+      "expect balance 7.7 1\n");
+  ASSERT_TRUE(s.has_value());
+  ScenarioRunner runner(*s);
+  const ScenarioResult r = runner.run();
+  EXPECT_EQ(r.failures.size(), 4u);  // reported, not crashed
+  EXPECT_EQ(r.commands_executed, 4u);
+}
+
+TEST(ScenarioRun, BuyRefusalIsAFailure) {
+  const auto s = Scenario::parse(
+      "world isps=2 users=2 balance=5\n"
+      "buy 0.0 100000\n");  // far beyond the user's real-money account
+  ASSERT_TRUE(s.has_value());
+  ScenarioRunner runner(*s);
+  EXPECT_FALSE(runner.run().ok());
+}
+
+}  // namespace
+}  // namespace zmail::core

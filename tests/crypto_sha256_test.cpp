@@ -1,0 +1,86 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace zmail::crypto {
+namespace {
+
+TEST(Sha256, EmptyStringVector) {
+  EXPECT_EQ(digest_hex(sha256(std::string_view(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+  EXPECT_EQ(digest_hex(sha256(std::string_view("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockVector) {
+  EXPECT_EQ(
+      digest_hex(sha256(std::string_view(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalEqualsOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.finish(), sha256(std::string_view(msg)));
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaryLengths) {
+  // 55/56/63/64/65 bytes straddle the padding edge cases.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 128u}) {
+    const std::string a(len, 'x');
+    Sha256 h;
+    for (char c : a) {
+      const auto byte = static_cast<std::uint8_t>(c);
+      h.update(&byte, 1);
+    }
+    EXPECT_EQ(h.finish(), sha256(std::string_view(a))) << "len=" << len;
+  }
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(sha256(std::string_view("a")), sha256(std::string_view("b")));
+  EXPECT_NE(sha256(std::string_view("")), sha256(std::string_view("\0", 1)));
+}
+
+TEST(LeadingZeroBits, CountsCorrectly) {
+  Digest d{};
+  d.fill(0);
+  EXPECT_EQ(leading_zero_bits(d), 256);
+  d[0] = 0x80;
+  EXPECT_EQ(leading_zero_bits(d), 0);
+  d[0] = 0x01;
+  EXPECT_EQ(leading_zero_bits(d), 7);
+  d[0] = 0x00;
+  d[1] = 0x10;
+  EXPECT_EQ(leading_zero_bits(d), 11);
+}
+
+TEST(DigestHex, RoundTripsThroughBytes) {
+  const Digest d = sha256(std::string_view("roundtrip"));
+  const std::string hex = digest_hex(d);
+  EXPECT_EQ(hex.size(), 64u);
+  const Bytes back = from_hex(hex);
+  ASSERT_EQ(back.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) EXPECT_EQ(back[i], d[i]);
+}
+
+}  // namespace
+}  // namespace zmail::crypto

@@ -1,0 +1,136 @@
+#include "net/email.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace zmail::net {
+namespace {
+
+EmailAddress addr(const char* s) { return *parse_address(s); }
+
+TEST(Email, MakeEmailFillsStandardFields) {
+  const EmailMessage m =
+      make_email(addr("a@x.y"), addr("b@z.w"), "Hello", "body text");
+  EXPECT_EQ(m.from.str(), "a@x.y");
+  ASSERT_EQ(m.to.size(), 1u);
+  EXPECT_EQ(m.to[0].str(), "b@z.w");
+  EXPECT_EQ(m.subject(), "Hello");
+  EXPECT_EQ(m.body, "body text");
+  EXPECT_TRUE(m.header("Message-ID").has_value());
+  EXPECT_EQ(m.truth, MailClass::kLegitimate);
+}
+
+TEST(Email, HeaderLookupIsCaseInsensitive) {
+  EmailMessage m = make_email(addr("a@x.y"), addr("b@z.w"), "S", "B");
+  EXPECT_EQ(m.header("subject").value(), "S");
+  EXPECT_EQ(m.header("SUBJECT").value(), "S");
+  EXPECT_FALSE(m.header("X-Missing").has_value());
+}
+
+TEST(Email, SetHeaderOverwritesExisting) {
+  EmailMessage m = make_email(addr("a@x.y"), addr("b@z.w"), "S", "B");
+  m.set_header("Subject", "S2");
+  EXPECT_EQ(m.subject(), "S2");
+  // No duplicate subject headers.
+  int count = 0;
+  for (const auto& [k, v] : m.headers)
+    if (k == "Subject") ++count;
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Email, SerializeRoundTripsEverything) {
+  EmailMessage m = make_email(addr("u1@isp0.example"), addr("u2@isp1.example"),
+                              "Subj", "line1\nline2", MailClass::kNewsletter);
+  m.set_header("X-Custom", "value with spaces");
+  m.to.push_back(addr("u3@isp1.example"));
+  const auto back = EmailMessage::deserialize(m.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->from, m.from);
+  EXPECT_EQ(back->to, m.to);
+  EXPECT_EQ(back->headers, m.headers);
+  EXPECT_EQ(back->body, m.body);
+  EXPECT_EQ(back->truth, MailClass::kNewsletter);
+}
+
+TEST(Email, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(EmailMessage::deserialize({}).has_value());
+  EXPECT_FALSE(
+      EmailMessage::deserialize({0x01, 0x02, 0x03}).has_value());
+}
+
+TEST(Email, DeserializeRejectsBadAddress) {
+  EmailMessage m = make_email(addr("a@x.y"), addr("b@z.w"), "S", "B");
+  crypto::Bytes wire = m.serialize();
+  // Corrupt the first address's first character to '@'.
+  // Layout: u32 length, then the string.
+  wire[4] = '@';
+  EXPECT_FALSE(EmailMessage::deserialize(wire).has_value());
+}
+
+TEST(Email, Rfc822RenderingHasHeadersBlankLineBody) {
+  EmailMessage m = make_email(addr("a@x.y"), addr("b@z.w"), "S", "the body");
+  const std::string text = m.to_rfc822();
+  EXPECT_NE(text.find("From: a@x.y\r\n"), std::string::npos);
+  EXPECT_NE(text.find("To: b@z.w\r\n"), std::string::npos);
+  EXPECT_NE(text.find("Subject: S\r\n"), std::string::npos);
+  EXPECT_NE(text.find("\r\n\r\nthe body"), std::string::npos);
+}
+
+TEST(Email, WireSizeGrowsWithContent) {
+  EmailMessage small = make_email(addr("a@x.y"), addr("b@z.w"), "s", "b");
+  EmailMessage big = make_email(addr("a@x.y"), addr("b@z.w"), "s",
+                                std::string(10'000, 'x'));
+  EXPECT_GT(big.wire_size(), small.wire_size() + 9'000);
+}
+
+// Property: arbitrary header/body content survives binary serialization.
+class EmailWireFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EmailWireFuzzTest, RandomMessagesRoundTrip) {
+  zmail::Rng rng(GetParam());
+  for (int m = 0; m < 30; ++m) {
+    EmailMessage msg;
+    msg.from = EmailAddress{
+        "u" + std::to_string(rng.next_below(100)),
+        "isp" + std::to_string(rng.next_below(10)) + ".example"};
+    const std::size_t nto = 1 + rng.next_below(3);
+    for (std::size_t r = 0; r < nto; ++r)
+      msg.to.push_back(EmailAddress{
+          "u" + std::to_string(rng.next_below(100)),
+          "isp" + std::to_string(rng.next_below(10)) + ".example"});
+    const std::size_t nh = rng.next_below(6);
+    for (std::size_t h = 0; h < nh; ++h) {
+      std::string value;
+      for (std::size_t c = 0; c < rng.next_below(30); ++c)
+        value += static_cast<char>(32 + rng.next_below(95));  // printable
+      msg.headers.emplace_back("X-H" + std::to_string(h), value);
+    }
+    std::string body;
+    for (std::size_t c = 0; c < rng.next_below(500); ++c)
+      body += static_cast<char>(rng.next_below(256));  // any byte
+    msg.body = body;
+    msg.truth = static_cast<MailClass>(rng.next_below(6));
+
+    const auto back = EmailMessage::deserialize(msg.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->from, msg.from);
+    EXPECT_EQ(back->to, msg.to);
+    EXPECT_EQ(back->headers, msg.headers);
+    EXPECT_EQ(back->body, msg.body);
+    EXPECT_EQ(back->truth, msg.truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmailWireFuzzTest,
+                         ::testing::Range<std::uint64_t>(60, 66));
+
+TEST(Email, MailClassNames) {
+  EXPECT_EQ(mail_class_name(MailClass::kSpam), "spam");
+  EXPECT_EQ(mail_class_name(MailClass::kLegitimate), "legitimate");
+  EXPECT_EQ(mail_class_name(MailClass::kAcknowledgment), "acknowledgment");
+  EXPECT_EQ(mail_class_name(MailClass::kVirus), "virus");
+}
+
+}  // namespace
+}  // namespace zmail::net

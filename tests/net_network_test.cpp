@@ -1,0 +1,88 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace zmail::net {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  Network net_{sim_, Rng(5), LatencyModel{10 * sim::kMillisecond,
+                                          5 * sim::kMillisecond}};
+};
+
+TEST_F(NetworkTest, DeliversToRegisteredHandler) {
+  std::vector<std::string> got;
+  const HostId a = net_.add_host("a", [](const Datagram&) {});
+  const HostId b = net_.add_host(
+      "b", [&got](const Datagram& d) { got.push_back(d.type); });
+  net_.send(a, b, "email", {1, 2, 3});
+  sim_.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "email");
+}
+
+TEST_F(NetworkTest, DeliveryTakesAtLeastBaseLatency) {
+  sim::SimTime delivered_at = -1;
+  const HostId a = net_.add_host("a", [](const Datagram&) {});
+  const HostId b = net_.add_host(
+      "b", [&](const Datagram&) { delivered_at = sim_.now(); });
+  net_.send(a, b, "x", {});
+  sim_.run();
+  EXPECT_GE(delivered_at, 10 * sim::kMillisecond);
+}
+
+TEST_F(NetworkTest, PerPairFifoUnderJitter) {
+  std::vector<std::uint8_t> order;
+  const HostId a = net_.add_host("a", [](const Datagram&) {});
+  const HostId b = net_.add_host("b", [&order](const Datagram& d) {
+    order.push_back(d.payload.at(0));
+  });
+  for (std::uint8_t i = 0; i < 50; ++i) net_.send(a, b, "m", {i});
+  sim_.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (std::uint8_t i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_F(NetworkTest, CountsDatagramsAndBytes) {
+  const HostId a = net_.add_host("a", [](const Datagram&) {});
+  const HostId b = net_.add_host("b", [](const Datagram&) {});
+  net_.send(a, b, "t", crypto::Bytes(100, 0));
+  net_.send(b, a, "t", crypto::Bytes(50, 0));
+  EXPECT_EQ(net_.datagrams_sent(), 2u);
+  EXPECT_GT(net_.bytes_sent(), 150u);
+  EXPECT_GT(net_.bytes_sent_to(b), 100u);
+  EXPECT_GT(net_.bytes_sent_to(a), 50u);
+  EXPECT_LT(net_.bytes_sent_to(a), net_.bytes_sent_to(b));
+}
+
+TEST_F(NetworkTest, MxResolution) {
+  const HostId a = net_.add_host("mail.a", [](const Datagram&) {});
+  net_.bind_domain("a.example", a);
+  EXPECT_EQ(net_.resolve("a.example"), a);
+  EXPECT_EQ(net_.resolve("unknown.example"), kNoHost);
+}
+
+TEST_F(NetworkTest, HostNames) {
+  const HostId a = net_.add_host("alpha", [](const Datagram&) {});
+  EXPECT_EQ(net_.host_name(a), "alpha");
+  EXPECT_EQ(net_.host_count(), 1u);
+}
+
+TEST_F(NetworkTest, SelfSendWorks) {
+  int got = 0;
+  HostId a_id = kNoHost;
+  a_id = net_.add_host("a", [&](const Datagram& d) {
+    ++got;
+    EXPECT_EQ(d.from, a_id);
+  });
+  net_.send(a_id, a_id, "loop", {});
+  sim_.run();
+  EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace zmail::net

@@ -1,0 +1,318 @@
+#include "net/smtp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace zmail::net {
+namespace {
+
+EmailAddress addr(const char* s) { return *parse_address(s); }
+
+class SmtpTest : public ::testing::Test {
+ protected:
+  std::vector<EmailMessage> delivered_;
+  SmtpServerSession session_{"isp1.example", [this](const EmailMessage& m) {
+                               delivered_.push_back(m);
+                             }};
+};
+
+TEST_F(SmtpTest, GreetingIs220) {
+  EXPECT_EQ(session_.greeting().code, 220);
+  EXPECT_TRUE(session_.greeting().positive());
+}
+
+TEST_F(SmtpTest, FullDialogueDeliversMessage) {
+  EXPECT_EQ(session_.consume_line("HELO isp0.example").code, 250);
+  EXPECT_EQ(session_.consume_line("MAIL FROM:<u1@isp0.example>").code, 250);
+  EXPECT_EQ(session_.consume_line("RCPT TO:<u2@isp1.example>").code, 250);
+  EXPECT_EQ(session_.consume_line("DATA").code, 354);
+  EXPECT_EQ(session_.consume_line("Subject: hi").code, 0);
+  EXPECT_EQ(session_.consume_line("").code, 0);
+  EXPECT_EQ(session_.consume_line("body line").code, 0);
+  EXPECT_EQ(session_.consume_line(".").code, 250);
+  EXPECT_EQ(session_.consume_line("QUIT").code, 221);
+  EXPECT_TRUE(session_.quit_received());
+
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].from.str(), "u1@isp0.example");
+  EXPECT_EQ(delivered_[0].subject(), "hi");
+  EXPECT_EQ(delivered_[0].body, "body line");
+  EXPECT_EQ(session_.messages_accepted(), 1u);
+}
+
+TEST_F(SmtpTest, MailBeforeHeloRejected503) {
+  EXPECT_EQ(session_.consume_line("MAIL FROM:<a@b.c>").code, 503);
+}
+
+TEST_F(SmtpTest, RcptBeforeMailRejected503) {
+  session_.consume_line("HELO x");
+  EXPECT_EQ(session_.consume_line("RCPT TO:<a@b.c>").code, 503);
+}
+
+TEST_F(SmtpTest, DataBeforeRcptRejected503) {
+  session_.consume_line("HELO x");
+  session_.consume_line("MAIL FROM:<a@b.c>");
+  EXPECT_EQ(session_.consume_line("DATA").code, 503);
+}
+
+TEST_F(SmtpTest, NestedMailRejected) {
+  session_.consume_line("HELO x");
+  EXPECT_EQ(session_.consume_line("MAIL FROM:<a@b.c>").code, 250);
+  EXPECT_EQ(session_.consume_line("MAIL FROM:<d@e.f>").code, 503);
+}
+
+TEST_F(SmtpTest, BadPathSyntaxRejected501) {
+  session_.consume_line("HELO x");
+  EXPECT_EQ(session_.consume_line("MAIL FROM:a@b.c").code, 501);
+  EXPECT_EQ(session_.consume_line("MAIL FROM:<not an address>").code, 501);
+}
+
+TEST_F(SmtpTest, HeloWithoutHostnameRejected501) {
+  EXPECT_EQ(session_.consume_line("HELO").code, 501);
+  EXPECT_EQ(session_.consume_line("HELO   ").code, 501);
+}
+
+TEST_F(SmtpTest, UnknownCommandRejected500) {
+  EXPECT_EQ(session_.consume_line("FROB x").code, 500);
+}
+
+TEST_F(SmtpTest, CommandsAreCaseInsensitive) {
+  EXPECT_EQ(session_.consume_line("helo isp0.example").code, 250);
+  EXPECT_EQ(session_.consume_line("mail from:<a@b.c>").code, 250);
+}
+
+TEST_F(SmtpTest, RsetClearsTransaction) {
+  session_.consume_line("HELO x");
+  session_.consume_line("MAIL FROM:<a@b.c>");
+  session_.consume_line("RCPT TO:<d@e.f>");
+  EXPECT_EQ(session_.consume_line("RSET").code, 250);
+  // After RSET a new MAIL FROM is accepted.
+  EXPECT_EQ(session_.consume_line("MAIL FROM:<g@h.i>").code, 250);
+}
+
+TEST_F(SmtpTest, NoopAlwaysOk) {
+  EXPECT_EQ(session_.consume_line("NOOP").code, 250);
+}
+
+TEST_F(SmtpTest, MultipleRecipientsAccepted) {
+  session_.consume_line("HELO x");
+  session_.consume_line("MAIL FROM:<a@b.c>");
+  EXPECT_EQ(session_.consume_line("RCPT TO:<d@e.f>").code, 250);
+  EXPECT_EQ(session_.consume_line("RCPT TO:<g@h.i>").code, 250);
+  session_.consume_line("DATA");
+  session_.consume_line("");
+  session_.consume_line(".");
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].to.size(), 2u);
+}
+
+TEST_F(SmtpTest, DotStuffingRoundTrip) {
+  EmailMessage msg = make_email(addr("a@b.c"), addr("u1@isp1.example"), "dots",
+                                ".leading dot\n..double dot\nnormal");
+  const SmtpTransferResult r = smtp_transfer(msg, "b.c", session_);
+  EXPECT_TRUE(r.accepted);
+  ASSERT_EQ(delivered_.size(), 1u);
+  EXPECT_EQ(delivered_[0].body, ".leading dot\n..double dot\nnormal");
+}
+
+TEST_F(SmtpTest, TransferCountsBytesBothDirections) {
+  EmailMessage msg =
+      make_email(addr("a@b.c"), addr("u1@isp1.example"), "s", "hello");
+  const SmtpTransferResult r = smtp_transfer(msg, "b.c", session_);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_GT(r.bytes_client_to_server, 50u);
+  EXPECT_GT(r.bytes_server_to_client, 30u);
+  EXPECT_EQ(r.first_error_code, 0);
+}
+
+TEST_F(SmtpTest, ClientScriptShape) {
+  EmailMessage msg =
+      make_email(addr("a@b.c"), addr("d@e.f"), "s", "b1\nb2");
+  const auto lines = smtp_client_script(msg, "b.c");
+  ASSERT_GE(lines.size(), 7u);
+  EXPECT_EQ(lines[0], "HELO b.c");
+  EXPECT_EQ(lines[1], "MAIL FROM:<a@b.c>");
+  EXPECT_EQ(lines[2], "RCPT TO:<d@e.f>");
+  EXPECT_EQ(lines[3], "DATA");
+  EXPECT_EQ(lines[lines.size() - 2], ".");
+  EXPECT_EQ(lines.back(), "QUIT");
+}
+
+TEST_F(SmtpTest, SecondMessageOnSameSession) {
+  EmailMessage m1 = make_email(addr("a@b.c"), addr("u1@isp1.example"), "1", "x");
+  EmailMessage m2 = make_email(addr("a@b.c"), addr("u2@isp1.example"), "2", "y");
+  EXPECT_TRUE(smtp_transfer(m1, "b.c", session_).accepted);
+  EXPECT_TRUE(smtp_transfer(m2, "b.c", session_).accepted);
+  EXPECT_EQ(delivered_.size(), 2u);
+}
+
+// --- Extensions: VRFY, HELP, SIZE ------------------------------------------
+
+TEST_F(SmtpTest, VrfyWithoutVerifierIs252) {
+  EXPECT_EQ(session_.consume_line("VRFY u1@isp1.example").code, 252);
+}
+
+TEST_F(SmtpTest, VrfyWithVerifier) {
+  session_.set_verifier([](const EmailAddress& a) { return a.local == "u1"; });
+  EXPECT_EQ(session_.consume_line("VRFY u1@isp1.example").code, 250);
+  EXPECT_EQ(session_.consume_line("VRFY nobody@isp1.example").code, 550);
+  EXPECT_EQ(session_.consume_line("VRFY").code, 501);
+  EXPECT_EQ(session_.consume_line("VRFY not-an-address").code, 501);
+}
+
+TEST_F(SmtpTest, VerifierRejectsUnknownLocalRecipients) {
+  session_.set_verifier([](const EmailAddress& a) { return a.local == "u1"; });
+  session_.consume_line("HELO x");
+  session_.consume_line("MAIL FROM:<a@b.c>");
+  EXPECT_EQ(session_.consume_line("RCPT TO:<u1@isp1.example>").code, 250);
+  EXPECT_EQ(session_.consume_line("RCPT TO:<u9@isp1.example>").code, 550);
+  // Foreign domains are relayed without local verification.
+  EXPECT_EQ(session_.consume_line("RCPT TO:<x@elsewhere.example>").code, 250);
+}
+
+TEST_F(SmtpTest, HelpListsCommands) {
+  const SmtpReply r = session_.consume_line("HELP");
+  EXPECT_EQ(r.code, 214);
+  EXPECT_NE(r.text.find("DATA"), std::string::npos);
+}
+
+TEST_F(SmtpTest, SizeParameterAccepted) {
+  session_.consume_line("HELO x");
+  EXPECT_EQ(session_.consume_line("MAIL FROM:<a@b.c> SIZE=1000").code, 250);
+}
+
+TEST_F(SmtpTest, SizeParameterOverLimitRejected552) {
+  session_.set_max_message_size(500);
+  session_.consume_line("HELO x");
+  EXPECT_EQ(session_.consume_line("MAIL FROM:<a@b.c> SIZE=1000").code, 552);
+  EXPECT_EQ(session_.consume_line("MAIL FROM:<a@b.c> SIZE=400").code, 250);
+}
+
+TEST_F(SmtpTest, BadSizeParameterRejected501) {
+  session_.consume_line("HELO x");
+  EXPECT_EQ(session_.consume_line("MAIL FROM:<a@b.c> SIZE=abc").code, 501);
+  EXPECT_EQ(session_.consume_line("MAIL FROM:<a@b.c> FROB=1").code, 501);
+}
+
+TEST_F(SmtpTest, OversizedDataAborted552) {
+  session_.set_max_message_size(64);
+  session_.consume_line("HELO x");
+  session_.consume_line("MAIL FROM:<a@b.c>");
+  session_.consume_line("RCPT TO:<u1@isp1.example>");
+  session_.consume_line("DATA");
+  session_.consume_line("");
+  SmtpReply last{0, ""};
+  for (int i = 0; i < 10 && last.code == 0; ++i)
+    last = session_.consume_line(std::string(32, 'x'));
+  EXPECT_EQ(last.code, 552);
+  EXPECT_EQ(delivered_.size(), 0u);
+  // The session recovers for the next transaction.
+  EXPECT_EQ(session_.consume_line("MAIL FROM:<a@b.c>").code, 250);
+}
+
+// --- Round-trip property fuzz ------------------------------------------------
+
+class SmtpRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmtpRoundTripTest, ArbitraryBodiesSurviveTransfer) {
+  zmail::Rng rng(GetParam());
+  std::vector<EmailMessage> delivered;
+  SmtpServerSession session("isp1.example", [&](const EmailMessage& m) {
+    delivered.push_back(m);
+  });
+  for (int msg_i = 0; msg_i < 20; ++msg_i) {
+    // Random body with newlines, leading dots, empty lines, punctuation.
+    std::string body;
+    const std::size_t lines = rng.next_below(6);
+    for (std::size_t l = 0; l < lines; ++l) {
+      const std::size_t len = rng.next_below(12);
+      for (std::size_t c = 0; c < len; ++c) {
+        static const char alphabet[] =
+            "abcXYZ012 .,:;!?-_()[]<>@'\"$%&*+=/";
+        body += alphabet[rng.next_below(sizeof(alphabet) - 1)];
+      }
+      if (l + 1 < lines) body += '\n';
+    }
+    EmailMessage msg = make_email(addr("a@b.c"), addr("u1@isp1.example"),
+                                  "fuzz", body);
+    const SmtpTransferResult r = smtp_transfer(msg, "b.c", session);
+    ASSERT_TRUE(r.accepted) << "body: [" << body << "]";
+    // Trailing empty lines are legitimately ambiguous in 821 framing; the
+    // body must round-trip up to trailing-newline normalization.
+    std::string want = body;
+    while (!want.empty() && want.back() == '\n') want.pop_back();
+    std::string got = delivered.back().body;
+    while (!got.empty() && got.back() == '\n') got.pop_back();
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmtpRoundTripTest,
+                         ::testing::Range<std::uint64_t>(40, 46));
+
+// State-machine fuzz: arbitrary command sequences never crash, always
+// produce a known reply code, and leave the session recoverable.
+class SmtpCommandFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmtpCommandFuzzTest, RandomCommandSequencesAreSafe) {
+  zmail::Rng rng(GetParam());
+  int delivered = 0;
+  SmtpServerSession session("isp1.example",
+                            [&delivered](const EmailMessage&) { ++delivered; });
+  static const char* kLines[] = {
+      "HELO x",       "EHLO y.example",
+      "MAIL FROM:<a@b.c>", "MAIL FROM:<bad",
+      "RCPT TO:<d@e.f>",   "RCPT TO:<>",
+      "DATA",         ".",
+      "body line",    "..stuffed",
+      "RSET",         "NOOP",
+      "VRFY a@b.c",   "HELP",
+      "QUIT",         "",
+      "FROBNICATE",   "MAIL FROM:<a@b.c> SIZE=10",
+  };
+  for (int i = 0; i < 400; ++i) {
+    const char* line = kLines[rng.next_below(std::size(kLines))];
+    const SmtpReply r = session.consume_line(line);
+    switch (r.code) {
+      case 0: case 214: case 220: case 221: case 250: case 252: case 354:
+      case 500: case 501: case 503: case 550: case 552:
+        break;
+      default:
+        FAIL() << "unexpected reply code " << r.code << " for '" << line
+               << "'";
+    }
+  }
+  // The session always recovers into a working transaction.
+  session.consume_line("RSET");
+  // If a previous DATA is still open, terminate it first.
+  session.consume_line(".");
+  session.consume_line("RSET");
+  EXPECT_EQ(session.consume_line("HELO x").code, 250);
+  EXPECT_EQ(session.consume_line("MAIL FROM:<a@b.c>").code, 250);
+  EXPECT_EQ(session.consume_line("RCPT TO:<u@isp1.example>").code, 250);
+  EXPECT_EQ(session.consume_line("DATA").code, 354);
+  session.consume_line("");
+  EXPECT_EQ(session.consume_line(".").code, 250);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmtpCommandFuzzTest,
+                         ::testing::Range<std::uint64_t>(70, 76));
+
+TEST(ParseRfc822, SkipsMalformedHeaderLines) {
+  const EmailMessage m = parse_rfc822(
+      *parse_address("a@b.c"), {*parse_address("d@e.f")},
+      {"Subject: ok", "this line has no colon", "", "body"});
+  EXPECT_EQ(m.subject(), "ok");
+  EXPECT_EQ(m.body, "body");
+}
+
+TEST(ParseRfc822, EmptyBody) {
+  const EmailMessage m = parse_rfc822(*parse_address("a@b.c"),
+                                      {*parse_address("d@e.f")},
+                                      {"Subject: only headers", ""});
+  EXPECT_EQ(m.body, "");
+}
+
+}  // namespace
+}  // namespace zmail::net

@@ -1,0 +1,123 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace zmail::sim {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulator, TiesBreakInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule_at(100, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(50, [&] {
+    sim.schedule_after(25, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 75);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(10, [&] { ++ran; });
+  sim.schedule_at(20, [&] { ++ran; });
+  sim.schedule_at(30, [&] { ++ran; });
+  EXPECT_EQ(sim.run(20), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(Simulator, RunAdvancesClockToBoundaryEvenWhenIdle) {
+  Simulator sim;
+  sim.run(1000);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(1, [&] { ++ran; });
+  sim.schedule_at(2, [&] { ++ran; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_after(5, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 45);
+}
+
+TEST(Simulator, ScheduleEveryRepeatsUntilFalse) {
+  Simulator sim;
+  int ticks = 0;
+  sim.schedule_every(kDay, [&] { return ++ticks < 5; });
+  sim.run(30 * kDay);
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(Simulator, ScheduleEveryCustomFirstTime) {
+  Simulator sim;
+  SimTime first_fire = -1;
+  sim.schedule_every(
+      10 * kSecond,
+      [&] {
+        if (first_fire < 0) first_fire = sim.now();
+        return false;
+      },
+      3 * kSecond);
+  sim.run();
+  EXPECT_EQ(first_fire, 3 * kSecond);
+}
+
+TEST(Simulator, DurationConstantsAreConsistent) {
+  EXPECT_EQ(kSecond, 1'000'000);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_DOUBLE_EQ(to_seconds(kMinute), 60.0);
+  EXPECT_EQ(from_seconds(1.5), 1'500'000);
+}
+
+TEST(FormatTime, RendersComponents) {
+  EXPECT_EQ(format_time(0), "0d 00:00:00.000");
+  EXPECT_EQ(format_time(kDay + 2 * kHour + 3 * kMinute + 4 * kSecond +
+                        56 * kMillisecond),
+            "1d 02:03:04.056");
+}
+
+}  // namespace
+}  // namespace zmail::sim

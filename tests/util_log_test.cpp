@@ -1,0 +1,48 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zmail {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, DefaultThresholdIsWarn) {
+  // (Guarded: other tests may have changed it; we only check the enum
+  // ordering assumption the macro relies on.)
+  EXPECT_LT(static_cast<int>(LogLevel::kTrace),
+            static_cast<int>(LogLevel::kWarn));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarn),
+            static_cast<int>(LogLevel::kOff));
+}
+
+TEST(Log, SuppressedMessagesDoNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  logf(LogLevel::kError, "test", "dropped %d", 42);
+  ZMAIL_LOG(LogLevel::kError, "test", "also dropped %s", "x");
+}
+
+TEST(Log, EmittedMessagesDoNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kTrace);
+  logf(LogLevel::kWarn, "test", "emitted %d %s", 1, "ok");
+}
+
+}  // namespace
+}  // namespace zmail

@@ -1,0 +1,102 @@
+#include "util/money.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zmail {
+namespace {
+
+TEST(Money, DefaultIsZero) {
+  Money m;
+  EXPECT_TRUE(m.is_zero());
+  EXPECT_EQ(m.micros(), 0);
+}
+
+TEST(Money, DollarConversionRoundTrips) {
+  const Money m = Money::from_dollars(12.34);
+  EXPECT_DOUBLE_EQ(m.dollars(), 12.34);
+  EXPECT_EQ(m.micros(), 12'340'000);
+}
+
+TEST(Money, NegativeDollarsRoundCorrectly) {
+  const Money m = Money::from_dollars(-0.005);
+  EXPECT_EQ(m.micros(), -5'000);
+}
+
+TEST(Money, CentsConversion) {
+  EXPECT_EQ(Money::from_cents(1).micros(), 10'000);
+  EXPECT_EQ(Money::from_cents(250).dollars(), 2.50);
+}
+
+TEST(Money, EPennyIsOneCent) {
+  // The paper's simplification: one e-penny costs $0.01.
+  EXPECT_EQ(Money::from_epennies(1), Money::from_cents(1));
+  EXPECT_EQ(Money::from_epennies(100), Money::from_dollars(1.0));
+}
+
+TEST(Money, WholeEpenniesFloors) {
+  EXPECT_EQ(Money::from_dollars(0.0199).whole_epennies(), 1);
+  EXPECT_EQ(Money::from_dollars(0.02).whole_epennies(), 2);
+  EXPECT_EQ(Money::from_dollars(0.0).whole_epennies(), 0);
+}
+
+TEST(Money, Arithmetic) {
+  const Money a = Money::from_cents(150);
+  const Money b = Money::from_cents(50);
+  EXPECT_EQ((a + b).dollars(), 2.0);
+  EXPECT_EQ((a - b).dollars(), 1.0);
+  EXPECT_EQ((-b).micros(), -500'000);
+  EXPECT_EQ((a * std::int64_t{3}).dollars(), 4.5);
+  EXPECT_EQ((std::int64_t{3} * a).dollars(), 4.5);
+}
+
+TEST(Money, ScalarDoubleMultiplyRounds) {
+  const Money a = Money::from_cents(10);
+  EXPECT_EQ((a * 0.5).micros(), 50'000);
+  EXPECT_EQ((a * 0.333).micros(), 33'300);
+}
+
+TEST(Money, CompoundAssignment) {
+  Money m = Money::from_cents(10);
+  m += Money::from_cents(5);
+  EXPECT_EQ(m, Money::from_cents(15));
+  m -= Money::from_cents(20);
+  EXPECT_EQ(m, Money::from_cents(-5));
+  EXPECT_TRUE(m.is_negative());
+}
+
+TEST(Money, Ordering) {
+  EXPECT_LT(Money::from_cents(1), Money::from_cents(2));
+  EXPECT_GT(Money::from_dollars(1.0), Money::from_cents(99));
+  EXPECT_LE(Money::zero(), Money::zero());
+  EXPECT_GE(Money::from_cents(-1), Money::from_cents(-2));
+}
+
+TEST(Money, FormattingWholeDollars) {
+  EXPECT_EQ(Money::from_dollars(5.0).str(), "$5");
+  EXPECT_EQ(Money::zero().str(), "$0");
+}
+
+TEST(Money, FormattingCents) {
+  EXPECT_EQ(Money::from_cents(123).str(), "$1.23");
+  EXPECT_EQ(Money::from_cents(-123).str(), "-$1.23");
+}
+
+TEST(Money, FormattingMicros) {
+  EXPECT_EQ(Money::from_micros(100).str(), "$0.0001");
+  EXPECT_EQ(Money::from_micros(1'230'000).str(), "$1.23");
+}
+
+TEST(Money, ConservationUnderTransfers) {
+  // Random transfer loop conserves the total exactly (fixed point).
+  Money a = Money::from_dollars(10.0), b = Money::from_dollars(5.0);
+  const Money total = a + b;
+  for (int i = 1; i <= 1000; ++i) {
+    const Money t = Money::from_micros(i * 7);
+    a -= t;
+    b += t;
+  }
+  EXPECT_EQ(a + b, total);
+}
+
+}  // namespace
+}  // namespace zmail
