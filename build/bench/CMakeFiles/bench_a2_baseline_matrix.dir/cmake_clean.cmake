@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_baseline_matrix.dir/bench_a2_baseline_matrix.cpp.o"
+  "CMakeFiles/bench_a2_baseline_matrix.dir/bench_a2_baseline_matrix.cpp.o.d"
+  "bench_a2_baseline_matrix"
+  "bench_a2_baseline_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_baseline_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

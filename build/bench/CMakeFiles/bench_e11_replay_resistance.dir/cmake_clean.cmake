@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_replay_resistance.dir/bench_e11_replay_resistance.cpp.o"
+  "CMakeFiles/bench_e11_replay_resistance.dir/bench_e11_replay_resistance.cpp.o.d"
+  "bench_e11_replay_resistance"
+  "bench_e11_replay_resistance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_replay_resistance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_zero_sum_users.dir/bench_e2_zero_sum_users.cpp.o"
+  "CMakeFiles/bench_e2_zero_sum_users.dir/bench_e2_zero_sum_users.cpp.o.d"
+  "bench_e2_zero_sum_users"
+  "bench_e2_zero_sum_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_zero_sum_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_payment_overhead.dir/bench_e5_payment_overhead.cpp.o"
+  "CMakeFiles/bench_e5_payment_overhead.dir/bench_e5_payment_overhead.cpp.o.d"
+  "bench_e5_payment_overhead"
+  "bench_e5_payment_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_payment_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_incremental_deployment.dir/bench_e6_incremental_deployment.cpp.o"
+  "CMakeFiles/bench_e6_incremental_deployment.dir/bench_e6_incremental_deployment.cpp.o.d"
+  "bench_e6_incremental_deployment"
+  "bench_e6_incremental_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_incremental_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_snapshot_quiesce.dir/bench_e7_snapshot_quiesce.cpp.o"
+  "CMakeFiles/bench_e7_snapshot_quiesce.dir/bench_e7_snapshot_quiesce.cpp.o.d"
+  "bench_e7_snapshot_quiesce"
+  "bench_e7_snapshot_quiesce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_snapshot_quiesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

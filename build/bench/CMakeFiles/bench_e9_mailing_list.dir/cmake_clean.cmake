@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_mailing_list.dir/bench_e9_mailing_list.cpp.o"
+  "CMakeFiles/bench_e9_mailing_list.dir/bench_e9_mailing_list.cpp.o.d"
+  "bench_e9_mailing_list"
+  "bench_e9_mailing_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_mailing_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_ap.dir/bench_micro_ap.cpp.o"
+  "CMakeFiles/bench_micro_ap.dir/bench_micro_ap.cpp.o.d"
+  "bench_micro_ap"
+  "bench_micro_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_baselines.dir/bench_micro_baselines.cpp.o"
+  "CMakeFiles/bench_micro_baselines.dir/bench_micro_baselines.cpp.o.d"
+  "bench_micro_baselines"
+  "bench_micro_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

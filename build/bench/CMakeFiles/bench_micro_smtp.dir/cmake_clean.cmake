@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_smtp.dir/bench_micro_smtp.cpp.o"
+  "CMakeFiles/bench_micro_smtp.dir/bench_micro_smtp.cpp.o.d"
+  "bench_micro_smtp"
+  "bench_micro_smtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_smtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_banks.dir/federated_banks.cpp.o"
+  "CMakeFiles/federated_banks.dir/federated_banks.cpp.o.d"
+  "federated_banks"
+  "federated_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

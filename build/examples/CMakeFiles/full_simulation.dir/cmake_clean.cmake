@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_simulation.dir/full_simulation.cpp.o"
+  "CMakeFiles/full_simulation.dir/full_simulation.cpp.o.d"
+  "full_simulation"
+  "full_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_deployment.dir/incremental_deployment.cpp.o"
+  "CMakeFiles/incremental_deployment.dir/incremental_deployment.cpp.o.d"
+  "incremental_deployment"
+  "incremental_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

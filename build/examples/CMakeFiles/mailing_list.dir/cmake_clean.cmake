@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mailing_list.dir/mailing_list.cpp.o"
+  "CMakeFiles/mailing_list.dir/mailing_list.cpp.o.d"
+  "mailing_list"
+  "mailing_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mailing_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_campaign.dir/spam_campaign.cpp.o"
+  "CMakeFiles/spam_campaign.dir/spam_campaign.cpp.o.d"
+  "spam_campaign"
+  "spam_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

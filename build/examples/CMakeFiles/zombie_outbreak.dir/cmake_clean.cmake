@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zombie_outbreak.dir/zombie_outbreak.cpp.o"
+  "CMakeFiles/zombie_outbreak.dir/zombie_outbreak.cpp.o.d"
+  "zombie_outbreak"
+  "zombie_outbreak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zombie_outbreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

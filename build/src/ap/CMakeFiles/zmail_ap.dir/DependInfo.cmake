@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ap/process.cpp" "src/ap/CMakeFiles/zmail_ap.dir/process.cpp.o" "gcc" "src/ap/CMakeFiles/zmail_ap.dir/process.cpp.o.d"
+  "/root/repo/src/ap/scheduler.cpp" "src/ap/CMakeFiles/zmail_ap.dir/scheduler.cpp.o" "gcc" "src/ap/CMakeFiles/zmail_ap.dir/scheduler.cpp.o.d"
+  "/root/repo/src/ap/trace_format.cpp" "src/ap/CMakeFiles/zmail_ap.dir/trace_format.cpp.o" "gcc" "src/ap/CMakeFiles/zmail_ap.dir/trace_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/zmail_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zmail_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zmail_ap.dir/process.cpp.o"
+  "CMakeFiles/zmail_ap.dir/process.cpp.o.d"
+  "CMakeFiles/zmail_ap.dir/scheduler.cpp.o"
+  "CMakeFiles/zmail_ap.dir/scheduler.cpp.o.d"
+  "CMakeFiles/zmail_ap.dir/trace_format.cpp.o"
+  "CMakeFiles/zmail_ap.dir/trace_format.cpp.o.d"
+  "libzmail_ap.a"
+  "libzmail_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zmail_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

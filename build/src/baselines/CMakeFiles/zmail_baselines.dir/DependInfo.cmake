@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bayes.cpp" "src/baselines/CMakeFiles/zmail_baselines.dir/bayes.cpp.o" "gcc" "src/baselines/CMakeFiles/zmail_baselines.dir/bayes.cpp.o.d"
+  "/root/repo/src/baselines/blacklist.cpp" "src/baselines/CMakeFiles/zmail_baselines.dir/blacklist.cpp.o" "gcc" "src/baselines/CMakeFiles/zmail_baselines.dir/blacklist.cpp.o.d"
+  "/root/repo/src/baselines/challenge.cpp" "src/baselines/CMakeFiles/zmail_baselines.dir/challenge.cpp.o" "gcc" "src/baselines/CMakeFiles/zmail_baselines.dir/challenge.cpp.o.d"
+  "/root/repo/src/baselines/pipeline.cpp" "src/baselines/CMakeFiles/zmail_baselines.dir/pipeline.cpp.o" "gcc" "src/baselines/CMakeFiles/zmail_baselines.dir/pipeline.cpp.o.d"
+  "/root/repo/src/baselines/pow_mail.cpp" "src/baselines/CMakeFiles/zmail_baselines.dir/pow_mail.cpp.o" "gcc" "src/baselines/CMakeFiles/zmail_baselines.dir/pow_mail.cpp.o.d"
+  "/root/repo/src/baselines/shred.cpp" "src/baselines/CMakeFiles/zmail_baselines.dir/shred.cpp.o" "gcc" "src/baselines/CMakeFiles/zmail_baselines.dir/shred.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/zmail_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zmail_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/zmail_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/zmail_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zmail_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zmail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/zmail_ap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

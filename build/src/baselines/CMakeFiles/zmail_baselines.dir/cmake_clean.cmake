@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zmail_baselines.dir/bayes.cpp.o"
+  "CMakeFiles/zmail_baselines.dir/bayes.cpp.o.d"
+  "CMakeFiles/zmail_baselines.dir/blacklist.cpp.o"
+  "CMakeFiles/zmail_baselines.dir/blacklist.cpp.o.d"
+  "CMakeFiles/zmail_baselines.dir/challenge.cpp.o"
+  "CMakeFiles/zmail_baselines.dir/challenge.cpp.o.d"
+  "CMakeFiles/zmail_baselines.dir/pipeline.cpp.o"
+  "CMakeFiles/zmail_baselines.dir/pipeline.cpp.o.d"
+  "CMakeFiles/zmail_baselines.dir/pow_mail.cpp.o"
+  "CMakeFiles/zmail_baselines.dir/pow_mail.cpp.o.d"
+  "CMakeFiles/zmail_baselines.dir/shred.cpp.o"
+  "CMakeFiles/zmail_baselines.dir/shred.cpp.o.d"
+  "libzmail_baselines.a"
+  "libzmail_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zmail_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ap_spec.cpp" "src/core/CMakeFiles/zmail_core.dir/ap_spec.cpp.o" "gcc" "src/core/CMakeFiles/zmail_core.dir/ap_spec.cpp.o.d"
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/zmail_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/zmail_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/bank.cpp" "src/core/CMakeFiles/zmail_core.dir/bank.cpp.o" "gcc" "src/core/CMakeFiles/zmail_core.dir/bank.cpp.o.d"
+  "/root/repo/src/core/federated_system.cpp" "src/core/CMakeFiles/zmail_core.dir/federated_system.cpp.o" "gcc" "src/core/CMakeFiles/zmail_core.dir/federated_system.cpp.o.d"
+  "/root/repo/src/core/federation.cpp" "src/core/CMakeFiles/zmail_core.dir/federation.cpp.o" "gcc" "src/core/CMakeFiles/zmail_core.dir/federation.cpp.o.d"
+  "/root/repo/src/core/isp.cpp" "src/core/CMakeFiles/zmail_core.dir/isp.cpp.o" "gcc" "src/core/CMakeFiles/zmail_core.dir/isp.cpp.o.d"
+  "/root/repo/src/core/mailing_list.cpp" "src/core/CMakeFiles/zmail_core.dir/mailing_list.cpp.o" "gcc" "src/core/CMakeFiles/zmail_core.dir/mailing_list.cpp.o.d"
+  "/root/repo/src/core/messages.cpp" "src/core/CMakeFiles/zmail_core.dir/messages.cpp.o" "gcc" "src/core/CMakeFiles/zmail_core.dir/messages.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/zmail_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/zmail_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/zmail_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/zmail_core.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/zmail_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zmail_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/zmail_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zmail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/zmail_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zmail_core.dir/ap_spec.cpp.o"
+  "CMakeFiles/zmail_core.dir/ap_spec.cpp.o.d"
+  "CMakeFiles/zmail_core.dir/audit.cpp.o"
+  "CMakeFiles/zmail_core.dir/audit.cpp.o.d"
+  "CMakeFiles/zmail_core.dir/bank.cpp.o"
+  "CMakeFiles/zmail_core.dir/bank.cpp.o.d"
+  "CMakeFiles/zmail_core.dir/federated_system.cpp.o"
+  "CMakeFiles/zmail_core.dir/federated_system.cpp.o.d"
+  "CMakeFiles/zmail_core.dir/federation.cpp.o"
+  "CMakeFiles/zmail_core.dir/federation.cpp.o.d"
+  "CMakeFiles/zmail_core.dir/isp.cpp.o"
+  "CMakeFiles/zmail_core.dir/isp.cpp.o.d"
+  "CMakeFiles/zmail_core.dir/mailing_list.cpp.o"
+  "CMakeFiles/zmail_core.dir/mailing_list.cpp.o.d"
+  "CMakeFiles/zmail_core.dir/messages.cpp.o"
+  "CMakeFiles/zmail_core.dir/messages.cpp.o.d"
+  "CMakeFiles/zmail_core.dir/scenario.cpp.o"
+  "CMakeFiles/zmail_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/zmail_core.dir/system.cpp.o"
+  "CMakeFiles/zmail_core.dir/system.cpp.o.d"
+  "libzmail_core.a"
+  "libzmail_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zmail_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zmail_crypto.dir/bytes.cpp.o"
+  "CMakeFiles/zmail_crypto.dir/bytes.cpp.o.d"
+  "CMakeFiles/zmail_crypto.dir/hashcash.cpp.o"
+  "CMakeFiles/zmail_crypto.dir/hashcash.cpp.o.d"
+  "CMakeFiles/zmail_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/zmail_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/zmail_crypto.dir/nonce.cpp.o"
+  "CMakeFiles/zmail_crypto.dir/nonce.cpp.o.d"
+  "CMakeFiles/zmail_crypto.dir/primes.cpp.o"
+  "CMakeFiles/zmail_crypto.dir/primes.cpp.o.d"
+  "CMakeFiles/zmail_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/zmail_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/zmail_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/zmail_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/zmail_crypto.dir/xtea.cpp.o"
+  "CMakeFiles/zmail_crypto.dir/xtea.cpp.o.d"
+  "libzmail_crypto.a"
+  "libzmail_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zmail_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/econ/adoption.cpp" "src/econ/CMakeFiles/zmail_econ.dir/adoption.cpp.o" "gcc" "src/econ/CMakeFiles/zmail_econ.dir/adoption.cpp.o.d"
+  "/root/repo/src/econ/isp_cost.cpp" "src/econ/CMakeFiles/zmail_econ.dir/isp_cost.cpp.o" "gcc" "src/econ/CMakeFiles/zmail_econ.dir/isp_cost.cpp.o.d"
+  "/root/repo/src/econ/legal.cpp" "src/econ/CMakeFiles/zmail_econ.dir/legal.cpp.o" "gcc" "src/econ/CMakeFiles/zmail_econ.dir/legal.cpp.o.d"
+  "/root/repo/src/econ/spammer.cpp" "src/econ/CMakeFiles/zmail_econ.dir/spammer.cpp.o" "gcc" "src/econ/CMakeFiles/zmail_econ.dir/spammer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/zmail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

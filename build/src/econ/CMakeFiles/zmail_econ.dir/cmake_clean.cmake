@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zmail_econ.dir/adoption.cpp.o"
+  "CMakeFiles/zmail_econ.dir/adoption.cpp.o.d"
+  "CMakeFiles/zmail_econ.dir/isp_cost.cpp.o"
+  "CMakeFiles/zmail_econ.dir/isp_cost.cpp.o.d"
+  "CMakeFiles/zmail_econ.dir/legal.cpp.o"
+  "CMakeFiles/zmail_econ.dir/legal.cpp.o.d"
+  "CMakeFiles/zmail_econ.dir/spammer.cpp.o"
+  "CMakeFiles/zmail_econ.dir/spammer.cpp.o.d"
+  "libzmail_econ.a"
+  "libzmail_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zmail_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

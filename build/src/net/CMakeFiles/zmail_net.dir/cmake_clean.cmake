@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zmail_net.dir/address.cpp.o"
+  "CMakeFiles/zmail_net.dir/address.cpp.o.d"
+  "CMakeFiles/zmail_net.dir/email.cpp.o"
+  "CMakeFiles/zmail_net.dir/email.cpp.o.d"
+  "CMakeFiles/zmail_net.dir/network.cpp.o"
+  "CMakeFiles/zmail_net.dir/network.cpp.o.d"
+  "CMakeFiles/zmail_net.dir/smtp.cpp.o"
+  "CMakeFiles/zmail_net.dir/smtp.cpp.o.d"
+  "libzmail_net.a"
+  "libzmail_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zmail_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zmail_sim.dir/simulator.cpp.o"
+  "CMakeFiles/zmail_sim.dir/simulator.cpp.o.d"
+  "libzmail_sim.a"
+  "libzmail_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zmail_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

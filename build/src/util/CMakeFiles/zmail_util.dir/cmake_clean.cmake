@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zmail_util.dir/log.cpp.o"
+  "CMakeFiles/zmail_util.dir/log.cpp.o.d"
+  "CMakeFiles/zmail_util.dir/money.cpp.o"
+  "CMakeFiles/zmail_util.dir/money.cpp.o.d"
+  "CMakeFiles/zmail_util.dir/rng.cpp.o"
+  "CMakeFiles/zmail_util.dir/rng.cpp.o.d"
+  "CMakeFiles/zmail_util.dir/stats.cpp.o"
+  "CMakeFiles/zmail_util.dir/stats.cpp.o.d"
+  "CMakeFiles/zmail_util.dir/table.cpp.o"
+  "CMakeFiles/zmail_util.dir/table.cpp.o.d"
+  "libzmail_util.a"
+  "libzmail_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zmail_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

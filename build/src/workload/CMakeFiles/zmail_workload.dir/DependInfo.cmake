@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/corpus.cpp" "src/workload/CMakeFiles/zmail_workload.dir/corpus.cpp.o" "gcc" "src/workload/CMakeFiles/zmail_workload.dir/corpus.cpp.o.d"
+  "/root/repo/src/workload/traffic.cpp" "src/workload/CMakeFiles/zmail_workload.dir/traffic.cpp.o" "gcc" "src/workload/CMakeFiles/zmail_workload.dir/traffic.cpp.o.d"
+  "/root/repo/src/workload/virus.cpp" "src/workload/CMakeFiles/zmail_workload.dir/virus.cpp.o" "gcc" "src/workload/CMakeFiles/zmail_workload.dir/virus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/zmail_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/zmail_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/zmail_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zmail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/zmail_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zmail_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

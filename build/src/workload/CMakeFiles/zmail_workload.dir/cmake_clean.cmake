@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zmail_workload.dir/corpus.cpp.o"
+  "CMakeFiles/zmail_workload.dir/corpus.cpp.o.d"
+  "CMakeFiles/zmail_workload.dir/traffic.cpp.o"
+  "CMakeFiles/zmail_workload.dir/traffic.cpp.o.d"
+  "CMakeFiles/zmail_workload.dir/virus.cpp.o"
+  "CMakeFiles/zmail_workload.dir/virus.cpp.o.d"
+  "libzmail_workload.a"
+  "libzmail_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zmail_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzmail_workload.a"
+)

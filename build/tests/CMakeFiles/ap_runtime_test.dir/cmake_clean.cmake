@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_runtime_test.dir/ap_runtime_test.cpp.o"
+  "CMakeFiles/ap_runtime_test.dir/ap_runtime_test.cpp.o.d"
+  "ap_runtime_test"
+  "ap_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

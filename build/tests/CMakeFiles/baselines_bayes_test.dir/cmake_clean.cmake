@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_bayes_test.dir/baselines_bayes_test.cpp.o"
+  "CMakeFiles/baselines_bayes_test.dir/baselines_bayes_test.cpp.o.d"
+  "baselines_bayes_test"
+  "baselines_bayes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_bayes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

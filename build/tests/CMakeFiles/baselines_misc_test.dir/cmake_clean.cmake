@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_misc_test.dir/baselines_misc_test.cpp.o"
+  "CMakeFiles/baselines_misc_test.dir/baselines_misc_test.cpp.o.d"
+  "baselines_misc_test"
+  "baselines_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bank_test.dir/core_bank_test.cpp.o"
+  "CMakeFiles/core_bank_test.dir/core_bank_test.cpp.o.d"
+  "core_bank_test"
+  "core_bank_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_isp_test.dir/core_isp_test.cpp.o"
+  "CMakeFiles/core_isp_test.dir/core_isp_test.cpp.o.d"
+  "core_isp_test"
+  "core_isp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_isp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scenario_test.dir/core_scenario_test.cpp.o"
+  "CMakeFiles/core_scenario_test.dir/core_scenario_test.cpp.o.d"
+  "core_scenario_test"
+  "core_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_hashcash_test.dir/crypto_hashcash_test.cpp.o"
+  "CMakeFiles/crypto_hashcash_test.dir/crypto_hashcash_test.cpp.o.d"
+  "crypto_hashcash_test"
+  "crypto_hashcash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_hashcash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

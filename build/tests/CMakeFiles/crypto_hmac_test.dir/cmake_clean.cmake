@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_hmac_test.dir/crypto_hmac_test.cpp.o"
+  "CMakeFiles/crypto_hmac_test.dir/crypto_hmac_test.cpp.o.d"
+  "crypto_hmac_test"
+  "crypto_hmac_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_hmac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_nonce_test.dir/crypto_nonce_test.cpp.o"
+  "CMakeFiles/crypto_nonce_test.dir/crypto_nonce_test.cpp.o.d"
+  "crypto_nonce_test"
+  "crypto_nonce_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_nonce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_primes_test.dir/crypto_primes_test.cpp.o"
+  "CMakeFiles/crypto_primes_test.dir/crypto_primes_test.cpp.o.d"
+  "crypto_primes_test"
+  "crypto_primes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_primes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto_rsa_test.cpp" "tests/CMakeFiles/crypto_rsa_test.dir/crypto_rsa_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_rsa_test.dir/crypto_rsa_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zmail_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/econ/CMakeFiles/zmail_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/zmail_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/zmail_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/zmail_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/zmail_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zmail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zmail_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/zmail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_xtea_test.dir/crypto_xtea_test.cpp.o"
+  "CMakeFiles/crypto_xtea_test.dir/crypto_xtea_test.cpp.o.d"
+  "crypto_xtea_test"
+  "crypto_xtea_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_xtea_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

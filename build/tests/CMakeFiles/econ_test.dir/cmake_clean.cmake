@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/econ_test.dir/econ_test.cpp.o"
+  "CMakeFiles/econ_test.dir/econ_test.cpp.o.d"
+  "econ_test"
+  "econ_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/econ_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

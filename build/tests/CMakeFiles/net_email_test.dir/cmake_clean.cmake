@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_email_test.dir/net_email_test.cpp.o"
+  "CMakeFiles/net_email_test.dir/net_email_test.cpp.o.d"
+  "net_email_test"
+  "net_email_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_email_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_smtp_test.dir/net_smtp_test.cpp.o"
+  "CMakeFiles/net_smtp_test.dir/net_smtp_test.cpp.o.d"
+  "net_smtp_test"
+  "net_smtp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_smtp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_money_test.dir/util_money_test.cpp.o"
+  "CMakeFiles/util_money_test.dir/util_money_test.cpp.o.d"
+  "util_money_test"
+  "util_money_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_money_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
