@@ -186,11 +186,12 @@ void a1d_federation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench harness("a1_ablations", argc, argv);
   std::printf("=== A1: ablations ===\n");
   a1a_sell_race();
   a1b_resume_barrier();
   a1c_legal_baseline();
   a1d_federation();
-  return bench::finish();
+  return harness.finish();
 }

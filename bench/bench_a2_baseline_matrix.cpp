@@ -172,7 +172,8 @@ Row run_zmail() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench harness("a2_baseline_matrix", argc, argv);
   std::printf("=== A2: every Section-2 baseline on one mail stream ===\n");
   workload::CorpusGenerator corpus(workload::CorpusParams{}, Rng(777));
 
@@ -216,5 +217,5 @@ int main() {
                "SHRED delivers all spam and burns receiver time");
   bench::check(zmail.spam_delivered < 0.05 && zmail.legit_lost == 0.0,
                "Zmail: spam collapses, zero legitimate mail lost");
-  return bench::finish();
+  return harness.finish();
 }

@@ -144,11 +144,12 @@ void e10d_corpus_difficulty() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench harness("e10_filter_false_positives", argc, argv);
   std::printf("=== E10: filter false positives and evasion ===\n");
   e10a_confusion();
   e10b_evasion_sweep();
   e10c_dollar_cost();
   e10d_corpus_difficulty();
-  return bench::finish();
+  return harness.finish();
 }

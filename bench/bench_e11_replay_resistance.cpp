@@ -150,10 +150,11 @@ void e11c_tampering() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench harness("e11_replay_resistance", argc, argv);
   std::printf("=== E11: replay and tamper resistance ===\n");
   e11a_trade_replay();
   e11b_snapshot_replay();
   e11c_tampering();
-  return bench::finish();
+  return harness.finish();
 }

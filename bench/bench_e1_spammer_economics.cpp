@@ -96,42 +96,59 @@ void e1c_partial_deployment_frontier() {
                "spam turns unprofitable early in the deployment curve");
 }
 
-void e1d_simulated_blast() {
+void e1d_simulated_blast(bench::Bench& harness) {
   // A spammer with a $5 budget (500 e-pennies) blasts a compliant world vs
-  // a fully non-compliant world.
-  auto run = [](bool compliant_world) {
-    core::ZmailParams p;
-    p.n_isps = 4;
-    p.users_per_isp = 100;
-    p.initial_user_balance = 500;
-    p.default_daily_limit = 100'000;
-    p.record_inboxes = false;
-    if (!compliant_world) p.compliant = {false, false, false, false};
-    core::ZmailSystem sys(p, 17);
-    workload::CorpusGenerator corpus(workload::CorpusParams{}, Rng(18));
-    workload::SpamCampaignParams cp;
-    cp.messages = 5'000;
-    Rng rng(19);
-    const auto r = workload::run_spam_campaign(sys, cp, corpus, rng);
-    sys.run_for(sim::kHour);
-    return r;
+  // a fully non-compliant world.  Runs as a two-point sweep so --replicas
+  // averages over independent campaigns and --threads runs them in
+  // parallel.
+  const std::vector<sweep::Point> grid = {
+      {"all-Zmail", {{"compliant", 1}}},
+      {"all-SMTP", {{"compliant", 0}}},
   };
+  const auto result = harness.run_sweep(
+      "e1d_simulated_blast", grid,
+      [&](const sweep::Point& pt, std::uint64_t seed, std::size_t) {
+        core::ZmailParams p;
+        p.n_isps = 4;
+        p.users_per_isp = 100;
+        p.initial_user_balance = 500;
+        p.default_daily_limit = 100'000;
+        p.record_inboxes = false;
+        if (pt.param("compliant") == 0)
+          p.compliant = {false, false, false, false};
+        core::ZmailSystem sys(p, seed);
+        Rng seeder(seed ^ 0xB1A57ULL);
+        workload::CorpusGenerator corpus(workload::CorpusParams{},
+                                         seeder.split());
+        workload::SpamCampaignParams cp;
+        cp.messages = 5'000;
+        Rng rng = seeder.split();
+        const auto r = workload::run_spam_campaign(sys, cp, corpus, rng);
+        sys.run_for(sim::kHour);
+        sweep::MetricBag bag;
+        bag.count("attempted", static_cast<double>(r.attempted));
+        bag.count("sent", static_cast<double>(r.sent));
+        bag.count("refused_balance", static_cast<double>(r.refused_balance));
+        bag.count("events",
+                  static_cast<double>(sys.simulator().events_executed()));
+        return bag;
+      });
 
-  const auto zmail_world = run(true);
-  const auto smtp_world = run(false);
-
+  const sweep::MetricBag& smtp = result.at_label("all-SMTP").merged;
+  const sweep::MetricBag& zmail = result.at_label("all-Zmail").merged;
   Table t({"world", "attempted", "delivered/accepted", "refused (no funds)"});
-  t.add_row({"all-SMTP", Table::num(std::uint64_t{smtp_world.attempted}),
-             Table::num(std::uint64_t{smtp_world.sent}),
-             Table::num(std::uint64_t{smtp_world.refused_balance})});
-  t.add_row({"all-Zmail", Table::num(std::uint64_t{zmail_world.attempted}),
-             Table::num(std::uint64_t{zmail_world.sent}),
-             Table::num(std::uint64_t{zmail_world.refused_balance})});
-  t.print("E1.d  simulated 5000-message blast, 500 e-pennies of budget");
+  t.add_row({"all-SMTP", Table::num(smtp.counter("attempted"), 0),
+             Table::num(smtp.counter("sent"), 0),
+             Table::num(smtp.counter("refused_balance"), 0)});
+  t.add_row({"all-Zmail", Table::num(zmail.counter("attempted"), 0),
+             Table::num(zmail.counter("sent"), 0),
+             Table::num(zmail.counter("refused_balance"), 0)});
+  t.print("E1.d  simulated blast, 500 e-pennies of budget (" +
+          std::to_string(result.replicas) + " replica(s)/world)");
 
-  bench::check(smtp_world.sent == smtp_world.attempted,
+  bench::check(smtp.counter("sent") == smtp.counter("attempted"),
                "SMTP world delivers the whole blast for free");
-  bench::check(zmail_world.sent < smtp_world.sent / 5,
+  bench::check(zmail.counter("sent") < smtp.counter("sent") / 5,
                "Zmail world stops the blast when the budget runs dry");
 }
 
@@ -194,13 +211,14 @@ void e1f_market_equilibrium() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench harness("e1_spammer_economics", argc, argv);
   std::printf("=== E1: spammer economics ===\n");
   e1a_campaign_pnl();
   e1b_break_even();
   e1c_partial_deployment_frontier();
-  e1d_simulated_blast();
+  e1d_simulated_blast(harness);
   e1e_price_sensitivity();
   e1f_market_equilibrium();
-  return bench::finish();
+  return harness.finish();
 }

@@ -170,10 +170,11 @@ void e2c_spam_windfall() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench harness("e2_zero_sum_users", argc, argv);
   std::printf("=== E2: zero-sum property for normal users ===\n");
   e2a_net_drift();
   e2b_buffer_size();
   e2c_spam_windfall();
-  return bench::finish();
+  return harness.finish();
 }

@@ -120,10 +120,11 @@ void e3c_measured_wire_bytes() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench harness("e3_isp_overhead", argc, argv);
   std::printf("=== E3: ISP overhead ===\n");
   e3a_cost_vs_spam_share();
   e3b_before_after_zmail();
   e3c_measured_wire_bytes();
-  return bench::finish();
+  return harness.finish();
 }

@@ -144,10 +144,11 @@ void e4c_detection_latency() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench harness("e4_misbehavior_detection", argc, argv);
   std::printf("=== E4: misbehavior detection ===\n");
   e4a_collusion_sweep();
   e4b_ap_randomized();
   e4c_detection_latency();
-  return bench::finish();
+  return harness.finish();
 }

@@ -138,10 +138,11 @@ void e5c_receiver_effort() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench harness("e5_payment_overhead", argc, argv);
   std::printf("=== E5: payment handling overhead ===\n");
   e5a_ledger_ops();
   e5b_cost_vs_value();
   e5c_receiver_effort();
-  return bench::finish();
+  return harness.finish();
 }

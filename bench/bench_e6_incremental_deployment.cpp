@@ -132,10 +132,11 @@ void e6c_micro_mechanism() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench harness("e6_incremental_deployment", argc, argv);
   std::printf("=== E6: incremental deployment ===\n");
   e6a_s_curve();
   e6b_sensitivity();
   e6c_micro_mechanism();
-  return bench::finish();
+  return harness.finish();
 }

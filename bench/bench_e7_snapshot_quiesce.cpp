@@ -181,11 +181,12 @@ void e7d_month_of_traffic() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench harness("e7_snapshot_quiesce", argc, argv);
   std::printf("=== E7: snapshot quiesce ===\n");
   e7a_latency_profile();
   e7b_buffer_flush();
   e7c_cadence_sweep();
   e7d_month_of_traffic();
-  return bench::finish();
+  return harness.finish();
 }

@@ -147,11 +147,12 @@ void e8d_quarantine() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench harness("e8_zombie_containment", argc, argv);
   std::printf("=== E8: zombie containment ===\n");
   e8a_limit_sweep();
   e8b_detection();
   e8c_infectivity_sweep();
   e8d_quarantine();
-  return bench::finish();
+  return harness.finish();
 }

@@ -129,10 +129,11 @@ void e9c_working_capital() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Bench harness("e9_mailing_list", argc, argv);
   std::printf("=== E9: mailing-list acknowledgments ===\n");
   e9a_size_sweep();
   e9b_pruning();
   e9c_working_capital();
-  return bench::finish();
+  return harness.finish();
 }

@@ -2,6 +2,8 @@
 // channel throughput under both scheduling policies.
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_common.hpp"
+
 #include "ap/scheduler.hpp"
 
 using namespace zmail;
@@ -80,3 +82,8 @@ void BM_ApManyProcesses(benchmark::State& state) {
 BENCHMARK(BM_ApManyProcesses)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  zmail::bench::Bench harness("micro_ap", argc, argv);
+  return zmail::bench::run_micro(harness, argc, argv);
+}

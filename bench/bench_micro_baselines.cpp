@@ -2,6 +2,8 @@
 // scoring throughput, pipeline dispatch, SHRED processing.
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_common.hpp"
+
 #include "baselines/bayes.hpp"
 #include "baselines/pipeline.hpp"
 #include "baselines/shred.hpp"
@@ -84,3 +86,8 @@ void BM_ShredProcess(benchmark::State& state) {
 BENCHMARK(BM_ShredProcess);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  zmail::bench::Bench harness("micro_baselines", argc, argv);
+  return zmail::bench::run_micro(harness, argc, argv);
+}

@@ -1,0 +1,47 @@
+// Harness glue for the google-benchmark micro benches: keeps the normal
+// console output but also captures every run into the Bench JSON, so
+// BENCH_micro_*.json carries the same machine-readable trajectory as the
+// experiment benches.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace zmail::bench {
+
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(Bench& bench) : bench_(bench) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    json::Value& list = bench_.metrics()["benchmarks"];
+    for (const Run& r : runs) {
+      json::Value e = json::Value::object();
+      e["name"] = r.benchmark_name();
+      e["iterations"] = static_cast<std::uint64_t>(r.iterations);
+      e["real_time_ns"] = r.GetAdjustedRealTime();
+      e["cpu_time_ns"] = r.GetAdjustedCPUTime();
+      for (const auto& [name, counter] : r.counters)
+        e[name] = static_cast<double>(counter);
+      list.push_back(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  Bench& bench_;
+};
+
+// Runs the registered benchmarks with JSON capture and finishes the bench.
+// benchmark::Initialize consumes the --benchmark_* flags; the Bench
+// constructor already ignored them and took the harness flags.
+inline int run_micro(Bench& bench, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  JsonCapturingReporter reporter(bench);
+  const std::size_t n = benchmark::RunSpecifiedBenchmarks(&reporter);
+  bench.metrics()["benchmarks_run"] = static_cast<std::uint64_t>(n);
+  return bench.finish();
+}
+
+}  // namespace zmail::bench

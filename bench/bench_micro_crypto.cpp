@@ -2,6 +2,8 @@
 // RSA keygen/apply, NCR/DCR envelopes, NNC nonces, hashcash.
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_common.hpp"
+
 #include "crypto/hashcash.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/nonce.hpp"
@@ -112,3 +114,8 @@ void BM_HashcashVerify(benchmark::State& state) {
 BENCHMARK(BM_HashcashVerify);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  zmail::bench::Bench harness("micro_crypto", argc, argv);
+  return zmail::bench::run_micro(harness, argc, argv);
+}

@@ -2,6 +2,8 @@
 // serialization, address parsing.
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_common.hpp"
+
 #include "net/smtp.hpp"
 
 using namespace zmail;
@@ -54,3 +56,8 @@ void BM_Rfc822Render(benchmark::State& state) {
 BENCHMARK(BM_Rfc822Render);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  zmail::bench::Bench harness("micro_smtp", argc, argv);
+  return zmail::bench::run_micro(harness, argc, argv);
+}

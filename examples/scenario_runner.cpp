@@ -4,13 +4,23 @@
 //   ./scenario_runner path/to/script.zs
 //   echo "world isps=2 users=2" | ./scenario_runner -
 //
-// With no argument, runs a built-in demo script.
+//   ./scenario_runner script.zs --replicas 8 --threads 4 --json out.json
+//
+// With no script argument, runs a built-in demo script.  With --replicas N
+// the script runs N times on the sweep harness (seed varied per replica via
+// sweep::derive_seed) and the merged counters land in the JSON report; the
+// script's own expectations are checked in every replica.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 
+#include "core/obs.hpp"
 #include "core/scenario.hpp"
+#include "sim/sweep.hpp"
 
 using namespace zmail;
 
@@ -48,22 +58,71 @@ expect conservation
 print balances
 )";
 
+struct Args {
+  std::string script;  // empty = demo, "-" = stdin
+  std::size_t replicas = 1;
+  std::size_t threads = 1;
+  std::uint64_t seed = 0;
+  bool seed_given = false;
+  std::string json_path;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [script.zs|-] [--replicas N] [--threads N]"
+               " [--seed S] [--json PATH]\n",
+               argv0);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(a, "--replicas") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      args.replicas = std::max<std::size_t>(1, std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(a, "--threads") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      args.threads = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--seed") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      args.seed = std::strtoull(v, nullptr, 10);
+      args.seed_given = true;
+    } else if (std::strcmp(a, "--json") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      args.json_path = v;
+    } else if (a[0] == '-' && std::strcmp(a, "-") != 0) {
+      return usage(argv[0]);
+    } else if (args.script.empty()) {
+      args.script = a;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
   std::string text;
-  if (argc < 2) {
+  if (args.script.empty()) {
     std::printf("(no script given; running the built-in demo)\n\n%s\n---\n",
                 kDemoScript);
     text = kDemoScript;
-  } else if (std::string(argv[1]) == "-") {
+  } else if (args.script == "-") {
     std::stringstream ss;
     ss << std::cin.rdbuf();
     text = ss.str();
   } else {
-    std::ifstream f(argv[1]);
+    std::ifstream f(args.script);
     if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", args.script.c_str());
       return 2;
     }
     std::stringstream ss;
@@ -79,13 +138,69 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  core::ScenarioRunner runner(*scenario);
-  const core::ScenarioResult result = runner.run();
-  std::printf("%s", result.output_text().c_str());
-  std::printf("executed %llu commands, %zu failure(s)\n",
-              static_cast<unsigned long long>(result.commands_executed),
-              result.failures.size());
-  for (const auto& f : result.failures)
+  // Replica runs go through the sweep harness; the default invocation is a
+  // 1-replica sweep with the script's own seed, which reproduces the
+  // historical behaviour exactly.
+  const std::uint64_t base_seed =
+      args.seed_given ? args.seed : scenario->seed();
+  const bool vary_seed = args.seed_given || args.replicas > 1;
+
+  std::vector<std::string> first_output;
+  std::vector<core::ScenarioError> first_failures;
+  std::mutex first_mutex;
+
+  sweep::SweepOptions so;
+  so.base_seed = base_seed;
+  so.replicas = args.replicas;
+  so.threads = args.threads;
+  const sweep::SweepResult result = sweep::run(
+      sweep::Point{"scenario", {}}, so,
+      [&](const sweep::Point&, std::uint64_t seed, std::size_t replica) {
+        core::Scenario copy = *scenario;
+        if (vary_seed) copy.set_seed(seed);
+        core::ScenarioRunner runner(copy);
+        const core::ScenarioResult r = runner.run();
+        sweep::MetricBag bag;
+        bag.count("commands_executed", static_cast<double>(r.commands_executed));
+        bag.count("failures", static_cast<double>(r.failures.size()));
+        bag.count("replicas_ok", r.ok() ? 1.0 : 0.0);
+        const core::IspMetrics m = runner.system().total_isp_metrics();
+        bag.count("emails_delivered", static_cast<double>(m.emails_delivered));
+        bag.count("refused_no_balance",
+                  static_cast<double>(m.refused_no_balance));
+        bag.count("refused_daily_limit",
+                  static_cast<double>(m.refused_daily_limit));
+        if (replica == 0) {
+          std::lock_guard<std::mutex> lock(first_mutex);
+          first_output = r.output;
+          first_failures = r.failures;
+        }
+        return bag;
+      });
+
+  for (const auto& line : first_output) std::printf("%s\n", line.c_str());
+  const sweep::MetricBag& merged = result.points.front().merged;
+  const auto failures = static_cast<std::uint64_t>(merged.counter("failures"));
+  std::printf("executed %llu commands across %zu replica(s), %llu failure(s)\n",
+              static_cast<unsigned long long>(
+                  merged.counter("commands_executed")),
+              args.replicas, static_cast<unsigned long long>(failures));
+  for (const auto& f : first_failures)
     std::fprintf(stderr, "  line %zu: %s\n", f.line, f.message.c_str());
-  return result.ok() ? 0 : 1;
+
+  if (!args.json_path.empty()) {
+    json::Value j = json::Value::object();
+    j["schema"] = "zmail-scenario-v1";
+    j["script"] = args.script.empty() ? std::string("<demo>") : args.script;
+    j["commands_in_script"] =
+        static_cast<std::uint64_t>(scenario->command_count());
+    j["sweep"] = result.to_json();
+    std::string werr;
+    if (!json::write_file(args.json_path, j, &werr)) {
+      std::fprintf(stderr, "JSON export failed: %s\n", werr.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", args.json_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
 }

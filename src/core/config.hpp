@@ -13,6 +13,30 @@
 
 namespace zmail::core {
 
+// Strong identifier for an ISP in the public facade.  Implicitly
+// constructible from a plain index so call sites stay terse
+// (`sys.isp(2)`), but it does not convert back silently — reading the
+// index is an explicit `.index()`, which stops an IspId from leaking into
+// user-slot or byte-count arithmetic unnoticed.
+class IspId {
+ public:
+  constexpr IspId(std::size_t index = 0) noexcept : index_(index) {}
+  constexpr std::size_t index() const noexcept { return index_; }
+
+  friend constexpr bool operator==(IspId a, IspId b) noexcept {
+    return a.index_ == b.index_;
+  }
+  friend constexpr bool operator!=(IspId a, IspId b) noexcept {
+    return a.index_ != b.index_;
+  }
+  friend constexpr bool operator<(IspId a, IspId b) noexcept {
+    return a.index_ < b.index_;
+  }
+
+ private:
+  std::size_t index_;
+};
+
 // How a compliant ISP's user treats mail arriving from non-compliant ISPs
 // (Section 5, Incremental Deployment: "segregate or discard email from
 // non-compliant ISPs, or require any email from a non-compliant ISP to pass

@@ -42,10 +42,10 @@ FederatedZmailSystem::FederatedZmailSystem(ZmailParams params,
   }
 }
 
-SendResult FederatedZmailSystem::send_email(const net::EmailAddress& from,
-                                            const net::EmailAddress& to,
-                                            std::string subject,
-                                            std::string body) {
+SendOutcome FederatedZmailSystem::send_email(const net::EmailAddress& from,
+                                             const net::EmailAddress& to,
+                                             std::string subject,
+                                             std::string body) {
   std::size_t fi = 0, fu = 0, ti = 0, tu = 0;
   ZMAIL_ASSERT(net::decode_user_address(from, fi, fu) &&
                net::decode_user_address(to, ti, tu));
@@ -54,7 +54,7 @@ SendResult FederatedZmailSystem::send_email(const net::EmailAddress& from,
                                                                std::move(subject),
                                                                std::move(body)));
   pump_isp(fi);
-  return r;
+  return SendOutcome::from(r);
 }
 
 bool FederatedZmailSystem::buy_epennies(const net::EmailAddress& user,

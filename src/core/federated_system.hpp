@@ -14,6 +14,7 @@
 
 #include "core/federation.hpp"
 #include "core/isp.hpp"
+#include "core/system.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -24,9 +25,9 @@ class FederatedZmailSystem {
   FederatedZmailSystem(ZmailParams params, std::size_t n_banks,
                        std::uint64_t seed = 42);
 
-  SendResult send_email(const net::EmailAddress& from,
-                        const net::EmailAddress& to, std::string subject,
-                        std::string body);
+  SendOutcome send_email(const net::EmailAddress& from,
+                         const net::EmailAddress& to, std::string subject,
+                         std::string body);
 
   bool buy_epennies(const net::EmailAddress& user, EPenny n);
   void enable_bank_trading(sim::Duration poll = 5 * sim::kMinute);
@@ -35,8 +36,8 @@ class FederatedZmailSystem {
   sim::SimTime now() const { return sim_.now(); }
 
   const ZmailParams& params() const noexcept { return params_; }
-  Isp& isp(std::size_t i) { return *isps_.at(i); }
-  const Isp& isp(std::size_t i) const { return *isps_.at(i); }
+  Isp& isp(IspId i) { return *isps_.at(i.index()); }
+  const Isp& isp(IspId i) const { return *isps_.at(i.index()); }
   BankFederation& federation() noexcept { return *fed_; }
   const BankFederation& federation() const noexcept { return *fed_; }
   net::Network& network() noexcept { return net_; }

@@ -46,6 +46,32 @@ struct IspMetrics {
   std::uint64_t bad_nonce_replies = 0;
   std::uint64_t bad_envelopes = 0;
   std::uint64_t stale_requests = 0;
+
+  // Field-wise sum, for fleet-wide aggregation (obs snapshots, sweeps).
+  void merge(const IspMetrics& o) noexcept {
+    emails_sent_local += o.emails_sent_local;
+    emails_sent_compliant += o.emails_sent_compliant;
+    emails_sent_noncompliant += o.emails_sent_noncompliant;
+    emails_received_compliant += o.emails_received_compliant;
+    emails_received_noncompliant += o.emails_received_noncompliant;
+    emails_delivered += o.emails_delivered;
+    emails_segregated += o.emails_segregated;
+    emails_discarded += o.emails_discarded;
+    emails_filtered_out += o.emails_filtered_out;
+    refused_no_balance += o.refused_no_balance;
+    refused_daily_limit += o.refused_daily_limit;
+    emails_buffered_during_quiesce += o.emails_buffered_during_quiesce;
+    snapshots_answered += o.snapshots_answered;
+    zombie_warnings_sent += o.zombie_warnings_sent;
+    acks_generated += o.acks_generated;
+    acks_received += o.acks_received;
+    bank_buys_attempted += o.bank_buys_attempted;
+    bank_buys_accepted += o.bank_buys_accepted;
+    bank_sells += o.bank_sells;
+    bad_nonce_replies += o.bad_nonce_replies;
+    bad_envelopes += o.bad_envelopes;
+    stale_requests += o.stale_requests;
+  }
 };
 
 struct BankMetrics {

@@ -1,0 +1,163 @@
+#include "core/obs.hpp"
+
+#include "core/bank.hpp"
+#include "core/isp.hpp"
+
+namespace zmail::obs {
+
+json::Value to_json(const core::IspMetrics& m) {
+  json::Value j = json::Value::object();
+  j["emails_sent_local"] = m.emails_sent_local;
+  j["emails_sent_compliant"] = m.emails_sent_compliant;
+  j["emails_sent_noncompliant"] = m.emails_sent_noncompliant;
+  j["emails_received_compliant"] = m.emails_received_compliant;
+  j["emails_received_noncompliant"] = m.emails_received_noncompliant;
+  j["emails_delivered"] = m.emails_delivered;
+  j["emails_segregated"] = m.emails_segregated;
+  j["emails_discarded"] = m.emails_discarded;
+  j["emails_filtered_out"] = m.emails_filtered_out;
+  j["refused_no_balance"] = m.refused_no_balance;
+  j["refused_daily_limit"] = m.refused_daily_limit;
+  j["emails_buffered_during_quiesce"] = m.emails_buffered_during_quiesce;
+  j["snapshots_answered"] = m.snapshots_answered;
+  j["zombie_warnings_sent"] = m.zombie_warnings_sent;
+  j["acks_generated"] = m.acks_generated;
+  j["acks_received"] = m.acks_received;
+  j["bank_buys_attempted"] = m.bank_buys_attempted;
+  j["bank_buys_accepted"] = m.bank_buys_accepted;
+  j["bank_sells"] = m.bank_sells;
+  j["bad_nonce_replies"] = m.bad_nonce_replies;
+  j["bad_envelopes"] = m.bad_envelopes;
+  j["stale_requests"] = m.stale_requests;
+  return j;
+}
+
+json::Value to_json(const core::BankMetrics& m) {
+  json::Value j = json::Value::object();
+  j["buys_received"] = m.buys_received;
+  j["buys_accepted"] = m.buys_accepted;
+  j["buys_rejected"] = m.buys_rejected;
+  j["sells_received"] = m.sells_received;
+  j["snapshot_rounds"] = m.snapshot_rounds;
+  j["credit_reports_received"] = m.credit_reports_received;
+  j["inconsistent_pairs_found"] = m.inconsistent_pairs_found;
+  j["bad_envelopes"] = m.bad_envelopes;
+  j["stale_reports"] = m.stale_reports;
+  j["epennies_minted"] = static_cast<std::int64_t>(m.epennies_minted);
+  j["epennies_burned"] = static_cast<std::int64_t>(m.epennies_burned);
+  j["settlement_transfers"] = m.settlement_transfers;
+  j["settlement_bytes"] = m.settlement_bytes;
+  return j;
+}
+
+json::Value to_json(const core::LegacyHostStats& s) {
+  json::Value j = json::Value::object();
+  j["emails_sent"] = s.emails_sent;
+  j["emails_received"] = s.emails_received;
+  j["emails_received_spam"] = s.emails_received_spam;
+  return j;
+}
+
+json::Value to_json(const OnlineStats& s) {
+  json::Value j = json::Value::object();
+  j["count"] = s.count();
+  j["mean"] = s.mean();
+  j["stddev"] = s.stddev();
+  j["min"] = s.min();
+  j["max"] = s.max();
+  j["sum"] = s.sum();
+  return j;
+}
+
+json::Value to_json(const Histogram& h) {
+  json::Value j = json::Value::object();
+  j["lo"] = h.lo();
+  j["hi"] = h.hi();
+  j["total"] = h.total();
+  j["p50"] = h.percentile(50);
+  j["p90"] = h.percentile(90);
+  j["p99"] = h.percentile(99);
+  json::Value& counts = j["counts"];
+  counts = json::Value::array();
+  for (std::uint64_t c : h.buckets()) counts.push_back(c);
+  return j;
+}
+
+json::Value to_json(const Sample& s) {
+  json::Value j = json::Value::object();
+  j["count"] = static_cast<std::uint64_t>(s.size());
+  if (!s.empty()) {
+    j["mean"] = s.mean();
+    j["min"] = s.min();
+    j["max"] = s.max();
+    j["p50"] = s.percentile(50);
+    j["p90"] = s.percentile(90);
+    j["p99"] = s.percentile(99);
+  }
+  return j;
+}
+
+json::Value snapshot(const core::ZmailSystem& sys) {
+  const core::ZmailParams& p = sys.params();
+  json::Value j = json::Value::object();
+  j["sim_time"] = static_cast<std::int64_t>(sys.now());
+  j["n_isps"] = static_cast<std::uint64_t>(p.n_isps);
+  j["users_per_isp"] = static_cast<std::uint64_t>(p.users_per_isp);
+  j["compliant_isps"] = static_cast<std::uint64_t>(p.compliant_count());
+
+  j["isp_totals"] = to_json(sys.total_isp_metrics());
+  j["legacy_totals"] = to_json(sys.total_legacy_stats());
+  j["bank"] = to_json(sys.bank().metrics());
+  j["delivery_latency_seconds"] = to_json(sys.delivery_latency());
+
+  json::Value& net = j["network"];
+  net["datagrams_sent"] = sys.network().datagrams_sent();
+  net["bytes_sent"] = sys.network().bytes_sent();
+  json::Value& smtp = net["smtp_bytes_received"];
+  smtp = json::Value::array();
+  for (std::size_t i = 0; i < p.n_isps; ++i)
+    smtp.push_back(sys.smtp_bytes_received(i));
+
+  json::Value& per_isp = j["per_isp"];
+  per_isp = json::Value::array();
+  for (std::size_t i = 0; i < p.n_isps; ++i) {
+    json::Value e = json::Value::object();
+    e["isp"] = static_cast<std::uint64_t>(i);
+    e["compliant"] = p.is_compliant(i);
+    if (p.is_compliant(i))
+      e["metrics"] = to_json(sys.isp(i).metrics());
+    else
+      e["legacy"] = to_json(sys.legacy_stats(i));
+    per_isp.push_back(std::move(e));
+  }
+
+  json::Value& cons = j["conservation"];
+  cons["total_epennies"] = static_cast<std::int64_t>(sys.total_epennies());
+  cons["epennies_in_flight"] =
+      static_cast<std::int64_t>(sys.epennies_in_flight());
+  cons["holds"] = sys.conservation_holds();
+  return j;
+}
+
+void MetricsRegistry::add(std::string name, Provider provider) {
+  providers_.emplace_back(std::move(name), std::move(provider));
+}
+
+void MetricsRegistry::add_system(std::string name,
+                                 const core::ZmailSystem& sys) {
+  add(std::move(name), [&sys] { return zmail::obs::snapshot(sys); });
+}
+
+json::Value MetricsRegistry::snapshot() const {
+  json::Value j = json::Value::object();
+  j["schema"] = "zmail-obs-v1";
+  for (const auto& [name, provider] : providers_) j[name] = provider();
+  return j;
+}
+
+bool MetricsRegistry::write_file(const std::string& path,
+                                 std::string* error) const {
+  return json::write_file(path, snapshot(), error);
+}
+
+}  // namespace zmail::obs

@@ -1,0 +1,58 @@
+// zmail::obs — observability layer: structured (JSON) export of the
+// counters the protocol code already keeps.
+//
+// Nothing here adds instrumentation; it serializes what IspMetrics,
+// BankMetrics, and the stats types record, in a stable machine-readable
+// schema ("zmail-obs-v1") that BENCH_*.json files and the sweep harness
+// embed.  Key order is fixed (struct field order / sorted names), so two
+// runs of the same experiment diff cleanly.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/system.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace zmail::obs {
+
+json::Value to_json(const core::IspMetrics& m);
+json::Value to_json(const core::BankMetrics& m);
+json::Value to_json(const core::LegacyHostStats& s);
+json::Value to_json(const OnlineStats& s);
+json::Value to_json(const Histogram& h);
+// Samples export summary percentiles, not raw observations (raw data can be
+// millions of points; the consumers in EXPERIMENTS.md only read quantiles).
+json::Value to_json(const Sample& s);
+
+// Whole-system snapshot: aggregate + per-ISP metrics, bank metrics,
+// delivery latency, network totals, conservation status.
+json::Value snapshot(const core::ZmailSystem& sys);
+
+// Named lazy metric sources.  Providers are invoked at snapshot() time, so
+// a registry built before a run observes the state at export, not at
+// registration.  Registration order is serialization order.
+class MetricsRegistry {
+ public:
+  using Provider = std::function<json::Value()>;
+
+  void add(std::string name, Provider provider);
+  // Convenience: registers obs::snapshot(sys).  The system must outlive
+  // the registry's last snapshot() call.
+  void add_system(std::string name, const core::ZmailSystem& sys);
+
+  std::size_t size() const noexcept { return providers_.size(); }
+
+  // {"schema": "zmail-obs-v1", "<name>": <provider()>, ...}
+  json::Value snapshot() const;
+  bool write_file(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  std::vector<std::pair<std::string, Provider>> providers_;
+};
+
+}  // namespace zmail::obs

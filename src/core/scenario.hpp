@@ -49,6 +49,12 @@ class Scenario {
   const ZmailParams& params() const noexcept { return params_; }
   std::size_t command_count() const noexcept { return commands_.size(); }
 
+  // The world seed (from the script's `seed=` key, default 1).  Writable so
+  // harnesses can run replica variations of one script (the scenario_runner
+  // --replicas sweep derives one seed per replica).
+  std::uint64_t seed() const noexcept { return seed_; }
+  void set_seed(std::uint64_t s) noexcept { seed_ = s; }
+
  private:
   friend class ScenarioRunner;
 

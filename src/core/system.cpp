@@ -42,18 +42,38 @@ ZmailSystem::ZmailSystem(ZmailParams params, std::uint64_t seed)
   ZMAIL_ASSERT(bh == bank_host());
 }
 
-Isp& ZmailSystem::isp(std::size_t i) {
-  ZMAIL_ASSERT_MSG(isps_.at(i) != nullptr, "ISP is non-compliant (legacy)");
-  return *isps_[i];
+Isp& ZmailSystem::isp(IspId i) {
+  ZMAIL_ASSERT_MSG(isps_.at(i.index()) != nullptr,
+                   "ISP is non-compliant (legacy)");
+  return *isps_[i.index()];
 }
 
-const Isp& ZmailSystem::isp(std::size_t i) const {
-  ZMAIL_ASSERT_MSG(isps_.at(i) != nullptr, "ISP is non-compliant (legacy)");
-  return *isps_[i];
+const Isp& ZmailSystem::isp(IspId i) const {
+  ZMAIL_ASSERT_MSG(isps_.at(i.index()) != nullptr,
+                   "ISP is non-compliant (legacy)");
+  return *isps_[i.index()];
 }
 
-const LegacyHostStats& ZmailSystem::legacy_stats(std::size_t i) const {
-  return legacy_.at(i).stats;
+const LegacyHostStats& ZmailSystem::legacy_stats(IspId i) const {
+  return legacy_.at(i.index()).stats;
+}
+
+IspMetrics ZmailSystem::total_isp_metrics() const {
+  IspMetrics total;
+  for (const auto& isp : isps_)
+    if (isp) total.merge(isp->metrics());
+  return total;
+}
+
+LegacyHostStats ZmailSystem::total_legacy_stats() const {
+  LegacyHostStats total;
+  for (std::size_t i = 0; i < legacy_.size(); ++i) {
+    if (params_.is_compliant(i)) continue;
+    total.emails_sent += legacy_[i].stats.emails_sent;
+    total.emails_received += legacy_[i].stats.emails_received;
+    total.emails_received_spam += legacy_[i].stats.emails_received_spam;
+  }
+  return total;
 }
 
 void ZmailSystem::set_spam_filter(
@@ -62,15 +82,15 @@ void ZmailSystem::set_spam_filter(
     if (isp) isp->set_filter(f);
 }
 
-SendResult ZmailSystem::send_email(const net::EmailAddress& from,
-                                   const net::EmailAddress& to,
-                                   std::string subject, std::string body,
-                                   net::MailClass truth) {
+SendOutcome ZmailSystem::send_email(const net::EmailAddress& from,
+                                    const net::EmailAddress& to,
+                                    std::string subject, std::string body,
+                                    net::MailClass truth) {
   return send_email(
       net::make_email(from, to, std::move(subject), std::move(body), truth));
 }
 
-SendResult ZmailSystem::send_email(net::EmailMessage msg) {
+SendOutcome ZmailSystem::send_email(net::EmailMessage msg) {
   // Submission timestamp for the latency sample (survives quiesce
   // buffering; an ordinary header, so it rides plain SMTP).
   msg.set_header("X-Zmail-Sent-At", std::to_string(sim_.now()));
@@ -86,7 +106,7 @@ SendResult ZmailSystem::send_email(net::EmailMessage msg) {
     const SendResult r =
         isps_[from_isp]->user_send(from_user, to_isp, to_user, std::move(msg));
     pump_isp(from_isp);
-    return r;
+    return SendOutcome::from(r);
   }
 
   // Legacy sender: plain SMTP, free, no accounting.
@@ -95,32 +115,33 @@ SendResult ZmailSystem::send_email(net::EmailMessage msg) {
     ++legacy_[from_isp].stats.emails_received;
     if (msg.truth == net::MailClass::kSpam)
       ++legacy_[from_isp].stats.emails_received_spam;
-    return SendResult::kDeliveredLocally;
+    return SendOutcome::from(SendResult::kDeliveredLocally);
   }
   net_.send(from_isp, to_isp, kMsgEmail, msg.serialize());
-  return SendResult::kSentFree;
+  return SendOutcome::from(SendResult::kSentFree);
 }
 
-ZmailSystem::MultiSendResult ZmailSystem::send_email_multi(
-    const net::EmailMessage& msg) {
-  MultiSendResult out;
+SendOutcome ZmailSystem::send_email_multi(const net::EmailMessage& msg) {
+  SendOutcome out;
+  bool first = true;
   for (const net::EmailAddress& rcpt : msg.to) {
     net::EmailMessage copy = msg;
     copy.to = {rcpt};
-    switch (send_email(std::move(copy))) {
-      case SendResult::kNoBalance:
-      case SendResult::kDailyLimit:
-        ++out.refused;
-        break;
-      default:
-        ++out.sent;
-        break;
+    const SendResult r = send_email(std::move(copy));
+    if (SendOutcome::counts_as_refused(r)) {
+      if (out.refused == 0) out.result = r;  // first refusal wins
+      ++out.refused;
+    } else {
+      if (first) out.result = r;
+      ++out.sent;
     }
+    first = false;
   }
   return out;
 }
 
-void ZmailSystem::make_compliant(std::size_t isp_index) {
+void ZmailSystem::make_compliant(IspId isp) {
+  const std::size_t isp_index = isp.index();
   ZMAIL_ASSERT(isp_index < params_.n_isps);
   if (params_.is_compliant(isp_index)) return;
   ZMAIL_ASSERT_MSG(in_flight_paid_ == 0,

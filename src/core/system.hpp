@@ -40,6 +40,34 @@ struct LegacyHostStats {
   std::uint64_t emails_received_spam = 0;  // by ground truth
 };
 
+// Unified result of every facade send: the protocol outcome enum plus
+// per-recipient accepted/refused counts, so single- and multi-recipient
+// sends report through one type.  Converts implicitly to SendResult, which
+// keeps `switch (sys.send_email(...))` and `r == SendResult::kNoBalance`
+// call sites compiling unchanged.
+struct SendOutcome {
+  // For a single-recipient send, the protocol outcome.  For a fan-out,
+  // the first refusal if any recipient was refused, otherwise the first
+  // recipient's outcome.
+  SendResult result = SendResult::kDeliveredLocally;
+  std::size_t sent = 0;     // paid, free, buffered, or delivered locally
+  std::size_t refused = 0;  // no balance / daily limit
+
+  bool all_sent() const noexcept { return refused == 0; }
+  constexpr operator SendResult() const noexcept { return result; }
+
+  // Classification used by both send paths; mirrors the historical
+  // MultiSendResult semantics (quarantine blocks the sender before any
+  // recipient is considered, so it is not a per-recipient refusal — the
+  // enum still reports it).
+  static constexpr bool counts_as_refused(SendResult r) noexcept {
+    return r == SendResult::kNoBalance || r == SendResult::kDailyLimit;
+  }
+  static constexpr SendOutcome from(SendResult r) noexcept {
+    return counts_as_refused(r) ? SendOutcome{r, 0, 1} : SendOutcome{r, 1, 0};
+  }
+};
+
 class ZmailSystem {
  public:
   explicit ZmailSystem(ZmailParams params, std::uint64_t seed = 42);
@@ -48,20 +76,20 @@ class ZmailSystem {
   // Sends from any user (compliant or legacy) to any user.  For compliant
   // senders this runs the full Section 4.1 action; for legacy senders the
   // mail is free.  Returns the protocol outcome.
-  SendResult send_email(const net::EmailAddress& from,
-                        const net::EmailAddress& to, std::string subject,
-                        std::string body,
-                        net::MailClass truth = net::MailClass::kLegitimate);
-  SendResult send_email(net::EmailMessage msg);
+  SendOutcome send_email(const net::EmailAddress& from,
+                         const net::EmailAddress& to, std::string subject,
+                         std::string body,
+                         net::MailClass truth = net::MailClass::kLegitimate);
+  SendOutcome send_email(net::EmailMessage msg);
 
   // Multi-recipient send: one e-penny per recipient (RFC-821 RCPT fan-out
-  // with Zmail's per-receiver payment semantics).  Returns the per-outcome
+  // with Zmail's per-receiver payment semantics).  Returns the per-recipient
   // counts.
-  struct MultiSendResult {
-    std::size_t sent = 0;       // paid, free, buffered, or delivered locally
-    std::size_t refused = 0;    // no balance / daily limit
-  };
-  MultiSendResult send_email_multi(const net::EmailMessage& msg);
+  SendOutcome send_email_multi(const net::EmailMessage& msg);
+
+  // Deprecated alias from before the SendOutcome unification; the fields
+  // (`sent`, `refused`) carried over unchanged.
+  using MultiSendResult = SendOutcome;
 
   // --- User e-penny trades (Section 4.2) -----------------------------------
   bool buy_epennies(const net::EmailAddress& user, EPenny n);
@@ -74,7 +102,7 @@ class ZmailSystem {
   // Must be called while no mail is in flight (e.g. between simulated
   // days); billing-period boundaries are where real deployments would do
   // this, and it keeps the first snapshot after the flip consistent.
-  void make_compliant(std::size_t isp_index);
+  void make_compliant(IspId isp);
 
   // --- Periodic machinery ---------------------------------------------------
   void enable_daily_resets();
@@ -91,19 +119,26 @@ class ZmailSystem {
 
   // --- Introspection ---------------------------------------------------------
   const ZmailParams& params() const noexcept { return params_; }
-  bool is_compliant(std::size_t i) const { return params_.is_compliant(i); }
-  Isp& isp(std::size_t i);
-  const Isp& isp(std::size_t i) const;
+  bool is_compliant(IspId i) const { return params_.is_compliant(i.index()); }
+  Isp& isp(IspId i);
+  const Isp& isp(IspId i) const;
   Bank& bank() noexcept { return *bank_; }
   const Bank& bank() const noexcept { return *bank_; }
   net::Network& network() noexcept { return net_; }
-  const LegacyHostStats& legacy_stats(std::size_t i) const;
+  const net::Network& network() const noexcept { return net_; }
+  const LegacyHostStats& legacy_stats(IspId i) const;
   Rng& rng() noexcept { return rng_; }
 
   // Per-compliant-ISP SMTP bytes processed (inbound), for E3.
-  std::uint64_t smtp_bytes_received(std::size_t isp) const {
-    return smtp_bytes_in_.at(isp);
+  std::uint64_t smtp_bytes_received(IspId isp) const {
+    return smtp_bytes_in_.at(isp.index());
   }
+
+  // --- Metrics snapshot (obs layer; see src/core/obs.hpp) -------------------
+  // Field-wise sum of every compliant ISP's counters.
+  IspMetrics total_isp_metrics() const;
+  // Aggregate of the legacy (non-compliant) hosts.
+  LegacyHostStats total_legacy_stats() const;
 
   // End-to-end delivery latency of every inter-ISP email, in seconds
   // (submission at the sender's ISP to delivery at the recipient's ISP;

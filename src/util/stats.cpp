@@ -59,8 +59,15 @@ void Histogram::add(double x) noexcept {
   ++total_;
 }
 
+void Histogram::merge(const Histogram& o) noexcept {
+  ZMAIL_ASSERT_MSG(same_shape(o), "histogram merge requires identical shape");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+  total_ += o.total_;
+}
+
 double Histogram::percentile(double p) const noexcept {
   if (total_ == 0) return lo_;
+  p = std::clamp(p, 0.0, 100.0);
   const double target = static_cast<double>(total_) * p / 100.0;
   double cum = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {

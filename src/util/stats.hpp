@@ -37,6 +37,15 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t buckets);
 
   void add(double x) noexcept;
+  // Bucket-wise sum; both histograms must have identical bounds and bucket
+  // count (the sweep harness guarantees this by constructing replica
+  // histograms from one spec).
+  void merge(const Histogram& o) noexcept;
+  bool same_shape(const Histogram& o) const noexcept {
+    return lo_ == o.lo_ && hi_ == o.hi_ && counts_.size() == o.counts_.size();
+  }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
   std::uint64_t total() const noexcept { return total_; }
   double percentile(double p) const noexcept;  // p in [0, 100]
   const std::vector<std::uint64_t>& buckets() const noexcept {
@@ -58,6 +67,13 @@ class Histogram {
 class Sample {
  public:
   void add(double x) { xs_.push_back(x); }
+  // Concatenates the other sample's observations (order preserved:
+  // ours first, then theirs — merge order therefore matters for
+  // bit-identical reproduction and the sweep harness fixes it).
+  void merge(const Sample& o) {
+    xs_.insert(xs_.end(), o.xs_.begin(), o.xs_.end());
+  }
+  const std::vector<double>& values() const noexcept { return xs_; }
   std::size_t size() const noexcept { return xs_.size(); }
   bool empty() const noexcept { return xs_.empty(); }
   double percentile(double p) const;  // p in [0, 100]; sorts a copy

@@ -1,0 +1,108 @@
+#include "util/thread_pool.hpp"
+
+#include "util/assert.hpp"
+
+namespace zmail::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  stop_.store(true, std::memory_order_release);
+  { std::lock_guard<std::mutex> lock(wake_mutex_); }
+  wake_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  ZMAIL_ASSERT(task != nullptr);
+  const std::size_t w =
+      next_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(workers_[w]->mutex);
+    workers_[w]->deque.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  // Touch the mutex so the increment cannot slip between a worker's
+  // predicate check and its sleep (classic lost-wakeup window).
+  { std::lock_guard<std::mutex> lock(wake_mutex_); }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  Worker& w = *workers_[self];
+  std::lock_guard<std::mutex> lock(w.mutex);
+  if (w.deque.empty()) return false;
+  out = std::move(w.deque.back());
+  w.deque.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t self, std::function<void()>& out) {
+  const std::size_t n = workers_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    Worker& v = *workers_[(self + k) % n];
+    std::lock_guard<std::mutex> lock(v.mutex);
+    if (v.deque.empty()) continue;
+    out = std::move(v.deque.front());
+    v.deque.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  while (true) {
+    std::function<void()> task;
+    if (try_pop(self, task) || try_steal(self, task)) {
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      task();
+      if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(idle_mutex_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0)
+      return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (size() == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    submit([&fn, i] { fn(i); });
+  wait_idle();
+}
+
+}  // namespace zmail::util

@@ -1,0 +1,73 @@
+// Work-stealing thread pool — the execution substrate of zmail::sweep.
+//
+// Each worker owns a deque: the owner pushes/pops at the back (LIFO, cache
+// warm), idle workers steal from the front of a victim's deque (FIFO, oldest
+// work first).  Submission round-robins across workers so a burst of replica
+// tasks starts spread out instead of all landing on one queue.
+//
+// Tasks must not throw — an escaping exception would take the worker thread
+// (and the process) down; wrap fallible work and report through the result.
+// Determinism note: the pool makes no ordering promises.  Callers that need
+// run-to-run identical results (sweep does) must write results into
+// pre-assigned slots and reduce in a fixed order after wait_idle().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace zmail::util {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  // Enqueues a task; runs on some worker thread.
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished running.
+  void wait_idle();
+
+  // Runs fn(i) for each i in [0, n) across the pool, then waits.  With a
+  // single worker the loop runs inline on the caller's thread (no handoff
+  // overhead), which is also the --threads 1 reference path for the
+  // determinism acceptance check.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> deque;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, std::function<void()>& out);
+  bool try_steal(std::size_t self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> next_{0};      // round-robin submission cursor
+  std::atomic<std::size_t> queued_{0};    // tasks enqueued, not yet started
+  std::atomic<std::size_t> in_flight_{0}; // tasks enqueued or running
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;  // workers sleep here when starved
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;  // wait_idle() sleeps here
+};
+
+}  // namespace zmail::util

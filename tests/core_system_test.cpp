@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 namespace zmail::core {
 namespace {
 
@@ -228,6 +230,58 @@ TEST(System, QuiesceBufferingShowsUpInLatency) {
   // ~9 minutes of buffer time.
   EXPECT_GT(sys.delivery_latency().max(), 8.0 * 60.0);
   EXPECT_LT(sys.delivery_latency().max(), 10.0 * 60.0);
+}
+
+TEST(SendOutcome, CarriesResultAndPerRecipientCounts) {
+  ZmailSystem sys(two_isps(), 21);
+  const SendOutcome ok = sys.send_email(user(0, 0), user(1, 1), "s", "b");
+  EXPECT_EQ(ok.result, SendResult::kSentPaid);
+  EXPECT_EQ(ok.sent, 1u);
+  EXPECT_EQ(ok.refused, 0u);
+  EXPECT_TRUE(ok.all_sent());
+  // Implicit conversion keeps pre-redesign call sites working.
+  const SendResult legacy = ok;
+  EXPECT_EQ(legacy, SendResult::kSentPaid);
+  switch (ok) {
+    case SendResult::kSentPaid:
+      break;
+    default:
+      FAIL() << "switch over SendOutcome must use the embedded result";
+  }
+}
+
+TEST(SendOutcome, MultiRecipientCountsRefusals) {
+  ZmailParams p = two_isps();
+  p.initial_user_balance = 2;  // enough for two stamps only
+  ZmailSystem sys(p, 22);
+  net::EmailMessage msg = net::make_email(user(0, 0), user(1, 0), "s", "b");
+  msg.to.push_back(user(1, 1));
+  msg.to.push_back(user(1, 2));
+  const SendOutcome r = sys.send_email_multi(msg);
+  EXPECT_EQ(r.sent, 2u);
+  EXPECT_EQ(r.refused, 1u);
+  EXPECT_FALSE(r.all_sent());
+  EXPECT_EQ(r.result, SendResult::kNoBalance);  // first refusal wins
+  // MultiSendResult remains as an alias for incremental migration.
+  static_assert(std::is_same_v<ZmailSystem::MultiSendResult, SendOutcome>);
+}
+
+TEST(IspId, ImplicitFromIndexAndComparable) {
+  const IspId a = 2;  // implicit: indices keep working at call sites
+  const IspId b(2);
+  const IspId c = 3;
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a.index(), 2u);
+
+  ZmailSystem sys(two_isps(), 23);
+  sys.send_email(user(0, 0), user(1, 1), "s", "b");
+  sys.run_for(sim::kMinute);
+  const IspId receiver = 1;
+  EXPECT_TRUE(sys.is_compliant(receiver));
+  EXPECT_EQ(sys.isp(receiver).user(1).balance, 21);
+  EXPECT_GT(sys.smtp_bytes_received(receiver), 0u);
 }
 
 TEST(System, AccessingLegacyIspAsCompliantAborts) {

@@ -1,0 +1,128 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace zmail::json {
+namespace {
+
+TEST(JsonValue, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.dump(0), "null");
+}
+
+TEST(JsonValue, Scalars) {
+  EXPECT_EQ(Value(true).dump(0), "true");
+  EXPECT_EQ(Value(false).dump(0), "false");
+  EXPECT_EQ(Value(42).dump(0), "42");
+  EXPECT_EQ(Value(-7).dump(0), "-7");
+  EXPECT_EQ(Value("hi").dump(0), "\"hi\"");
+  EXPECT_EQ(Value(1.5).dump(0), "1.5");
+}
+
+TEST(JsonValue, Uint64ExactPrecision) {
+  // Values above 2^53 cannot round-trip through double; the writer must
+  // print the integer digits exactly.
+  const std::uint64_t big = 18446744073709551615ull;  // 2^64 - 1
+  EXPECT_EQ(Value(big).dump(0), "18446744073709551615");
+  const std::int64_t neg = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(Value(neg).dump(0), "-9223372036854775808");
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  Value v = Value::object();
+  v["zebra"] = 1;
+  v["apple"] = 2;
+  v["mid"] = 3;
+  EXPECT_EQ(v.dump(0), "{\"zebra\":1,\"apple\":2,\"mid\":3}");
+}
+
+TEST(JsonValue, IndexingPromotesNull) {
+  Value v;  // null
+  v["a"]["b"] = 1;  // promotes to object at both levels
+  EXPECT_EQ(v.kind(), Value::Kind::kObject);
+  EXPECT_EQ(v["a"]["b"].as_int64(), 1);
+  Value arr;
+  arr.push_back(1);
+  arr.push_back("two");
+  EXPECT_EQ(arr.kind(), Value::Kind::kArray);
+  EXPECT_EQ(arr.size(), 2u);
+}
+
+TEST(JsonValue, StringEscapes) {
+  Value v("line\n\ttab \"quote\" back\\slash \x01");
+  const std::string s = v.dump(0);
+  EXPECT_EQ(s, "\"line\\n\\ttab \\\"quote\\\" back\\\\slash \\u0001\"");
+}
+
+TEST(JsonParse, RoundTrip) {
+  Value v = Value::object();
+  v["name"] = "e12";
+  v["count"] = std::uint64_t{9007199254740993ull};  // 2^53 + 1
+  v["pi"] = 3.141592653589793;
+  v["flag"] = true;
+  v["nothing"] = Value();
+  Value& arr = v["xs"];
+  for (int i = 0; i < 4; ++i) arr.push_back(i * 10);
+
+  std::string err;
+  const auto parsed = parse(v.dump(2), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->dump(2), v.dump(2));
+  ASSERT_NE(parsed->find("count"), nullptr);
+  EXPECT_EQ(parsed->find("count")->as_uint64(), 9007199254740993ull);
+  EXPECT_DOUBLE_EQ(parsed->find("pi")->as_double(), 3.141592653589793);
+}
+
+TEST(JsonParse, AcceptsEscapesAndUnicode) {
+  std::string err;
+  const auto v = parse(R"({"s": "a\u0041\n\t\"b\""})", &err);
+  ASSERT_TRUE(v.has_value()) << err;
+  ASSERT_NE(v->find("s"), nullptr);
+  EXPECT_EQ(v->find("s")->as_string(), "aA\n\t\"b\"");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(parse("", &err).has_value());
+  EXPECT_FALSE(parse("{", &err).has_value());
+  EXPECT_FALSE(parse("[1,]", &err).has_value());
+  EXPECT_FALSE(parse("{\"a\" 1}", &err).has_value());
+  EXPECT_FALSE(parse("tru", &err).has_value());
+  EXPECT_FALSE(parse("1 2", &err).has_value());
+  EXPECT_FALSE(parse("\"unterminated", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonParse, NumbersPickNarrowestKind) {
+  std::string err;
+  auto v = parse("[1, -1, 1.5, 18446744073709551615, -9223372036854775808]",
+                 &err);
+  ASSERT_TRUE(v.has_value()) << err;
+  EXPECT_EQ(v->at(0).as_uint64(), 1u);
+  EXPECT_EQ(v->at(1).as_int64(), -1);
+  EXPECT_DOUBLE_EQ(v->at(2).as_double(), 1.5);
+  EXPECT_EQ(v->at(3).as_uint64(), 18446744073709551615ull);
+  EXPECT_EQ(v->at(4).as_int64(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(JsonParse, DepthLimitStopsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  std::string err;
+  EXPECT_FALSE(parse(deep, &err).has_value());
+}
+
+TEST(JsonDump, IndentedOutputIsStable) {
+  Value v = Value::object();
+  v["a"] = 1;
+  v["b"].push_back(2);
+  EXPECT_EQ(v.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+}  // namespace
+}  // namespace zmail::json

@@ -87,6 +87,56 @@ TEST(Histogram, EmptyPercentileIsLowerBound) {
   EXPECT_EQ(h.percentile(50), 5.0);
 }
 
+TEST(Histogram, SingleBucketPercentile) {
+  Histogram h(0.0, 10.0, 1);
+  h.add(3.0);
+  h.add(7.0);
+  // With one bucket every percentile lands inside [lo, hi].
+  for (double p : {0.0, 25.0, 50.0, 99.0, 100.0}) {
+    EXPECT_GE(h.percentile(p), 0.0);
+    EXPECT_LE(h.percentile(p), 10.0);
+  }
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeArgument) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.percentile(-20.0), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(250.0), h.percentile(100.0));
+  EXPECT_LE(h.percentile(250.0), 10.0);
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.add(1.5);
+  a.add(2.5);
+  b.add(2.5);
+  b.add(9.5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.buckets()[1], 1u);
+  EXPECT_EQ(a.buckets()[2], 2u);
+  EXPECT_EQ(a.buckets()[9], 1u);
+}
+
+TEST(Histogram, MergeWithEmptyKeepsCounts) {
+  Histogram a(0.0, 10.0, 4);
+  Histogram empty(0.0, 10.0, 4);
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.total(), 1u);
+}
+
+TEST(Histogram, SameShapeDetectsMismatch) {
+  Histogram a(0.0, 10.0, 4);
+  EXPECT_TRUE(a.same_shape(Histogram(0.0, 10.0, 4)));
+  EXPECT_FALSE(a.same_shape(Histogram(0.0, 10.0, 5)));
+  EXPECT_FALSE(a.same_shape(Histogram(0.0, 20.0, 4)));
+}
+
 TEST(Histogram, BucketEdges) {
   Histogram h(0.0, 10.0, 5);
   EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
@@ -129,6 +179,19 @@ TEST(Sample, EmptyMeanIsZero) {
   Sample s;
   EXPECT_TRUE(s.empty());
   EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Sample, MergeConcatenatesOursFirst) {
+  Sample a, b;
+  a.add(1.0);
+  a.add(2.0);
+  b.add(3.0);
+  a.merge(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.values()[0], 1.0);
+  EXPECT_EQ(a.values()[1], 2.0);
+  EXPECT_EQ(a.values()[2], 3.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 6.0);
 }
 
 }  // namespace
