@@ -15,12 +15,13 @@ void Process::add_action(std::string name, std::function<bool()> guard,
   actions_.push_back(std::move(a));
 }
 
-void Process::add_receive(std::string msg_type,
+void Process::add_receive(std::string_view msg_type,
                           std::function<void(const Message&)> handler) {
   Action a;
-  a.name = "rcv " + msg_type;
+  a.name = "rcv ";
+  a.name += msg_type;
   a.kind = GuardKind::kReceive;
-  a.msg_type = std::move(msg_type);
+  a.msg_type = std::string(msg_type);
   a.receive_body = std::move(handler);
   actions_.push_back(std::move(a));
 }
@@ -36,10 +37,11 @@ void Process::add_timeout(std::string name,
   actions_.push_back(std::move(a));
 }
 
-void Process::send(ProcessId to, std::string type, crypto::Bytes payload) {
+void Process::send(ProcessId to, std::string_view type,
+                   crypto::Bytes payload) {
   ZMAIL_ASSERT_MSG(scheduler_ != nullptr,
                    "process must be registered with a scheduler before send");
-  scheduler_->do_send(id_, to, std::move(type), std::move(payload));
+  scheduler_->do_send(id_, to, std::string(type), std::move(payload));
 }
 
 Scheduler& Process::scheduler() const {

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ap/message.hpp"
@@ -36,7 +37,8 @@ class Process {
 
   // Form (2): receive guard; enabled when the head of some incoming channel
   // is a message of `msg_type`.  The handler receives that message.
-  void add_receive(std::string msg_type,
+  // Takes a view so interned net::MsgType tags convert implicitly.
+  void add_receive(std::string_view msg_type,
                    std::function<void(const Message&)> handler);
 
   // Form (3): timeout guard over global state.
@@ -45,7 +47,7 @@ class Process {
                    std::function<void()> body);
 
   // "send <message> to q" — appends to the channel from this process to q.
-  void send(ProcessId to, std::string type, crypto::Bytes payload = {});
+  void send(ProcessId to, std::string_view type, crypto::Bytes payload = {});
 
   Scheduler& scheduler() const;
 

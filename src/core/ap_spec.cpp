@@ -130,7 +130,7 @@ ApIspProcess::ApIspProcess(ApZmailWorld& world, std::size_t index,
                 g.scheduler().find_channel(world_.isp_pid(j), id());
             if (ch) {
               for (const auto& m : ch->contents())
-                if (m.type == kMsgEmail) return false;
+                if (m.type == kMsgEmail.name()) return false;
             }
           }
           return true;
@@ -461,7 +461,7 @@ EPenny ApZmailWorld::total_epennies() const {
       const ap::Channel* ch = sched_.find_channel(isp_pids_[i], isp_pids_[j]);
       if (!ch) continue;
       for (const ap::Message& m : ch->contents())
-        if (m.type == kMsgEmail) total += 1;
+        if (m.type == kMsgEmail.name()) total += 1;
     }
   }
   return total;

@@ -14,12 +14,11 @@ Bank::Bank(const ZmailParams& params, crypto::KeyPair keys,
 
 crypto::Bytes Bank::on_buy(std::size_t g, const crypto::Bytes& wire) {
   ++metrics_.buys_received;
-  const auto plain = unseal(keys_.priv, wire);
-  if (!plain) {
+  if (!unseal_into(keys_.priv, wire, env_scratch_, plain_scratch_)) {
     ++metrics_.bad_envelopes;
     return {};
   }
-  const auto req = BuyRequest::deserialize(*plain);
+  const auto req = BuyRequest::deserialize(plain_scratch_);
   if (!req || req->buyvalue <= 0) {
     ++metrics_.bad_envelopes;
     return {};
@@ -39,17 +38,18 @@ crypto::Bytes Bank::on_buy(std::size_t g, const crypto::Bytes& wire) {
     ++metrics_.buys_rejected;
     audit(AuditKind::kMintRejected, g, 0, req->buyvalue);
   }
-  return seal(keys_.priv, reply.serialize(), rng_);
+  crypto::Bytes out;
+  seal_into(keys_.priv, reply.serialize(), rng_, env_scratch_, out);
+  return out;
 }
 
 crypto::Bytes Bank::on_sell(std::size_t g, const crypto::Bytes& wire) {
   ++metrics_.sells_received;
-  const auto plain = unseal(keys_.priv, wire);
-  if (!plain) {
+  if (!unseal_into(keys_.priv, wire, env_scratch_, plain_scratch_)) {
     ++metrics_.bad_envelopes;
     return {};
   }
-  const auto req = SellRequest::deserialize(*plain);
+  const auto req = SellRequest::deserialize(plain_scratch_);
   if (!req || req->sellvalue <= 0) {
     ++metrics_.bad_envelopes;
     return {};
@@ -58,7 +58,9 @@ crypto::Bytes Bank::on_sell(std::size_t g, const crypto::Bytes& wire) {
   metrics_.epennies_burned += req->sellvalue;
   audit(AuditKind::kBurn, g, 0, req->sellvalue);
   SellReply reply{req->nonce};
-  return seal(keys_.priv, reply.serialize(), rng_);
+  crypto::Bytes out;
+  seal_into(keys_.priv, reply.serialize(), rng_, env_scratch_, out);
+  return out;
 }
 
 std::vector<std::pair<std::size_t, crypto::Bytes>> Bank::start_snapshot() {
@@ -71,7 +73,9 @@ std::vector<std::pair<std::size_t, crypto::Bytes>> Bank::start_snapshot() {
   for (std::size_t i = 0; i < params_.n_isps; ++i) {
     if (!params_.is_compliant(i)) continue;
     ++total_;
-    out.emplace_back(i, seal(keys_.priv, req.serialize(), rng_));
+    crypto::Bytes wire;
+    seal_into(keys_.priv, req.serialize(), rng_, env_scratch_, wire);
+    out.emplace_back(i, std::move(wire));
   }
   if (total_ == 0) canrequest_ = true;  // nothing to gather
   audit(AuditKind::kRoundStarted, 0, 0, static_cast<std::int64_t>(total_));
@@ -80,12 +84,11 @@ std::vector<std::pair<std::size_t, crypto::Bytes>> Bank::start_snapshot() {
 
 void Bank::on_reply(std::size_t g, const crypto::Bytes& wire) {
   if (!params_.is_compliant(g)) return;  // paper: "~compliant[g] -> skip"
-  const auto plain = unseal(keys_.priv, wire);
-  if (!plain) {
+  if (!unseal_into(keys_.priv, wire, env_scratch_, plain_scratch_)) {
     ++metrics_.bad_envelopes;
     return;
   }
-  const auto report = CreditReport::deserialize(*plain);
+  const auto report = CreditReport::deserialize(plain_scratch_);
   if (!report || report->credit.size() != params_.n_isps) {
     ++metrics_.bad_envelopes;
     return;

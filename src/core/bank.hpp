@@ -96,6 +96,10 @@ class Bank {
 
   std::vector<CreditViolation> last_violations_;
   BankMetrics metrics_;
+  // Scratch envelope/plaintext reused across every seal/unseal (see
+  // core::seal_into) so the bank's message handling stops reallocating.
+  crypto::Envelope env_scratch_;
+  crypto::Bytes plain_scratch_;
 };
 
 }  // namespace zmail::core

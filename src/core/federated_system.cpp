@@ -77,12 +77,12 @@ void FederatedZmailSystem::enable_bank_trading(sim::Duration poll) {
 }
 
 void FederatedZmailSystem::start_snapshot() {
-  const auto requests = fed_->start_snapshot();
+  auto requests = fed_->start_snapshot();
   if (requests.empty()) return;
   const sim::SimTime deadline = sim_.now() + kQuiesceWindow;
   for (auto& [isp_index, wire] : requests) {
     net_.send(bank_host(fed_->home_bank(isp_index)), isp_index, kMsgRequest,
-              wire);
+              std::move(wire));
     sim_.schedule_at(deadline, [this, i = isp_index] {
       if (isps_[i]->in_quiesce()) {
         isps_[i]->on_quiesce_timeout();
@@ -132,11 +132,11 @@ void FederatedZmailSystem::on_bank_datagram(std::size_t bank_index,
   if (d.type == kMsgBuy) {
     crypto::Bytes reply = fed_->on_buy(g, d.payload);
     if (!reply.empty())
-      net_.send(bank_host(bank_index), g, kMsgBuyReply, reply);
+      net_.send(bank_host(bank_index), g, kMsgBuyReply, std::move(reply));
   } else if (d.type == kMsgSell) {
     crypto::Bytes reply = fed_->on_sell(g, d.payload);
     if (!reply.empty())
-      net_.send(bank_host(bank_index), g, kMsgSellReply, reply);
+      net_.send(bank_host(bank_index), g, kMsgSellReply, std::move(reply));
   } else if (d.type == kMsgReply) {
     fed_->on_reply(g, d.payload);
   }

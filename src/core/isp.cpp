@@ -324,8 +324,9 @@ void Isp::maybe_trade_with_bank() {
     ns1_ = nonce_gen_.next();
     BuyRequest req{buyvalue_, *ns1_};
     ++metrics_.bank_buys_attempted;
-    outbox_.push_back(Outbound{Outbound::Dest::kBank, 0, kMsgBuy,
-                               seal(bank_pub_, req.serialize(), rng_)});
+    Outbound o{Outbound::Dest::kBank, 0, kMsgBuy, {}};
+    seal_into(bank_pub_, req.serialize(), rng_, env_scratch_, o.payload);
+    outbox_.push_back(std::move(o));
   }
   if (cansell_ && avail_ > params_.maxavail) {
     cansell_ = false;
@@ -340,18 +341,18 @@ void Isp::maybe_trade_with_bank() {
     ns2_ = nonce_gen_.next();
     SellRequest req{sellvalue_, *ns2_};
     ++metrics_.bank_sells;
-    outbox_.push_back(Outbound{Outbound::Dest::kBank, 0, kMsgSell,
-                               seal(bank_pub_, req.serialize(), rng_)});
+    Outbound o{Outbound::Dest::kBank, 0, kMsgSell, {}};
+    seal_into(bank_pub_, req.serialize(), rng_, env_scratch_, o.payload);
+    outbox_.push_back(std::move(o));
   }
 }
 
 void Isp::on_buyreply(const crypto::Bytes& wire) {
-  const auto plain = unseal(bank_pub_, wire);
-  if (!plain) {
+  if (!unseal_into(bank_pub_, wire, env_scratch_, plain_scratch_)) {
     ++metrics_.bad_envelopes;
     return;
   }
-  const auto reply = BuyReply::deserialize(*plain);
+  const auto reply = BuyReply::deserialize(plain_scratch_);
   if (!reply) {
     ++metrics_.bad_envelopes;
     return;
@@ -371,12 +372,11 @@ void Isp::on_buyreply(const crypto::Bytes& wire) {
 }
 
 void Isp::on_sellreply(const crypto::Bytes& wire) {
-  const auto plain = unseal(bank_pub_, wire);
-  if (!plain) {
+  if (!unseal_into(bank_pub_, wire, env_scratch_, plain_scratch_)) {
     ++metrics_.bad_envelopes;
     return;
   }
-  const auto reply = SellReply::deserialize(*plain);
+  const auto reply = SellReply::deserialize(plain_scratch_);
   if (!reply) {
     ++metrics_.bad_envelopes;
     return;
@@ -391,12 +391,11 @@ void Isp::on_sellreply(const crypto::Bytes& wire) {
 }
 
 void Isp::on_request(const crypto::Bytes& wire) {
-  const auto plain = unseal(bank_pub_, wire);
-  if (!plain) {
+  if (!unseal_into(bank_pub_, wire, env_scratch_, plain_scratch_)) {
     ++metrics_.bad_envelopes;
     return;
   }
-  const auto req = SnapshotRequest::deserialize(*plain);
+  const auto req = SnapshotRequest::deserialize(plain_scratch_);
   if (!req) {
     ++metrics_.bad_envelopes;
     return;
@@ -416,8 +415,9 @@ void Isp::on_quiesce_timeout() {
 
   // send reply(NCR(B_b, credit)) to bank
   CreditReport report{seq_, credit_};
-  outbox_.push_back(Outbound{Outbound::Dest::kBank, 0, kMsgReply,
-                             seal(bank_pub_, report.serialize(), rng_)});
+  Outbound o{Outbound::Dest::kBank, 0, kMsgReply, {}};
+  seal_into(bank_pub_, report.serialize(), rng_, env_scratch_, o.payload);
+  outbox_.push_back(std::move(o));
   ++metrics_.snapshots_answered;
 
   // credit := 0; cansend := true; seq := seq + 1

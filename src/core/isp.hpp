@@ -36,7 +36,7 @@ struct Outbound {
   enum class Dest : std::uint8_t { kIsp, kBank };
   Dest dest = Dest::kIsp;
   std::size_t isp_index = 0;  // meaningful when dest == kIsp
-  std::string type;
+  net::MsgType type;
   crypto::Bytes payload;
 };
 
@@ -201,6 +201,11 @@ class Isp {
   std::function<void(std::size_t, const net::EmailMessage&)> ack_sink_;
   Misbehavior misbehavior_ = Misbehavior::kNone;
   IspMetrics metrics_;
+  // Scratch buffers for the bank-message envelope path (see
+  // core::seal_into): reused across messages so steady-state traffic stops
+  // reallocating.
+  crypto::Envelope env_scratch_;
+  crypto::Bytes plain_scratch_;
 };
 
 }  // namespace zmail::core

@@ -11,8 +11,18 @@ constexpr std::uint8_t kTagRequest = 5;
 constexpr std::uint8_t kTagReport = 6;
 }  // namespace
 
+namespace {
+// Tag byte + (counter, prf) pair of a serialized nonce.
+constexpr std::size_t kNonceWireSize = 16;
+}  // namespace
+
+std::size_t BuyRequest::serialized_size() const noexcept {
+  return 1 + 8 + kNonceWireSize;
+}
+
 crypto::Bytes BuyRequest::serialize() const {
   crypto::Bytes b;
+  b.reserve(serialized_size());
   crypto::put_u8(b, kTagBuy);
   crypto::put_i64(b, buyvalue);
   crypto::put_nonce(b, nonce);
@@ -29,8 +39,13 @@ std::optional<BuyRequest> BuyRequest::deserialize(const crypto::Bytes& b) {
   return m;
 }
 
+std::size_t BuyReply::serialized_size() const noexcept {
+  return 1 + kNonceWireSize + 1;
+}
+
 crypto::Bytes BuyReply::serialize() const {
   crypto::Bytes b;
+  b.reserve(serialized_size());
   crypto::put_u8(b, kTagBuyReply);
   crypto::put_nonce(b, nonce);
   crypto::put_u8(b, accepted ? 1 : 0);
@@ -47,8 +62,13 @@ std::optional<BuyReply> BuyReply::deserialize(const crypto::Bytes& b) {
   return m;
 }
 
+std::size_t SellRequest::serialized_size() const noexcept {
+  return 1 + 8 + kNonceWireSize;
+}
+
 crypto::Bytes SellRequest::serialize() const {
   crypto::Bytes b;
+  b.reserve(serialized_size());
   crypto::put_u8(b, kTagSell);
   crypto::put_i64(b, sellvalue);
   crypto::put_nonce(b, nonce);
@@ -65,8 +85,13 @@ std::optional<SellRequest> SellRequest::deserialize(const crypto::Bytes& b) {
   return m;
 }
 
+std::size_t SellReply::serialized_size() const noexcept {
+  return 1 + kNonceWireSize;
+}
+
 crypto::Bytes SellReply::serialize() const {
   crypto::Bytes b;
+  b.reserve(serialized_size());
   crypto::put_u8(b, kTagSellReply);
   crypto::put_nonce(b, nonce);
   return b;
@@ -81,8 +106,13 @@ std::optional<SellReply> SellReply::deserialize(const crypto::Bytes& b) {
   return m;
 }
 
+std::size_t SnapshotRequest::serialized_size() const noexcept {
+  return 1 + 8;
+}
+
 crypto::Bytes SnapshotRequest::serialize() const {
   crypto::Bytes b;
+  b.reserve(serialized_size());
   crypto::put_u8(b, kTagRequest);
   crypto::put_u64(b, seq);
   return b;
@@ -98,8 +128,13 @@ std::optional<SnapshotRequest> SnapshotRequest::deserialize(
   return m;
 }
 
+std::size_t CreditReport::serialized_size() const noexcept {
+  return 1 + 8 + 4 + 8 * credit.size();
+}
+
 crypto::Bytes CreditReport::serialize() const {
   crypto::Bytes b;
+  b.reserve(serialized_size());
   crypto::put_u8(b, kTagReport);
   crypto::put_u64(b, seq);
   crypto::put_u32(b, static_cast<std::uint32_t>(credit.size()));
@@ -130,6 +165,18 @@ std::optional<crypto::Bytes> unseal(const crypto::RsaKey& key,
   auto env = crypto::Envelope::deserialize(wire);
   if (!env) return std::nullopt;
   return crypto::dcr(key, *env);
+}
+
+void seal_into(const crypto::RsaKey& key, const crypto::Bytes& plaintext,
+               Rng& rng, crypto::Envelope& scratch, crypto::Bytes& wire) {
+  crypto::ncr_into(key, plaintext, rng, scratch);
+  scratch.serialize_into(wire);
+}
+
+bool unseal_into(const crypto::RsaKey& key, const crypto::Bytes& wire,
+                 crypto::Envelope& scratch, crypto::Bytes& plain_out) {
+  if (!crypto::Envelope::deserialize_into(wire, scratch)) return false;
+  return crypto::dcr_into(key, scratch, plain_out);
 }
 
 }  // namespace zmail::core

@@ -12,19 +12,21 @@
 #include "crypto/bytes.hpp"
 #include "crypto/nonce.hpp"
 #include "crypto/rsa.hpp"
+#include "net/msg_type.hpp"
 #include "util/money.hpp"
 #include "util/rng.hpp"
 
 namespace zmail::core {
 
-// Message type tags used on channels / the datagram network.
-inline constexpr const char* kMsgEmail = "email";
-inline constexpr const char* kMsgBuy = "buy";
-inline constexpr const char* kMsgBuyReply = "buyreply";
-inline constexpr const char* kMsgSell = "sell";
-inline constexpr const char* kMsgSellReply = "sellreply";
-inline constexpr const char* kMsgRequest = "request";
-inline constexpr const char* kMsgReply = "reply";
+// Message type tags used on channels / the datagram network: pre-interned
+// ids (see net/msg_type.hpp), so per-message dispatch is an integer compare.
+using net::kMsgEmail;
+using net::kMsgBuy;
+using net::kMsgBuyReply;
+using net::kMsgSell;
+using net::kMsgSellReply;
+using net::kMsgRequest;
+using net::kMsgReply;
 
 // --- Plaintext payloads (encrypted before transmission) ---
 
@@ -33,6 +35,8 @@ struct BuyRequest {
   EPenny buyvalue = 0;
   crypto::Nonce nonce;
 
+  // Exact wire size, so serialize() reserves once.
+  std::size_t serialized_size() const noexcept;
   crypto::Bytes serialize() const;
   static std::optional<BuyRequest> deserialize(const crypto::Bytes& b);
 };
@@ -42,6 +46,8 @@ struct BuyReply {
   crypto::Nonce nonce;
   bool accepted = false;
 
+  // Exact wire size, so serialize() reserves once.
+  std::size_t serialized_size() const noexcept;
   crypto::Bytes serialize() const;
   static std::optional<BuyReply> deserialize(const crypto::Bytes& b);
 };
@@ -51,6 +57,8 @@ struct SellRequest {
   EPenny sellvalue = 0;
   crypto::Nonce nonce;
 
+  // Exact wire size, so serialize() reserves once.
+  std::size_t serialized_size() const noexcept;
   crypto::Bytes serialize() const;
   static std::optional<SellRequest> deserialize(const crypto::Bytes& b);
 };
@@ -59,6 +67,8 @@ struct SellRequest {
 struct SellReply {
   crypto::Nonce nonce;
 
+  // Exact wire size, so serialize() reserves once.
+  std::size_t serialized_size() const noexcept;
   crypto::Bytes serialize() const;
   static std::optional<SellReply> deserialize(const crypto::Bytes& b);
 };
@@ -67,6 +77,8 @@ struct SellReply {
 struct SnapshotRequest {
   std::uint64_t seq = 0;
 
+  // Exact wire size, so serialize() reserves once.
+  std::size_t serialized_size() const noexcept;
   crypto::Bytes serialize() const;
   static std::optional<SnapshotRequest> deserialize(const crypto::Bytes& b);
 };
@@ -76,6 +88,8 @@ struct CreditReport {
   std::uint64_t seq = 0;
   std::vector<EPenny> credit;
 
+  // Exact wire size, so serialize() reserves once.
+  std::size_t serialized_size() const noexcept;
   crypto::Bytes serialize() const;
   static std::optional<CreditReport> deserialize(const crypto::Bytes& b);
 };
@@ -90,5 +104,15 @@ crypto::Bytes seal(const crypto::RsaKey& key, const crypto::Bytes& plaintext,
 // malformation or MAC failure.
 std::optional<crypto::Bytes> unseal(const crypto::RsaKey& key,
                                     const crypto::Bytes& wire);
+
+// Scratch-buffer variants for steady-state senders/receivers (the ISP and
+// bank hold one Envelope + one Bytes per party): the envelope's ciphertext
+// buffer and the output buffer are reused across messages, so per-message
+// encryption stops reallocating.  seal_into produces byte-identical wire
+// output to seal() for the same RNG state.
+void seal_into(const crypto::RsaKey& key, const crypto::Bytes& plaintext,
+               Rng& rng, crypto::Envelope& scratch, crypto::Bytes& wire);
+bool unseal_into(const crypto::RsaKey& key, const crypto::Bytes& wire,
+                 crypto::Envelope& scratch, crypto::Bytes& plain_out);
 
 }  // namespace zmail::core

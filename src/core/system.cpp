@@ -211,11 +211,11 @@ void ZmailSystem::start_snapshot() {
   // still-open period (the timed twin of the AP resume barrier; the fuzz
   // suite caught exactly this).  A common deadline — "everyone reports at
   // 00:10" — removes the skew.
-  const auto requests = bank_->start_snapshot();
+  auto requests = bank_->start_snapshot();
   if (requests.empty()) return;
   const sim::SimTime deadline = sim_.now() + kQuiesceWindow;
   for (auto& [isp_index, wire] : requests) {
-    net_.send(bank_host(), isp_index, kMsgRequest, wire);
+    net_.send(bank_host(), isp_index, kMsgRequest, std::move(wire));
     sim_.schedule_at(deadline, [this, i = isp_index] {
       if (isps_[i] && isps_[i]->in_quiesce()) {
         isps_[i]->on_quiesce_timeout();
@@ -295,10 +295,12 @@ void ZmailSystem::on_datagram(std::size_t host, const net::Datagram& d) {
     const std::size_t g = d.from;
     if (d.type == kMsgBuy) {
       crypto::Bytes reply = bank_->on_buy(g, d.payload);
-      if (!reply.empty()) net_.send(bank_host(), g, kMsgBuyReply, reply);
+      if (!reply.empty())
+        net_.send(bank_host(), g, kMsgBuyReply, std::move(reply));
     } else if (d.type == kMsgSell) {
       crypto::Bytes reply = bank_->on_sell(g, d.payload);
-      if (!reply.empty()) net_.send(bank_host(), g, kMsgSellReply, reply);
+      if (!reply.empty())
+        net_.send(bank_host(), g, kMsgSellReply, std::move(reply));
     } else if (d.type == kMsgReply) {
       bank_->on_reply(g, d.payload);
     }

@@ -71,6 +71,17 @@ Bytes ByteReader::get_bytes() noexcept {
   return out;
 }
 
+void ByteReader::get_bytes_into(Bytes& out) noexcept {
+  const std::uint32_t n = get_u32();
+  if (!have(n)) {
+    out.clear();
+    return;
+  }
+  out.assign(data_->begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_->begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+}
+
 std::string ByteReader::get_string() noexcept {
   const Bytes b = get_bytes();
   return {b.begin(), b.end()};

@@ -38,6 +38,8 @@ class ByteReader {
   std::uint64_t get_u64() noexcept;
   std::int64_t get_i64() noexcept;
   Bytes get_bytes() noexcept;
+  // Reads a length-prefixed byte string into `out`, reusing its capacity.
+  void get_bytes_into(Bytes& out) noexcept;
   std::string get_string() noexcept;
 
  private:

@@ -28,27 +28,41 @@ std::uint64_t rsa_apply(const RsaKey& key, std::uint64_t m) noexcept {
   return powmod(m, key.exp, key.n);
 }
 
+std::size_t Envelope::serialized_size() const noexcept {
+  return 8 + 8 + 8 + 4 + ciphertext.size() + mac.size();
+}
+
 Bytes Envelope::serialize() const {
   Bytes out;
+  serialize_into(out);
+  return out;
+}
+
+void Envelope::serialize_into(Bytes& out) const {
+  out.clear();
+  out.reserve(serialized_size());
   put_u64(out, wrapped_key1);
   put_u64(out, wrapped_key2);
   put_u64(out, ctr_nonce);
   put_bytes(out, ciphertext);
   out.insert(out.end(), mac.begin(), mac.end());
-  return out;
 }
 
 std::optional<Envelope> Envelope::deserialize(const Bytes& wire) {
-  ByteReader r(wire);
   Envelope env;
+  if (!deserialize_into(wire, env)) return std::nullopt;
+  return env;
+}
+
+bool Envelope::deserialize_into(const Bytes& wire, Envelope& env) {
+  ByteReader r(wire);
   env.wrapped_key1 = r.get_u64();
   env.wrapped_key2 = r.get_u64();
   env.ctr_nonce = r.get_u64();
-  env.ciphertext = r.get_bytes();
-  if (!r.ok()) return std::nullopt;
+  r.get_bytes_into(env.ciphertext);
+  if (!r.ok()) return false;
   for (auto& byte : env.mac) byte = r.get_u8();
-  if (!r.ok() || !r.at_end()) return std::nullopt;
-  return env;
+  return r.ok() && r.at_end();
 }
 
 namespace {
@@ -71,32 +85,44 @@ Digest envelope_mac(const Bytes& key_material, const Envelope& env) {
 }  // namespace
 
 Envelope ncr(const RsaKey& key, const Bytes& plaintext, zmail::Rng& rng) {
+  Envelope env;
+  ncr_into(key, plaintext, rng, env);
+  return env;
+}
+
+void ncr_into(const RsaKey& key, const Bytes& plaintext, zmail::Rng& rng,
+              Envelope& env) {
   ZMAIL_ASSERT(key.n > 1);
   const std::uint64_t k1 = rng.next_below(key.n);
   const std::uint64_t k2 = rng.next_below(key.n);
 
-  Envelope env;
   env.wrapped_key1 = rsa_apply(key, k1);
   env.wrapped_key2 = rsa_apply(key, k2);
   env.ctr_nonce = rng.next_u64();
 
   const Bytes material = session_key_material(k1, k2);
   const XteaKey sym = xtea_key_from_bytes(material);
-  env.ciphertext = xtea_ctr(plaintext, sym, env.ctr_nonce);
+  xtea_ctr_into(plaintext, sym, env.ctr_nonce, env.ciphertext);
   env.mac = envelope_mac(material, env);
-  return env;
 }
 
 std::optional<Bytes> dcr(const RsaKey& key, const Envelope& env) {
+  Bytes plain;
+  if (!dcr_into(key, env, plain)) return std::nullopt;
+  return plain;
+}
+
+bool dcr_into(const RsaKey& key, const Envelope& env, Bytes& plain_out) {
   if (key.n <= 1 || env.wrapped_key1 >= key.n || env.wrapped_key2 >= key.n)
-    return std::nullopt;
+    return false;
   const std::uint64_t k1 = rsa_apply(key, env.wrapped_key1);
   const std::uint64_t k2 = rsa_apply(key, env.wrapped_key2);
   const Bytes material = session_key_material(k1, k2);
   if (!digest_equal(envelope_mac(material, env), env.mac))
-    return std::nullopt;  // tampered, replay-spliced, or wrong key
+    return false;  // tampered, replay-spliced, or wrong key
   const XteaKey sym = xtea_key_from_bytes(material);
-  return xtea_ctr(env.ciphertext, sym, env.ctr_nonce);
+  xtea_ctr_into(env.ciphertext, sym, env.ctr_nonce, plain_out);
+  return true;
 }
 
 namespace {

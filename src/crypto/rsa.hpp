@@ -49,16 +49,31 @@ struct Envelope {
   Bytes ciphertext;
   Digest mac{};
 
+  // Exact wire size, so serialization reserves once.
+  std::size_t serialized_size() const noexcept;
   Bytes serialize() const;
+  // Overwrites `out` (reusing its capacity) with the wire encoding.
+  void serialize_into(Bytes& out) const;
   static std::optional<Envelope> deserialize(const Bytes& wire);
+  // Scratch variant: parses into `env`, reusing its ciphertext buffer.
+  static bool deserialize_into(const Bytes& wire, Envelope& env);
 };
 
 // NCR(k, d): encrypt data item d under key half k (paper notation).
 Envelope ncr(const RsaKey& key, const Bytes& plaintext, zmail::Rng& rng);
+// Scratch variant: writes into `env`, reusing its ciphertext buffer so
+// per-message encryption stops reallocating.  Produces byte-identical
+// envelopes to ncr() for the same RNG state.
+void ncr_into(const RsaKey& key, const Bytes& plaintext, zmail::Rng& rng,
+              Envelope& env);
 
 // DCR(k', x): decrypt with the complementary key half; returns nullopt when
 // the MAC fails or the envelope is malformed (tampering / wrong key).
 std::optional<Bytes> dcr(const RsaKey& key, const Envelope& env);
+// Scratch variant: decrypts into `plain_out` (reusing its capacity);
+// returns false — leaving `plain_out` unspecified — on MAC failure or a
+// malformed envelope.  `plain_out` must not alias `env.ciphertext`.
+bool dcr_into(const RsaKey& key, const Envelope& env, Bytes& plain_out);
 
 // Detached signature over a byte string: RSA on the folded SHA-256 digest.
 std::uint64_t rsa_sign(const RsaKey& priv, const Bytes& message) noexcept;

@@ -38,7 +38,13 @@ std::uint64_t xtea_decrypt_block(std::uint64_t block,
 Bytes xtea_ctr(const Bytes& data, const XteaKey& key,
                std::uint64_t nonce) noexcept {
   Bytes out;
-  out.reserve(data.size());
+  xtea_ctr_into(data, key, nonce, out);
+  return out;
+}
+
+void xtea_ctr_into(const Bytes& data, const XteaKey& key, std::uint64_t nonce,
+                   Bytes& out) noexcept {
+  out.resize(data.size());
   std::uint64_t counter = 0;
   std::size_t i = 0;
   while (i < data.size()) {
@@ -48,10 +54,9 @@ Bytes xtea_ctr(const Bytes& data, const XteaKey& key,
     for (int b = 0; b < 8 && i < data.size(); ++b, ++i) {
       const auto ks_byte =
           static_cast<std::uint8_t>(keystream >> (56 - 8 * b));
-      out.push_back(static_cast<std::uint8_t>(data[i] ^ ks_byte));
+      out[i] = static_cast<std::uint8_t>(data[i] ^ ks_byte);
     }
   }
-  return out;
 }
 
 XteaKey xtea_key_from_bytes(const Bytes& material) noexcept {

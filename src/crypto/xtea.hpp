@@ -24,6 +24,12 @@ std::uint64_t xtea_decrypt_block(std::uint64_t block,
 Bytes xtea_ctr(const Bytes& data, const XteaKey& key,
                std::uint64_t nonce) noexcept;
 
+// Scratch-buffer variant: overwrites `out` (reusing its capacity), so
+// steady-state envelope traffic stops reallocating.  `out` must not alias
+// `data`.
+void xtea_ctr_into(const Bytes& data, const XteaKey& key, std::uint64_t nonce,
+                   Bytes& out) noexcept;
+
 // Derive an XTEA key from arbitrary key material (first 16 bytes of SHA-256).
 XteaKey xtea_key_from_bytes(const Bytes& material) noexcept;
 

@@ -1,0 +1,70 @@
+#include "net/msg_type.hpp"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace zmail::net {
+
+namespace {
+
+// Interning is rare (registration-time) and mutex-protected; name lookups
+// are per-send and lock-free: a published entry is immutable, so readers
+// only need an acquire load of the count.
+constexpr std::size_t kMaxTypes = 1024;
+
+struct InternTable {
+  std::string_view names[kMaxTypes];
+  std::atomic<std::uint32_t> count{0};
+
+  std::mutex mu;                                       // guards the rest
+  std::unordered_map<std::string_view, std::uint16_t> index;
+  std::deque<std::string> storage;  // reference-stable name backing
+
+  InternTable() {
+    // Seed order defines the constexpr ids in msg_type.hpp.
+    for (const char* n :
+         {"", "email", "buy", "buyreply", "sell", "sellreply", "request",
+          "reply"}) {
+      const auto id = static_cast<std::uint16_t>(count.load());
+      storage.emplace_back(n);
+      names[id] = storage.back();
+      index.emplace(names[id], id);
+      count.store(id + 1, std::memory_order_release);
+    }
+  }
+};
+
+InternTable& table() {
+  static InternTable t;
+  return t;
+}
+
+}  // namespace
+
+MsgType MsgType::intern(std::string_view name) {
+  ZMAIL_ASSERT_MSG(!name.empty(), "datagram type needs a name");
+  InternTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  const auto it = t.index.find(name);
+  if (it != t.index.end()) return MsgType{it->second};
+  const std::uint32_t id = t.count.load(std::memory_order_relaxed);
+  ZMAIL_ASSERT_MSG(id < kMaxTypes, "msg-type table full");
+  t.storage.emplace_back(name);
+  t.names[id] = t.storage.back();
+  t.index.emplace(t.names[id], static_cast<std::uint16_t>(id));
+  t.count.store(id + 1, std::memory_order_release);
+  return MsgType{static_cast<std::uint16_t>(id)};
+}
+
+std::string_view MsgType::name() const noexcept {
+  InternTable& t = table();
+  const std::uint32_t n = t.count.load(std::memory_order_acquire);
+  return id_ < n ? t.names[id_] : std::string_view("<unknown-msg-type>");
+}
+
+}  // namespace zmail::net

@@ -1,0 +1,56 @@
+// Interned datagram type ids.
+//
+// Datagram types used to travel as heap-allocated std::string, so every
+// send copied a string and every dispatch compared bytes.  A MsgType is a
+// 16-bit index into a process-wide intern table: comparisons are integer
+// compares and sends copy two bytes.  The Zmail protocol's own tags are
+// pre-interned below with fixed ids (re-exported by core/messages.hpp as
+// the kMsg* constants); anything else — tests, future protocol extensions —
+// goes through intern() at registration time, never on the per-message path.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace zmail::net {
+
+class MsgType {
+ public:
+  // Id 0 is reserved as "invalid"; ids 1..7 are the pre-interned protocol
+  // tags below.  Construct new types with intern(), not this constructor.
+  constexpr explicit MsgType(std::uint16_t id) noexcept : id_(id) {}
+  constexpr MsgType() noexcept = default;
+
+  // Returns the id for `name`, interning it on first sight (thread-safe,
+  // idempotent).  Intended for registration-time code, not the send path.
+  static MsgType intern(std::string_view name);
+
+  std::string_view name() const noexcept;
+  constexpr std::uint16_t id() const noexcept { return id_; }
+  constexpr explicit operator bool() const noexcept { return id_ != 0; }
+
+  // Lets a MsgType flow into string-keyed layers (the AP runtime's message
+  // tuples, log lines) without call-site conversions.
+  operator std::string_view() const noexcept {  // NOLINT
+    return name();
+  }
+
+  friend constexpr bool operator==(MsgType, MsgType) noexcept = default;
+
+ private:
+  std::uint16_t id_ = 0;
+};
+
+// The paper's protocol tags (Section 4), pre-interned so the constants are
+// usable in constant expressions.  Order must match the table seed in
+// msg_type.cpp.
+inline constexpr MsgType kMsgInvalid{0};
+inline constexpr MsgType kMsgEmail{1};
+inline constexpr MsgType kMsgBuy{2};
+inline constexpr MsgType kMsgBuyReply{3};
+inline constexpr MsgType kMsgSell{4};
+inline constexpr MsgType kMsgSellReply{5};
+inline constexpr MsgType kMsgRequest{6};
+inline constexpr MsgType kMsgReply{7};
+
+}  // namespace zmail::net

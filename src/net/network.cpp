@@ -24,24 +24,44 @@ HostId Network::resolve(const std::string& domain) const {
   return it == mx_.end() ? kNoHost : it->second;
 }
 
-void Network::send(HostId from, HostId to, std::string type,
-                   crypto::Bytes payload) {
+void Network::send(HostId from, HostId to, MsgType type,
+                   crypto::Bytes&& payload) {
   ZMAIL_ASSERT(from < hosts_.size() && to < hosts_.size());
-  const std::size_t size = payload.size() + type.size() + 16;
+  ZMAIL_ASSERT_MSG(type != kMsgInvalid, "datagram needs a type");
+  const std::size_t size = payload.size() + type.name().size() + 16;
   ++datagrams_;
   bytes_ += size;
   bytes_to_[to] += size;
 
   sim::SimTime deliver_at = sim_.now() + latency_.sample(rng_);
   // Enforce per-(from,to) FIFO: never deliver before an earlier datagram.
-  auto& last = hosts_[to].last_delivery[from];
-  if (deliver_at <= last) deliver_at = last + 1;
-  last = deliver_at;
+  auto& fifo = hosts_[to].last_from;
+  if (from >= fifo.size()) fifo.resize(from + 1, 0);
+  if (deliver_at <= fifo[from]) deliver_at = fifo[from] + 1;
+  fifo[from] = deliver_at;
 
-  Datagram d{std::move(type), std::move(payload), from, to};
-  sim_.schedule_at(deliver_at, [this, to, d = std::move(d)]() mutable {
-    hosts_[to].handler(d);
-  });
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(pending_.size());
+    pending_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Datagram& d = pending_[slot];
+  d.type = type;
+  d.payload = std::move(payload);
+  d.from = from;
+  d.to = to;
+  sim_.schedule_at(deliver_at, [this, slot] { deliver(slot); });
+}
+
+void Network::deliver(std::uint32_t slot) {
+  // Move the datagram out before invoking the handler: a reentrant send()
+  // may grow pending_ and would invalidate a reference into it.
+  Datagram d = std::move(pending_[slot]);
+  free_slots_.push_back(slot);
+  hosts_[d.to].handler(d);
 }
 
 }  // namespace zmail::net

@@ -1,18 +1,26 @@
 // Simulated host-to-host network with latency, bound to the event simulator.
 //
-// Hosts (ISP mail servers, the bank) register a handler for named datagrams;
+// Hosts (ISP mail servers, the bank) register a handler for typed datagrams;
 // `send` schedules delivery after a sampled latency.  Delivery is reliable
 // and per-pair FIFO (matching the AP channel abstraction); the byte counters
 // feed the ISP-overhead experiment (E3).
+//
+// Hot-path layout (see DESIGN.md "Hot path"): a datagram's payload is moved
+// into a pooled pending slot, the scheduled delivery closure captures only
+// {network, slot} (fits InlineEvent's inline buffer), and delivery moves the
+// datagram back out for the handler — the payload bytes are never copied
+// between send() and the handler.  Per-pair FIFO clamps live in flat
+// vectors indexed by host id; only MX names pay for hashing.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "crypto/bytes.hpp"
+#include "net/msg_type.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -22,7 +30,7 @@ using HostId = std::size_t;
 constexpr HostId kNoHost = static_cast<HostId>(-1);
 
 struct Datagram {
-  std::string type;
+  MsgType type;
   crypto::Bytes payload;
   HostId from = kNoHost;
   HostId to = kNoHost;
@@ -34,6 +42,7 @@ struct LatencyModel {
   sim::Duration jitter_mean = 10 * sim::kMillisecond;
 
   sim::Duration sample(Rng& rng) const {
+    if (jitter_mean <= 0) return base;  // jitter-free links draw no RNG
     return base + sim::from_seconds(
                       rng.exponential(1.0 / sim::to_seconds(jitter_mean)));
   }
@@ -49,8 +58,10 @@ class Network {
   // Registers a host; the handler runs at delivery time.
   HostId add_host(std::string name, HandlerFn handler);
 
-  // Reliable, latency-delayed, per-pair FIFO delivery.
-  void send(HostId from, HostId to, std::string type, crypto::Bytes payload);
+  // Reliable, latency-delayed, per-pair FIFO delivery.  The payload is
+  // consumed: it moves through the pending slot to the handler unexposed to
+  // any copy.
+  void send(HostId from, HostId to, MsgType type, crypto::Bytes&& payload);
 
   // MX-style name resolution (domain -> host).
   void bind_domain(const std::string& domain, HostId host);
@@ -61,26 +72,35 @@ class Network {
 
   std::uint64_t datagrams_sent() const noexcept { return datagrams_; }
   std::uint64_t bytes_sent() const noexcept { return bytes_; }
-  std::uint64_t bytes_sent_to(HostId h) const {
-    return bytes_to_.at(h);
+  // Bytes delivered toward `h`; 0 for hosts that never received traffic
+  // (including ids never registered).
+  std::uint64_t bytes_sent_to(HostId h) const noexcept {
+    return h < bytes_to_.size() ? bytes_to_[h] : 0;
   }
 
  private:
   struct Host {
     std::string name;
     HandlerFn handler;
-    // Last scheduled delivery per sender, to preserve FIFO under jitter.
-    std::map<HostId, sim::SimTime> last_delivery;
+    // Last scheduled delivery per sender host id, to preserve FIFO under
+    // jitter.  Grown on demand; 0 means "nothing scheduled yet".
+    std::vector<sim::SimTime> last_from;
   };
+
+  void deliver(std::uint32_t slot);
 
   sim::Simulator& sim_;
   Rng rng_;
   LatencyModel latency_;
   std::vector<Host> hosts_;
-  std::map<std::string, HostId> mx_;
+  std::unordered_map<std::string, HostId> mx_;
   std::uint64_t datagrams_ = 0;
   std::uint64_t bytes_ = 0;
   std::vector<std::uint64_t> bytes_to_;
+  // In-flight datagram pool: slots are recycled so steady-state traffic
+  // stops allocating; payload buffers are moved in and out, never copied.
+  std::vector<Datagram> pending_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace zmail::net

@@ -1,0 +1,139 @@
+// Allocation-free event callable for the simulator hot path.
+//
+// std::function<void()> heap-allocates for any capture larger than its
+// (implementation-defined, typically 16-byte) small-buffer, which made every
+// scheduled delivery a malloc/free pair.  InlineEvent fixes the inline
+// storage at 48 bytes — enough for every closure the simulator and network
+// schedule (a `this` pointer plus a few indices) — and falls back to the
+// heap only for oversized or throwing-move captures, so correctness never
+// depends on capture size.
+//
+// Move-only by design: events are executed exactly once and the queue never
+// needs to copy them.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace zmail::sim {
+
+class InlineEvent {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineEvent() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineEvent> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineEvent(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vtable_ = &kInlineVt<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      vtable_ = &kHeapVt<Fn>;
+    }
+  }
+
+  InlineEvent(InlineEvent&& other) noexcept { take(other); }
+
+  InlineEvent& operator=(InlineEvent&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  InlineEvent(const InlineEvent&) = delete;
+  InlineEvent& operator=(const InlineEvent&) = delete;
+
+  ~InlineEvent() { reset(); }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  // True when the callable lives in the inline buffer (no heap allocation).
+  bool is_inline() const noexcept {
+    return vtable_ != nullptr && vtable_->inline_storage;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    // Move-construct into dst from src, then destroy src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+    // Trivially copyable inline capture: relocation is a memcpy and
+    // destruction a no-op, both done without the indirect call.  This is
+    // the queue's common case ({object pointer, index} closures).
+    bool trivial;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineSize &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static Fn* as(void* storage) noexcept {
+    return std::launder(reinterpret_cast<Fn*>(storage));
+  }
+
+  template <typename Fn>
+  static constexpr VTable kInlineVt = {
+      [](void* s) { (*as<Fn>(s))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* f = as<Fn>(src);
+        ::new (dst) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](void* s) noexcept { as<Fn>(s)->~Fn(); },
+      /*inline_storage=*/true,
+      /*trivial=*/std::is_trivially_copyable_v<Fn>,
+  };
+
+  template <typename Fn>
+  static constexpr VTable kHeapVt = {
+      [](void* s) { (**as<Fn*>(s))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*as<Fn*>(src));
+      },
+      [](void* s) noexcept { delete *as<Fn*>(s); },
+      /*inline_storage=*/false,
+      /*trivial=*/false,
+  };
+
+  void take(InlineEvent& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      if (other.vtable_->trivial)
+        std::memcpy(storage_, other.storage_, kInlineSize);
+      else
+        other.vtable_->relocate(storage_, other.storage_);
+      vtable_ = other.vtable_;
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      if (!vtable_->trivial) vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace zmail::sim

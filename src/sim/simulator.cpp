@@ -22,9 +22,143 @@ std::string format_time(SimTime t) {
   return buf;
 }
 
+// --- CalendarQueue ---------------------------------------------------------
+
+void Simulator::CalendarQueue::insert_wheel(SimTime at, std::uint64_t seq,
+                                            EventFn&& fn) {
+  const std::size_t idx = bucket_index(at);
+  auto& b = buckets_[idx];
+  if (idx == cursor_ && sorted_) {
+    // Insert into the bucket currently being drained: splice the key into
+    // the undrained tail of the order array (indices only, events don't
+    // move).
+    const OrderKey key{at, seq, static_cast<std::uint32_t>(b.size())};
+    const auto it = std::lower_bound(
+        order_.begin() + static_cast<std::ptrdiff_t>(pos_), order_.end(), key,
+        [](const OrderKey& a, const OrderKey& c) noexcept {
+          return a.at != c.at ? a.at < c.at : a.seq < c.seq;
+        });
+    order_.insert(it, key);
+  } else if (idx < cursor_) {
+    // An insert can land before the cursor when a peek advanced it past
+    // empty buckets without executing anything (e.g. step() bounded by
+    // `until`).  Any drain order held for the old cursor bucket is rebuilt
+    // when the cursor returns there.
+    cursor_ = idx;
+    sorted_ = false;
+  }
+  b.emplace_back(at, seq, std::move(fn));
+  ++wheel_count_;
+}
+
+void Simulator::CalendarQueue::push(SimTime at, std::uint64_t seq,
+                                    EventFn&& fn) {
+  ++size_;
+  if (!in_wheel(at)) {
+    if (at >= base_) {  // beyond the wheel
+      if (wheel_count_ == 0 && overflow_.empty()) {
+        // Idle queue: re-anchor the wheel directly instead of bouncing the
+        // event through the overflow heap (the common shape of sparse
+        // recurring tasks).
+        base_ = at - (at % kWidth);
+        cursor_ = 0;
+        sorted_ = false;
+      } else {
+        overflow_.emplace_back(at, seq, std::move(fn));
+        std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+        return;
+      }
+    } else {
+      rebase(at);  // rare: the wheel jumped ahead over an idle gap
+    }
+  }
+  insert_wheel(at, seq, std::move(fn));
+}
+
+void Simulator::CalendarQueue::sort_bucket() {
+  const auto& b = buckets_[cursor_];
+  order_.clear();
+  for (std::uint32_t i = 0; i < b.size(); ++i)
+    if (b[i].fn) order_.push_back(OrderKey{b[i].at, b[i].seq, i});
+  std::sort(order_.begin(), order_.end(),
+            [](const OrderKey& a, const OrderKey& c) noexcept {
+              return a.at != c.at ? a.at < c.at : a.seq < c.seq;
+            });
+  pos_ = 0;
+  sorted_ = true;
+}
+
+void Simulator::CalendarQueue::rebase(SimTime t) {
+  // Dump the wheel's live entries into the overflow heap, re-anchor,
+  // migrate eligibles.  A drained wheel (the steady state of sparse,
+  // coarser-than-the-span schedules, e.g. daily resets) skips the bucket
+  // scan and the re-heapify entirely — the overflow heap is already valid.
+  if (wheel_count_ > 0) {
+    // Live entries only ever sit at or beyond the cursor; earlier buckets
+    // were cleared as they drained.
+    for (std::size_t i = cursor_; i < kBuckets; ++i) {
+      auto& b = buckets_[i];
+      for (auto& e : b)
+        if (e.fn) overflow_.push_back(std::move(e));
+      b.clear();
+    }
+    std::make_heap(overflow_.begin(), overflow_.end(), Later{});
+    wheel_count_ = 0;
+  }
+  cursor_ = 0;
+  sorted_ = false;
+  base_ = t - (t % kWidth);
+  while (!overflow_.empty() && in_wheel(overflow_.front().at)) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    Entry e = std::move(overflow_.back());
+    overflow_.pop_back();
+    insert_wheel(e.at, e.seq, std::move(e.fn));
+  }
+}
+
+const Simulator::Entry* Simulator::CalendarQueue::peek() {
+  for (;;) {
+    if (sorted_) {
+      if (pos_ < order_.size())
+        return &buckets_[cursor_][order_[pos_].idx];
+      // Bucket drained (or it held only husks): release it and move on.
+      buckets_[cursor_].clear();
+      sorted_ = false;
+      ++cursor_;
+      continue;
+    }
+    if (wheel_count_ > 0) {
+      ZMAIL_ASSERT(cursor_ < kBuckets);
+      if (buckets_[cursor_].empty()) {
+        ++cursor_;
+        continue;
+      }
+      sort_bucket();
+      continue;
+    }
+    // Wheel exhausted; everything pending sits in the overflow heap.
+    if (overflow_.empty()) return nullptr;
+    rebase(overflow_.front().at);
+  }
+}
+
+Simulator::Entry Simulator::CalendarQueue::pop() {
+  const Entry* top = peek();
+  ZMAIL_ASSERT(top != nullptr);
+  // peek() leaves the cursor on a sorted bucket with order_[pos_] = top.
+  Entry e = std::move(buckets_[cursor_][order_[pos_].idx]);
+  ++pos_;
+  --wheel_count_;
+  --size_;
+  return e;
+}
+
+// --- Simulator -------------------------------------------------------------
+
 void Simulator::schedule_at(SimTime at, EventFn fn) {
   ZMAIL_ASSERT_MSG(at >= now_, "cannot schedule into the past");
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  ZMAIL_ASSERT_MSG(static_cast<bool>(fn), "cannot schedule an empty event");
+  queue_.push(at, next_seq_++, std::move(fn));
 }
 
 void Simulator::schedule_after(Duration delay, EventFn fn) {
@@ -33,9 +167,10 @@ void Simulator::schedule_after(Duration delay, EventFn fn) {
 }
 
 void Simulator::schedule_every(Duration period, std::function<bool()> fn,
-                               SimTime first) {
-  ZMAIL_ASSERT(period > 0);
-  const SimTime start = first >= 0 ? first : now_ + period;
+                               std::optional<SimTime> first) {
+  ZMAIL_ASSERT_MSG(period > 0, "recurring task needs a positive period");
+  const SimTime start = first.value_or(now_ + period);
+  ZMAIL_ASSERT(start >= now_);
   auto task = std::make_shared<RecurringTask>(RecurringTask{period, std::move(fn)});
   schedule_at(start, [this, task] { run_recurring(task); });
 }
@@ -45,9 +180,9 @@ void Simulator::run_recurring(const std::shared_ptr<RecurringTask>& task) {
 }
 
 bool Simulator::step(SimTime until) {
-  if (queue_.empty() || queue_.top().at > until) return false;
-  Event e = queue_.top();
-  queue_.pop();
+  const Entry* top = queue_.peek();
+  if (top == nullptr || top->at > until) return false;
+  Entry e = queue_.pop();
   now_ = e.at;
   ++executed_;
   e.fn();

@@ -1,17 +1,32 @@
-// Discrete-event simulator: a priority queue of timestamped callbacks.
+// Discrete-event simulator: timestamped callbacks behind a calendar queue.
 //
 // The AP scheduler models *untimed* nondeterministic interleaving (good for
 // protocol safety properties); this simulator models *timed* behaviour —
 // network latency, the 10-minute snapshot quiesce of Section 4.4, daily
 // `sent` resets, monthly reconciliation — for the quantitative experiments.
+//
+// Hot-path layout (see DESIGN.md "Hot path"):
+//   - events are InlineEvent (48-byte inline storage, heap fallback), so
+//     scheduling a delivery allocates nothing;
+//   - the queue is a two-level calendar queue: a wheel of fixed-width
+//     buckets covering the near future plus an overflow heap for far-out
+//     events (daily resets, monthly reconciliation).  Inserting into a
+//     bucket is a plain push_back — no comparisons, no event relocations —
+//     and a bucket is sorted exactly once, through a small POD key array,
+//     when the drain cursor reaches it.  Buckets partition time, so
+//     draining them in order yields the global (at, seq) minimum —
+//     bit-identical event order to the old single priority queue, which the
+//     E12.d 1-vs-N sweep identity check guards end to end.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <optional>
 #include <vector>
 
+#include "sim/inline_event.hpp"
 #include "sim/time.hpp"
 #include "util/assert.hpp"
 
@@ -19,7 +34,7 @@ namespace zmail::sim {
 
 class Simulator {
  public:
-  using EventFn = std::function<void()>;
+  using EventFn = InlineEvent;
 
   SimTime now() const noexcept { return now_; }
 
@@ -29,11 +44,10 @@ class Simulator {
   // Schedule `fn` after a relative delay (>= 0).
   void schedule_after(Duration delay, EventFn fn);
 
-  // Schedule `fn` every `period`, starting at `first` (defaults to one
-  // period from now).  The callback receives no arguments; cancel by
-  // returning false from the supplied predicate variant.
+  // Schedule `fn` every `period` (> 0), starting at `first` (defaults to
+  // one period from now).  The task repeats while `fn` returns true.
   void schedule_every(Duration period, std::function<bool()> fn,
-                      SimTime first = -1);
+                      std::optional<SimTime> first = std::nullopt);
 
   // Run until the queue drains or `until` (inclusive) is passed.
   // Returns the number of events executed.
@@ -54,21 +68,88 @@ class Simulator {
   };
   void run_recurring(const std::shared_ptr<RecurringTask>& task);
 
-  struct Event {
+  struct Entry {
+    Entry(SimTime a, std::uint64_t s, EventFn f) noexcept
+        : at(a), seq(s), fn(std::move(f)) {}
+
     SimTime at;
     std::uint64_t seq;
     EventFn fn;
   };
+  // Heap comparator: std::*_heap build a max-heap, so "greater" yields a
+  // min-heap on (at, seq).
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
       return a.at != b.at ? a.at > b.at : a.seq > b.seq;
     }
+  };
+
+  // Two-level calendar queue.  Level 1: `kBuckets` buckets of `kWidth`
+  // covering [base, base + kSpan); level 2: an overflow heap for everything
+  // at or beyond base + kSpan.  When the wheel drains it is re-based onto
+  // the earliest overflow event and eligible events migrate in.
+  //
+  // Buckets are unsorted vectors; the entries of the bucket under the drain
+  // cursor are ordered through `order_`, a sorted array of {at, seq, index}
+  // PODs, built once per bucket.  Popped entries leave a moved-from husk in
+  // the bucket (skipped when (re)building the order) so no erase/compact
+  // pass ever touches live events.
+  class CalendarQueue {
+   public:
+    bool empty() const noexcept { return size_ == 0; }
+    std::size_t size() const noexcept { return size_; }
+
+    // Components are passed through to one emplace into the destination
+    // vector, so a schedule costs a single event relocation.
+    void push(SimTime at, std::uint64_t seq, EventFn&& fn);
+    // Earliest (at, seq) entry, or nullptr when empty.  May advance the
+    // bucket cursor / re-base the wheel, hence non-const.
+    const Entry* peek();
+    // Remove and return the earliest entry; requires !empty().
+    Entry pop();
+
+   private:
+    static constexpr std::size_t kBuckets = 256;
+    static constexpr SimTime kWidth = kMillisecond;  // per-bucket time slice
+    static constexpr SimTime kSpan = static_cast<SimTime>(kBuckets) * kWidth;
+
+    // Drain order of one bucket, sorted without moving the entries.
+    struct OrderKey {
+      SimTime at;
+      std::uint64_t seq;
+      std::uint32_t idx;  // position in the bucket vector
+    };
+
+    // Overflow-safe "at falls inside the wheel" (base_ may sit near the
+    // far end of SimTime).
+    bool in_wheel(SimTime at) const noexcept {
+      return at >= base_ && at - base_ < kSpan;
+    }
+    std::size_t bucket_index(SimTime at) const noexcept {
+      return static_cast<std::size_t>((at - base_) / kWidth);
+    }
+    void insert_wheel(SimTime at, std::uint64_t seq, EventFn&& fn);
+    // Build `order_` for the cursor bucket, skipping popped husks.
+    void sort_bucket();
+    // Re-anchor the wheel so `t` falls in bucket 0 and migrate newly
+    // eligible overflow events in.
+    void rebase(SimTime t);
+
+    std::vector<std::vector<Entry>> buckets_{kBuckets};
+    std::vector<OrderKey> order_;  // drain order of buckets_[cursor_]
+    std::size_t pos_ = 0;          // next undrained index into order_
+    bool sorted_ = false;          // order_ currently describes cursor_
+    std::vector<Entry> overflow_;  // min-heap under Later
+    SimTime base_ = 0;
+    std::size_t cursor_ = 0;        // first possibly non-empty bucket
+    std::size_t wheel_count_ = 0;   // live entries in the wheel
+    std::size_t size_ = 0;
   };
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  CalendarQueue queue_;
 };
 
 }  // namespace zmail::sim

@@ -79,6 +79,71 @@ TEST_F(MessagesTest, TrailingBytesDetected) {
   EXPECT_FALSE(SnapshotRequest::deserialize(wire).has_value());
 }
 
+// Tentpole invariant: every serialize() reserves serialized_size() bytes up
+// front, so the declared size must be exactly the bytes produced.
+TEST_F(MessagesTest, SerializedSizeMatchesSerializeForEveryMessage) {
+  const BuyRequest buy{1234, nnc_.next()};
+  EXPECT_EQ(buy.serialized_size(), buy.serialize().size());
+
+  const BuyReply buyreply{nnc_.next(), true};
+  EXPECT_EQ(buyreply.serialized_size(), buyreply.serialize().size());
+
+  const SellRequest sell{999, nnc_.next()};
+  EXPECT_EQ(sell.serialized_size(), sell.serialize().size());
+
+  const SellReply sellreply{nnc_.next()};
+  EXPECT_EQ(sellreply.serialized_size(), sellreply.serialize().size());
+
+  const SnapshotRequest request{42};
+  EXPECT_EQ(request.serialized_size(), request.serialize().size());
+
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{64}}) {
+    const CreditReport report{7, std::vector<EPenny>(n, -3)};
+    EXPECT_EQ(report.serialized_size(), report.serialize().size());
+  }
+
+  const crypto::Envelope env =
+      crypto::ncr(keys_.pub, buy.serialize(), rng_);
+  EXPECT_EQ(env.serialized_size(), env.serialize().size());
+}
+
+// The scratch-buffer envelope path must be byte-identical to the allocating
+// one given the same RNG state, and must interoperate in both directions.
+TEST_F(MessagesTest, SealIntoMatchesSealAndRoundTrips) {
+  const BuyRequest m{500, nnc_.next()};
+  const crypto::Bytes plain = m.serialize();
+
+  Rng rng_a{4242};
+  Rng rng_b{4242};
+  const crypto::Bytes wire_a = seal(keys_.pub, plain, rng_a);
+  crypto::Envelope scratch;
+  crypto::Bytes wire_b;
+  seal_into(keys_.pub, plain, rng_b, scratch, wire_b);
+  EXPECT_EQ(wire_a, wire_b);
+
+  // Scratch unseal reads what plain seal wrote (and vice versa), reusing
+  // its buffers across calls.
+  crypto::Envelope unseal_scratch;
+  crypto::Bytes out;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(unseal_into(keys_.priv, wire_a, unseal_scratch, out));
+    EXPECT_EQ(out, plain);
+  }
+  const auto via_plain = unseal(keys_.priv, wire_b);
+  ASSERT_TRUE(via_plain.has_value());
+  EXPECT_EQ(*via_plain, plain);
+}
+
+TEST_F(MessagesTest, UnsealIntoRejectsTamperAndGarbage) {
+  crypto::Envelope scratch;
+  crypto::Bytes out;
+  crypto::Bytes wire = seal(keys_.pub, SnapshotRequest{3}.serialize(), rng_);
+  wire[wire.size() / 2] ^= 0x40;
+  EXPECT_FALSE(unseal_into(keys_.priv, wire, scratch, out));
+  EXPECT_FALSE(unseal_into(keys_.priv, {}, scratch, out));
+  EXPECT_FALSE(unseal_into(keys_.priv, {1, 2, 3, 4}, scratch, out));
+}
+
 TEST_F(MessagesTest, SealUnsealRoundTrip) {
   const BuyRequest m{500, nnc_.next()};
   const crypto::Bytes wire = seal(keys_.pub, m.serialize(), rng_);

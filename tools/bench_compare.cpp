@@ -1,0 +1,81 @@
+// bench_compare: diff two BENCH_<name>.json files produced by the bench
+// harness (bench/bench_common.hpp).
+//
+//   bench_compare BASELINE.json CURRENT.json
+//
+// Prints the wall-clock speedup (or regression) of CURRENT relative to
+// BASELINE plus the shape-check failure counts of both runs.  The exit code
+// only reflects *usability* of the inputs (2 = unreadable/invalid JSON) —
+// perf drift itself never fails the process, so CI can run this as a
+// report-only step on noisy shared runners.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace {
+
+struct BenchRun {
+  std::string bench;
+  double wall_seconds = -1.0;
+  std::int64_t failures = -1;
+};
+
+bool load_run(const char* path, BenchRun& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path);
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  const auto v = zmail::json::parse(buf.str(), &err);
+  if (!v) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path, err.c_str());
+    return false;
+  }
+  if (const auto* b = v->find("bench")) out.bench = b->as_string();
+  const auto* wall = v->find("wall_seconds");
+  if (!wall || !wall->is_number()) {
+    std::fprintf(stderr, "bench_compare: %s has no wall_seconds\n", path);
+    return false;
+  }
+  out.wall_seconds = wall->as_double();
+  if (const auto* f = v->find("failures"); f && f->is_number())
+    out.failures = f->as_int64();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s BASELINE.json CURRENT.json\n",
+                 argc > 0 ? argv[0] : "bench_compare");
+    return 2;
+  }
+  BenchRun base, cur;
+  if (!load_run(argv[1], base) || !load_run(argv[2], cur)) return 2;
+
+  if (!base.bench.empty() && !cur.bench.empty() && base.bench != cur.bench)
+    std::printf("warning: comparing different benches ('%s' vs '%s')\n",
+                base.bench.c_str(), cur.bench.c_str());
+
+  const double speedup =
+      cur.wall_seconds > 0.0 ? base.wall_seconds / cur.wall_seconds : 0.0;
+  std::printf("bench     %s\n", cur.bench.empty() ? "?" : cur.bench.c_str());
+  std::printf("baseline  %.6fs  (%s)\n", base.wall_seconds, argv[1]);
+  std::printf("current   %.6fs  (%s)\n", cur.wall_seconds, argv[2]);
+  if (speedup >= 1.0)
+    std::printf("result    %.2fx speedup\n", speedup);
+  else if (speedup > 0.0)
+    std::printf("result    %.2fx regression\n", 1.0 / speedup);
+  if (base.failures >= 0 || cur.failures >= 0)
+    std::printf("failures  baseline=%lld current=%lld\n",
+                static_cast<long long>(base.failures),
+                static_cast<long long>(cur.failures));
+  return 0;
+}
