@@ -13,6 +13,7 @@
 //       --replicas N   replicas per sweep point                 (default 1)
 //       --seed S       base seed for sweep::derive_seed         (default 42)
 //       --smoke        cut volumes for CI smoke runs
+//       --audit        run the cross-system InvariantAuditor inside replicas
 //       --json PATH    output path                (default BENCH_<name>.json)
 //       --no-json      skip the JSON file
 //   - runs parameter grids on the parallel sweep harness (run_sweep), and
@@ -42,6 +43,7 @@ struct Options {
   std::size_t replicas = 1;
   std::uint64_t seed = 42;
   bool smoke = false;
+  bool audit = false;  // run the InvariantAuditor continuously inside replicas
   bool write_json = true;
   std::string json_path;     // empty: BENCH_<name>.json in the working dir
   std::string compare_path;  // previous BENCH_<name>.json to diff against
@@ -213,6 +215,8 @@ class Bench {
         options_.seed = std::strtoull(need_value(i, a), nullptr, 10);
       } else if (std::strcmp(a, "--smoke") == 0) {
         options_.smoke = true;
+      } else if (std::strcmp(a, "--audit") == 0) {
+        options_.audit = true;
       } else if (std::strcmp(a, "--json") == 0) {
         options_.json_path = need_value(i, a);
       } else if (std::strcmp(a, "--no-json") == 0) {
@@ -224,8 +228,8 @@ class Bench {
       } else {
         std::fprintf(stderr,
                      "unknown flag %s\nusage: %s [--threads N] [--replicas N]"
-                     " [--seed S] [--smoke] [--json PATH] [--no-json]"
-                     " [--compare BASELINE.json]\n",
+                     " [--seed S] [--smoke] [--audit] [--json PATH]"
+                     " [--no-json] [--compare BASELINE.json]\n",
                      a, argc > 0 ? argv[0] : "bench");
         std::exit(2);
       }

@@ -9,9 +9,15 @@
 //          drift at any replay factor
 //   E11.b  replay of snapshot requests and credit reports
 //   E11.c  random tampering of sealed envelopes: rejection rate
+//   E11.d  transport-level duplication: the network (not a hand-rolled
+//          harness) duplicates datagrams of every type; nonce, sequence,
+//          and ARQ dedupe shields must absorb all of it end-to-end
 #include "bench_common.hpp"
 #include "core/bank.hpp"
+#include "core/invariants.hpp"
 #include "core/isp.hpp"
+#include "core/system.hpp"
+#include "net/faults.hpp"
 #include "util/table.hpp"
 
 using namespace zmail;
@@ -148,6 +154,86 @@ void e11c_tampering() {
                "every tampered envelope is rejected (HMAC over ciphertext)");
 }
 
+void e11d_transport_duplication() {
+  // The replays above are hand-rolled; here the *network itself* duplicates
+  // ~45% of all datagrams — emails (ARQ frames and acks), buy/sell wires,
+  // snapshot requests, credit reports — over a full timed run with bank
+  // trading and a snapshot round in the middle.
+  core::ZmailParams p = small();
+  p.n_isps = 3;
+  p.users_per_isp = 3;
+  p.initial_user_balance = 500;
+  p.default_daily_limit = 1'000;
+  p.retry.enabled = true;
+  p.reliable_email_transport = true;  // receiver dedupe for duplicated mail
+  core::ZmailSystem sys(p, 116);
+  sys.enable_bank_trading(sim::kMinute);
+
+  net::FaultPlan plan;
+  plan.rates.duplicate = 0.45;
+  net::FaultInjector inj(plan, 117);
+  sys.attach_faults(&inj);
+
+  core::InvariantAuditor auditor(sys);
+  auditor.run_continuously(5 * sim::kMinute);
+
+  Rng rng(118);
+  const int sends = 240;
+  for (int i = 0; i < sends; ++i) {
+    const auto src = static_cast<std::size_t>(rng.next_below(p.n_isps));
+    const auto hop = 1 + rng.next_below(p.n_isps - 1);
+    const auto dst = (src + static_cast<std::size_t>(hop)) % p.n_isps;
+    sys.send_email(
+        net::make_user_address(src, rng.next_below(p.users_per_isp)),
+        net::make_user_address(dst, rng.next_below(p.users_per_isp)), "dup",
+        "m" + std::to_string(i));
+    // Keep the ISP pools churning so duplicated buy/sell wires hit the bank.
+    if (i % 16 == 3)
+      sys.buy_epennies(net::make_user_address(src, 0), 40);
+    if (i % 16 == 11)
+      sys.sell_epennies(net::make_user_address(src, 0), 20);
+    if (i == sends / 2) sys.start_snapshot();  // duplicated requests/reports
+    sys.run_for(sim::kMinute);
+  }
+  sys.start_snapshot();
+  sys.run_for(sim::kHour);
+  sys.attach_faults(nullptr);
+  sys.run_for(sim::kHour);  // drain with a clean network
+
+  const core::IspMetrics m = sys.total_isp_metrics();
+  const core::BankMetrics& bm = sys.bank().metrics();
+  const std::uint64_t absorbed = bm.duplicate_buys + bm.duplicate_sells +
+                                 bm.stale_trades + bm.stale_reports +
+                                 m.stale_requests + m.duplicate_emails_dropped;
+  auditor.check_now();
+
+  Table t({"metric", "value"});
+  t.add_row({"datagrams duplicated in flight",
+             Table::num(inj.counters().duplicated)});
+  t.add_row({"emails sent / received / refunded",
+             Table::num(m.emails_sent_compliant) + " / " +
+                 Table::num(m.emails_received_compliant) + " / " +
+                 Table::num(m.emails_refunded)});
+  t.add_row({"duplicate emails dropped (ARQ dedupe)",
+             Table::num(m.duplicate_emails_dropped)});
+  t.add_row({"duplicate buy/sell wires absorbed",
+             Table::num(bm.duplicate_buys + bm.duplicate_sells)});
+  t.add_row({"stale requests/reports ignored",
+             Table::num(m.stale_requests + bm.stale_reports)});
+  t.add_row({"invariant violations", Table::num(auditor.report().violations)});
+  t.print("E11.d  transport-level duplication (fault-injected)");
+
+  bench::check(inj.counters().duplicated > 0 && absorbed > 0,
+               "the network really duplicated traffic and shields absorbed it");
+  bench::check(m.emails_received_compliant + m.emails_refunded ==
+                   m.emails_sent_compliant,
+               "every paid email delivered (or refunded) exactly once");
+  bench::check(sys.pending_transfers() == 0 && sys.conservation_holds(),
+               "no e-penny minted, destroyed, or stranded by duplication");
+  bench::check(auditor.report().ok(),
+               "continuous audit saw zero invariant violations");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -156,5 +242,6 @@ int main(int argc, char** argv) {
   e11a_trade_replay();
   e11b_snapshot_replay();
   e11c_tampering();
+  e11d_transport_duplication();
   return harness.finish();
 }

@@ -1,0 +1,281 @@
+// R1 — chaos fault sweep: zero-sum safety under a hostile network.
+//
+// The paper's money argument (Sections 4.1-4.4) implicitly assumes the
+// transport delivers every message.  This bench drops that assumption: a
+// deterministic FaultInjector loses, duplicates, reorders, corrupts, and
+// truncates datagrams, cuts host pairs apart, and crashes hosts outright,
+// while the hardened configuration (ISP<->bank retry/backoff + the reliable
+// email transport) has to keep the books straight.
+//
+// Regenerates:
+//   R1.a  fault-rate grid x seeds: 100% of paid emails delivered or
+//         refunded, zero invariant violations, nothing left in flight
+//   R1.b  a network partition between two ISPs: mail queued while the link
+//         is cut, fully recovered after the heal
+//   R1.c  host crashes (one ISP, then the bank) with in-flight loss:
+//         retransmits and trade retries recover every message
+//
+// `--audit` additionally runs the InvariantAuditor *continuously* (every 10
+// simulated minutes) inside each replica instead of only at the end.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/invariants.hpp"
+#include "core/system.hpp"
+#include "net/address.hpp"
+#include "net/faults.hpp"
+#include "util/table.hpp"
+
+using namespace zmail;
+
+namespace {
+
+// The hardened configuration: everything the fault model needs switched on.
+core::ZmailParams hardened() {
+  core::ZmailParams p;
+  p.n_isps = 3;
+  p.users_per_isp = 6;
+  p.initial_user_balance = 10'000;
+  p.default_daily_limit = 100'000;
+  p.record_inboxes = false;
+  p.retry.enabled = true;             // ISP<->bank wires retransmit on timeout
+  p.reliable_email_transport = true;  // paid emails ride the ack/ARQ transport
+  p.email_max_retransmits = 0;        // retry forever: no abandons expected
+  return p;
+}
+
+struct Scenario {
+  net::FaultPlan plan;
+  int sends = 360;  // one inter-ISP email per simulated minute
+  bool audit_continuous = false;
+};
+
+// One replica: `sends` minutes of cross-ISP mail with bank trading and two
+// snapshot rounds, all under the scenario's fault plan, then a drain window
+// (faults still active) that must leave zero transfers pending.
+sweep::MetricBag run_chaos(const Scenario& sc, std::uint64_t seed) {
+  core::ZmailSystem sys(hardened(), seed);
+  const core::ZmailParams& p = sys.params();
+  sys.enable_bank_trading();
+  const sim::Duration traffic_span =
+      static_cast<sim::Duration>(sc.sends) * sim::kMinute;
+  sys.enable_periodic_snapshots(traffic_span / 2);
+
+  // Independent fault stream: the same (plan, seed) replays bit-identically.
+  net::FaultInjector inj(sc.plan, seed ^ 0x5DEECE66Dull);
+  sys.attach_faults(&inj);
+
+  core::InvariantAuditor auditor(sys);
+  if (sc.audit_continuous) auditor.run_continuously(10 * sim::kMinute);
+
+  Rng traffic(seed + 17);
+  for (int i = 0; i < sc.sends; ++i) {
+    const std::size_t src = traffic.next_below(p.n_isps);
+    std::size_t dst = traffic.next_below(p.n_isps - 1);
+    if (dst >= src) ++dst;
+    sys.send_email(net::make_user_address(src, traffic.next_below(p.users_per_isp)),
+                   net::make_user_address(dst, traffic.next_below(p.users_per_isp)),
+                   "chaos", "m" + std::to_string(i));
+    sys.run_for(sim::kMinute);
+  }
+
+  // Drain with the faults still injecting: recovery has to work under fire.
+  sys.run_for(sim::kHour);
+  for (int k = 0; k < 12 && sys.pending_transfers() > 0; ++k)
+    sys.run_for(15 * sim::kMinute);
+  sys.attach_faults(nullptr);
+
+  auditor.check_now();
+  if (!auditor.report().ok())
+    for (const std::string& msg : auditor.report().messages)
+      std::fprintf(stderr, "r1 seed=%llu: INVARIANT: %s\n",
+                   static_cast<unsigned long long>(seed), msg.c_str());
+
+  sweep::MetricBag bag;
+  const core::IspMetrics m = sys.total_isp_metrics();
+  bag.count("sent", static_cast<double>(m.emails_sent_compliant));
+  bag.count("received", static_cast<double>(m.emails_received_compliant));
+  bag.count("refunded", static_cast<double>(m.emails_refunded));
+  bag.count("retransmitted", static_cast<double>(m.emails_retransmitted));
+  bag.count("dup_dropped", static_cast<double>(m.duplicate_emails_dropped));
+  bag.count("bank_retries",
+            static_cast<double>(m.bank_retries + m.report_retries));
+  bag.count("pending", static_cast<double>(sys.pending_transfers()));
+  bag.count("violations", static_cast<double>(auditor.report().violations));
+  bag.count("replays_absorbed",
+            static_cast<double>(auditor.report().replays_absorbed));
+  const net::FaultCounters& fc = inj.counters();
+  bag.count("injected", static_cast<double>(fc.total_injected()));
+  bag.count("dropped", static_cast<double>(fc.dropped));
+  bag.count("duplicated", static_cast<double>(fc.duplicated));
+  bag.count("corrupted", static_cast<double>(fc.corrupted));
+  bag.count("partitioned", static_cast<double>(fc.partitioned));
+  bag.count("outage_lost", static_cast<double>(fc.outage_lost));
+  return bag;
+}
+
+struct SectionVerdict {
+  bool accounted = true;   // received + refunded == sent at every point
+  bool drained = true;     // pending == 0 at every point
+  bool clean = true;       // zero auditor violations at every point
+};
+
+// Prints one row per sweep point and folds the acceptance booleans.
+SectionVerdict print_sweep(const sweep::SweepResult& res,
+                           const std::string& title) {
+  Table t({"scenario", "paid sent", "delivered", "refunded", "retransmits",
+           "dups dropped", "trade retries", "faults injected", "violations"});
+  SectionVerdict v;
+  for (const auto& pr : res.points) {
+    const auto& b = pr.merged;
+    if (b.counter("received") + b.counter("refunded") != b.counter("sent"))
+      v.accounted = false;
+    if (b.counter("pending") != 0) v.drained = false;
+    if (b.counter("violations") != 0) v.clean = false;
+    t.add_row({pr.point.label, Table::num(b.counter("sent"), 0),
+               Table::num(b.counter("received"), 0),
+               Table::num(b.counter("refunded"), 0),
+               Table::num(b.counter("retransmitted"), 0),
+               Table::num(b.counter("dup_dropped"), 0),
+               Table::num(b.counter("bank_retries"), 0),
+               Table::num(b.counter("injected"), 0),
+               Table::num(b.counter("violations"), 0)});
+  }
+  t.print(title);
+  return v;
+}
+
+sweep::SweepOptions sweep_opts(const bench::Options& opt, std::size_t replicas) {
+  sweep::SweepOptions so;
+  so.base_seed = opt.seed;
+  so.threads = opt.threads;
+  so.replicas = std::max(opt.replicas, replicas);
+  return so;
+}
+
+void r1a_rates(bench::Bench& harness) {
+  const bench::Options& opt = harness.options();
+  const auto pt = [](std::string label, double drop, double dup, double corrupt,
+                     double truncate = 0.0) {
+    return sweep::Point{std::move(label),
+                        {{"drop", drop},
+                         {"dup", dup},
+                         {"corrupt", corrupt},
+                         {"truncate", truncate}}};
+  };
+  std::vector<sweep::Point> grid = {
+      pt("fault-free", 0, 0, 0),
+      pt("drop=5%", 0.05, 0, 0),
+      pt("dup=5%", 0, 0.05, 0),
+      pt("corrupt=1%", 0, 0, 0.01),
+      pt("drop=5% dup=5% corrupt=1%", 0.05, 0.05, 0.01),
+  };
+  if (!opt.smoke) {
+    grid.push_back(pt("truncate=1%", 0, 0, 0, 0.01));
+    grid.push_back(pt("drop=20%", 0.20, 0, 0));
+  }
+
+  // The acceptance point must hold over >= 3 independent seeds.
+  const auto so = sweep_opts(opt, opt.smoke ? 1 : 3);
+  const int sends = opt.smoke ? 90 : 360;
+  const sweep::SweepResult res = harness.run_sweep(
+      "r1a_rates", grid, so,
+      [&](const sweep::Point& q, std::uint64_t seed, std::size_t) {
+        Scenario sc;
+        sc.sends = sends;
+        sc.audit_continuous = opt.audit;
+        sc.plan.rates.drop = q.param("drop");
+        sc.plan.rates.duplicate = q.param("dup");
+        sc.plan.rates.corrupt = q.param("corrupt");
+        sc.plan.rates.truncate = q.param("truncate");
+        return run_chaos(sc, seed);
+      });
+
+  const SectionVerdict v = print_sweep(
+      res, "R1.a  fault-rate grid (" + std::to_string(so.replicas) +
+               " seed(s) per point)");
+  bench::check(v.accounted,
+               "every paid email is delivered or refunded at every fault rate");
+  bench::check(v.drained, "no transfer is left pending after the drain");
+  bench::check(v.clean, "the invariant auditor found zero violations");
+
+  const auto& clean_run = res.points.front().merged;
+  bench::check(clean_run.counter("retransmitted") == 0 &&
+                   clean_run.counter("refunded") == 0,
+               "the fault-free point never retransmits or refunds");
+  bool injected = true;
+  for (std::size_t i = 1; i < res.points.size(); ++i)
+    if (res.points[i].merged.counter("injected") == 0) injected = false;
+  bench::check(injected, "every faulty point actually injected faults");
+}
+
+void r1b_partition(bench::Bench& harness) {
+  const bench::Options& opt = harness.options();
+  const int sends = opt.smoke ? 120 : 360;
+  const sim::Duration span =
+      static_cast<sim::Duration>(sends) * sim::kMinute;
+
+  const sweep::SweepResult res = harness.run_sweep(
+      "r1b_partition", {sweep::Point{"isp0 <-> isp1 cut for span/4", {}}},
+      sweep_opts(opt, opt.smoke ? 1 : 3),
+      [&](const sweep::Point&, std::uint64_t seed, std::size_t) {
+        Scenario sc;
+        sc.sends = sends;
+        sc.audit_continuous = opt.audit;
+        sc.plan.partitions.push_back(net::Partition{0, 1, span / 4, span / 2});
+        return run_chaos(sc, seed);
+      });
+
+  const SectionVerdict v = print_sweep(res, "R1.b  partition and heal");
+  const auto& b = res.points.front().merged;
+  bench::check(b.counter("partitioned") > 0,
+               "the partition swallowed live traffic");
+  bench::check(v.accounted && v.drained,
+               "every email queued across the partition lands after the heal");
+  bench::check(v.clean, "no invariant violated by the partition");
+}
+
+void r1c_crashes(bench::Bench& harness) {
+  const bench::Options& opt = harness.options();
+  const int sends = opt.smoke ? 120 : 360;
+  const sim::Duration span =
+      static_cast<sim::Duration>(sends) * sim::kMinute;
+  const net::HostId bank_host = hardened().n_isps;
+
+  const sweep::SweepResult res = harness.run_sweep(
+      "r1c_crashes", {sweep::Point{"isp1 crash, then bank crash", {}}},
+      sweep_opts(opt, opt.smoke ? 1 : 3),
+      [&](const sweep::Point&, std::uint64_t seed, std::size_t) {
+        Scenario sc;
+        sc.sends = sends;
+        sc.audit_continuous = opt.audit;
+        // Crashes lose in-flight datagrams (the harsh model).
+        sc.plan.outage_preserves_inflight = false;
+        sc.plan.outages.push_back(
+            net::HostOutage{1, span / 4, span / 4 + span / 8});
+        sc.plan.outages.push_back(
+            net::HostOutage{bank_host, 5 * span / 8, 3 * span / 4});
+        return run_chaos(sc, seed);
+      });
+
+  const SectionVerdict v = print_sweep(res, "R1.c  host crash and restart");
+  const auto& b = res.points.front().merged;
+  bench::check(b.counter("outage_lost") > 0,
+               "the crashes really destroyed in-flight datagrams");
+  bench::check(v.accounted && v.drained,
+               "every email is delivered or refunded across both crashes");
+  bench::check(v.clean, "no invariant violated by the crashes");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Bench harness("r1_fault_sweep", argc, argv);
+  std::printf("=== R1: chaos fault sweep ===\n");
+  r1a_rates(harness);
+  r1b_partition(harness);
+  r1c_crashes(harness);
+  return harness.finish();
+}

@@ -78,6 +78,54 @@ ApIspProcess::ApIspProcess(ApZmailWorld& world, std::size_t index,
     add_receive(kMsgSellReply,
                 [this](const ap::Message& m) { act_rcv_sellreply(m); });
 
+    // O timeout expired -> resend buy / resend sell (Section 3 recovery).
+    //
+    // The paper's channels are reliable, but an adversarial harness (or the
+    // faulty zmail::net substitution) can lose a reply; the exchange then
+    // deadlocks with canbuy/cansell stuck false.  The AP-equivalent of the
+    // production retry timer is a timeout guard: the exchange is
+    // outstanding (nonce held) yet neither the request nor its reply is in
+    // the channel — the message was lost, so resend the *same* sealed wire.
+    // The bank's nonce cache makes the duplicate idempotent, so a retry
+    // racing a slow (not lost) reply is harmless; under reliable channels
+    // atomic receive-and-reply keeps one of the two messages in flight and
+    // this guard is never true.
+    const auto exchange_stalled = [this](const ap::GlobalView& g,
+                                         const net::MsgType& req,
+                                         const net::MsgType& reply) {
+      const ap::Channel* out =
+          g.scheduler().find_channel(id(), world_.bank_pid());
+      if (out)
+        for (const auto& m : out->contents())
+          if (m.type == req.name()) return false;
+      const ap::Channel* in =
+          g.scheduler().find_channel(world_.bank_pid(), id());
+      if (in)
+        for (const auto& m : in->contents())
+          if (m.type == reply.name()) return false;
+      return true;
+    };
+    add_timeout(
+        "buy-retry",
+        [this, exchange_stalled](const ap::GlobalView& g) {
+          return !canbuy && ns1_.has_value() &&
+                 exchange_stalled(g, kMsgBuy, kMsgBuyReply);
+        },
+        [this] {
+          ++buy_retries;
+          send(world_.bank_pid(), kMsgBuy, crypto::Bytes(buy_wire_));
+        });
+    add_timeout(
+        "sell-retry",
+        [this, exchange_stalled](const ap::GlobalView& g) {
+          return !cansell && ns2_.has_value() &&
+                 exchange_stalled(g, kMsgSell, kMsgSellReply);
+        },
+        [this] {
+          ++sell_retries;
+          send(world_.bank_pid(), kMsgSell, crypto::Bytes(sell_wire_));
+        });
+
     // User <-> ISP e-penny trade (Section 4.2), budgeted.
     add_action(
         "user-trade", [this] { return user_trade_budget > 0; },
@@ -240,8 +288,8 @@ void ApIspProcess::act_buy() {
   buyvalue = rng_.uniform_int(1, p.maxavail - avail);  // buyvalue := any
   ns1_ = nnc_.next();
   BuyRequest req{buyvalue, *ns1_};
-  send(world_.bank_pid(), kMsgBuy,
-       seal(world_.bank_keys().pub, req.serialize(), rng_));
+  buy_wire_ = seal(world_.bank_keys().pub, req.serialize(), rng_);
+  send(world_.bank_pid(), kMsgBuy, crypto::Bytes(buy_wire_));
 }
 
 void ApIspProcess::act_rcv_buyreply(const ap::Message& m) {
@@ -270,8 +318,8 @@ void ApIspProcess::act_sell() {
   sellvalue = rng_.uniform_int(1, avail - p.maxavail);  // sellvalue := any
   ns2_ = nnc_.next();
   SellRequest req{sellvalue, *ns2_};
-  send(world_.bank_pid(), kMsgSell,
-       seal(world_.bank_keys().pub, req.serialize(), rng_));
+  sell_wire_ = seal(world_.bank_keys().pub, req.serialize(), rng_);
+  send(world_.bank_pid(), kMsgSell, crypto::Bytes(sell_wire_));
   // NOTE: paper-literal behaviour — `avail` is NOT reduced here; the
   // decrement happens in act_rcv_sellreply, which admits a race with
   // concurrent user purchases (demonstrated in ap_spec_test.cpp).
@@ -331,6 +379,10 @@ ApBankProcess::ApBankProcess(ApZmailWorld& world, std::uint64_t seed)
   account.assign(p.n_isps,
                  p.initial_isp_bank_account.micros() / Money::kMicrosPerEPenny);
   verify.assign(p.n_isps, std::vector<EPenny>(p.n_isps, 0));
+  last_buy_nonce_.resize(p.n_isps);
+  last_sell_nonce_.resize(p.n_isps);
+  last_buy_reply_.resize(p.n_isps);
+  last_sell_reply_.resize(p.n_isps);
 
   add_action(
       "request", [this] { return canrequest && snapshot_budget > 0; },
@@ -364,6 +416,13 @@ void ApBankProcess::act_rcv_buy(const ap::Message& m) {
   if (!plain) return;
   const auto req = BuyRequest::deserialize(*plain);
   if (!req || req->buyvalue <= 0) return;
+  if (last_buy_nonce_[g] && *last_buy_nonce_[g] == req->nonce) {
+    // A retried wire: the trade was already applied, so replay the cached
+    // reply byte-for-byte instead of minting a second time.
+    ++duplicate_buys;
+    send(m.from, kMsgBuyReply, crypto::Bytes(last_buy_reply_[g]));
+    return;
+  }
   BuyReply reply;
   reply.nonce = req->nonce;
   if (account[g] >= req->buyvalue) {
@@ -373,8 +432,9 @@ void ApBankProcess::act_rcv_buy(const ap::Message& m) {
   } else {
     reply.accepted = false;
   }
-  send(m.from, kMsgBuyReply,
-       seal(world_.bank_keys().priv, reply.serialize(), rng_));
+  last_buy_nonce_[g] = req->nonce;
+  last_buy_reply_[g] = seal(world_.bank_keys().priv, reply.serialize(), rng_);
+  send(m.from, kMsgBuyReply, crypto::Bytes(last_buy_reply_[g]));
 }
 
 void ApBankProcess::act_rcv_sell(const ap::Message& m) {
@@ -383,11 +443,17 @@ void ApBankProcess::act_rcv_sell(const ap::Message& m) {
   if (!plain) return;
   const auto req = SellRequest::deserialize(*plain);
   if (!req || req->sellvalue <= 0) return;
+  if (last_sell_nonce_[g] && *last_sell_nonce_[g] == req->nonce) {
+    ++duplicate_sells;
+    send(m.from, kMsgSellReply, crypto::Bytes(last_sell_reply_[g]));
+    return;
+  }
   account[g] += req->sellvalue;
   world_.note_burned(req->sellvalue);
   SellReply reply{req->nonce};
-  send(m.from, kMsgSellReply,
-       seal(world_.bank_keys().priv, reply.serialize(), rng_));
+  last_sell_nonce_[g] = req->nonce;
+  last_sell_reply_[g] = seal(world_.bank_keys().priv, reply.serialize(), rng_);
+  send(m.from, kMsgSellReply, crypto::Bytes(last_sell_reply_[g]));
 }
 
 void ApBankProcess::act_rcv_reply(const ap::Message& m) {

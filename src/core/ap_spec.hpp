@@ -69,6 +69,8 @@ class ApIspProcess : public ap::Process {
   std::uint64_t emails_received = 0;    // consumed from a channel
   std::uint64_t emails_sent_out = 0;    // pushed into a channel
   std::uint64_t bad_nonce_replies = 0;
+  std::uint64_t buy_retries = 0;        // buy-retry timeout firings
+  std::uint64_t sell_retries = 0;       // sell-retry timeout firings
 
   std::size_t index() const noexcept { return index_; }
 
@@ -88,6 +90,10 @@ class ApIspProcess : public ap::Process {
   Rng rng_;
   crypto::NonceGenerator nnc_;
   std::optional<crypto::Nonce> ns1_, ns2_;
+  // Sealed wires of the outstanding exchanges, kept so a retry after a lost
+  // reply resends byte-identical requests (same nonce: idempotent at the
+  // bank).
+  crypto::Bytes buy_wire_, sell_wire_;
 };
 
 // process bank
@@ -112,6 +118,11 @@ class ApBankProcess : public ap::Process {
   std::vector<Violation> violations;
   std::uint64_t rounds_completed = 0;
 
+  // Duplicate (retried) trade wires absorbed by the nonce cache instead of
+  // being re-applied.
+  std::uint64_t duplicate_buys = 0;
+  std::uint64_t duplicate_sells = 0;
+
  private:
   void act_request();
   void act_rcv_buy(const ap::Message& m);
@@ -121,6 +132,11 @@ class ApBankProcess : public ap::Process {
 
   ApZmailWorld& world_;
   Rng rng_;
+  // Per-ISP cache of the last applied trade nonce and the sealed reply, so
+  // a duplicated request replays the reply instead of minting/burning twice
+  // (only one exchange per ISP can be outstanding: canbuy/cansell gate it).
+  std::vector<std::optional<crypto::Nonce>> last_buy_nonce_, last_sell_nonce_;
+  std::vector<crypto::Bytes> last_buy_reply_, last_sell_reply_;
 };
 
 // Builds the scheduler, the n ISP processes and the bank, and wires ids.

@@ -8,7 +8,12 @@ Bank::Bank(const ZmailParams& params, crypto::KeyPair keys,
            std::uint64_t rng_seed)
     : params_(params), keys_(keys), rng_(rng_seed ^ 0xBA4BULL) {
   accounts_.assign(params_.n_isps, params_.initial_isp_bank_account);
+  buy_ledger_.assign(params_.n_isps, TradeLedger{});
+  sell_ledger_.assign(params_.n_isps, TradeLedger{});
   verify_.assign(params_.n_isps, std::vector<EPenny>(params_.n_isps, 0));
+  drift_.assign(params_.n_isps, std::vector<EPenny>(params_.n_isps, 0));
+  drift_streak_.assign(params_.n_isps,
+                       std::vector<std::uint32_t>(params_.n_isps, 0));
   reported_.assign(params_.n_isps, false);
 }
 
@@ -21,6 +26,17 @@ crypto::Bytes Bank::on_buy(std::size_t g, const crypto::Bytes& wire) {
   const auto req = BuyRequest::deserialize(plain_scratch_);
   if (!req || req->buyvalue <= 0) {
     ++metrics_.bad_envelopes;
+    return {};
+  }
+
+  // Idempotency shield: never mint twice for one nonce.
+  TradeLedger& led = buy_ledger_.at(g);
+  if (led.any_applied && req->nonce.counter <= led.applied_hi) {
+    if (req->nonce == led.last_nonce) {
+      ++metrics_.duplicate_buys;
+      return led.last_reply;  // re-send the cached reply, no re-apply
+    }
+    ++metrics_.stale_trades;  // delayed duplicate of an older exchange
     return {};
   }
 
@@ -40,6 +56,10 @@ crypto::Bytes Bank::on_buy(std::size_t g, const crypto::Bytes& wire) {
   }
   crypto::Bytes out;
   seal_into(keys_.priv, reply.serialize(), rng_, env_scratch_, out);
+  led.any_applied = true;
+  led.applied_hi = req->nonce.counter;
+  led.last_nonce = req->nonce;
+  led.last_reply = out;
   return out;
 }
 
@@ -54,12 +74,26 @@ crypto::Bytes Bank::on_sell(std::size_t g, const crypto::Bytes& wire) {
     ++metrics_.bad_envelopes;
     return {};
   }
+  // Idempotency shield: never burn (or pay out) twice for one nonce.
+  TradeLedger& led = sell_ledger_.at(g);
+  if (led.any_applied && req->nonce.counter <= led.applied_hi) {
+    if (req->nonce == led.last_nonce) {
+      ++metrics_.duplicate_sells;
+      return led.last_reply;
+    }
+    ++metrics_.stale_trades;
+    return {};
+  }
   accounts_.at(g) += Money::from_epennies(req->sellvalue);
   metrics_.epennies_burned += req->sellvalue;
   audit(AuditKind::kBurn, g, 0, req->sellvalue);
   SellReply reply{req->nonce};
   crypto::Bytes out;
   seal_into(keys_.priv, reply.serialize(), rng_, env_scratch_, out);
+  led.any_applied = true;
+  led.applied_hi = req->nonce.counter;
+  led.last_nonce = req->nonce;
+  led.last_reply = out;
   return out;
 }
 
@@ -79,6 +113,20 @@ std::vector<std::pair<std::size_t, crypto::Bytes>> Bank::start_snapshot() {
   }
   if (total_ == 0) canrequest_ = true;  // nothing to gather
   audit(AuditKind::kRoundStarted, 0, 0, static_cast<std::int64_t>(total_));
+  return out;
+}
+
+std::vector<std::pair<std::size_t, crypto::Bytes>> Bank::resend_requests() {
+  if (canrequest_) return {};
+  std::vector<std::pair<std::size_t, crypto::Bytes>> out;
+  SnapshotRequest req{seq_};
+  for (std::size_t i = 0; i < params_.n_isps; ++i) {
+    if (!params_.is_compliant(i) || reported_.at(i)) continue;
+    crypto::Bytes wire;
+    seal_into(keys_.priv, req.serialize(), rng_, env_scratch_, wire);
+    out.emplace_back(i, std::move(wire));
+    ++metrics_.snapshot_rerequests;
+  }
   return out;
 }
 
@@ -116,6 +164,12 @@ void Bank::verify_round() {
       // verify[j][i] = credit_i[j]  (ISP i's view of its flow toward j)
       // verify[i][j] = credit_j[i]  (ISP j's view of its flow toward i)
       const EPenny d = verify_[j][i] + verify_[i][j];
+      drift_[i][j] += d;
+      if (drift_[i][j] != 0)
+        ++drift_streak_[i][j];
+      else
+        drift_streak_[i][j] = 0;
+      if (drift_streak_[i][j] == 2) ++persistent_drift_pairs_;
       if (d != 0) {
         last_violations_.push_back(CreditViolation{i, j, d});
         ++metrics_.inconsistent_pairs_found;

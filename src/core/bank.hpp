@@ -21,6 +21,7 @@
 #include "core/config.hpp"
 #include "core/messages.hpp"
 #include "core/metrics.hpp"
+#include "crypto/nonce.hpp"
 #include "crypto/rsa.hpp"
 
 namespace zmail::core {
@@ -41,7 +42,12 @@ class Bank {
   const crypto::RsaKey& public_key() const noexcept { return keys_.pub; }
 
   // --- Section 4.3: e-penny trade ---------------------------------------
-  // Returns the sealed reply wire bytes to send back to isp[g].
+  // Returns the sealed reply wire bytes to send back to isp[g] (empty when
+  // the request is rejected or dropped).  Both handlers are idempotent
+  // under duplication: a request whose nonce was already applied re-sends
+  // the cached reply without minting/burning again, and a delayed duplicate
+  // of an older exchange is dropped — so transport-level duplicates and
+  // ISP retries can never double-credit (NCR/DCR replay safety).
   crypto::Bytes on_buy(std::size_t g, const crypto::Bytes& wire);
   crypto::Bytes on_sell(std::size_t g, const crypto::Bytes& wire);
 
@@ -51,8 +57,16 @@ class Bank {
   std::vector<std::pair<std::size_t, crypto::Bytes>> start_snapshot();
 
   // `rcv reply` action.  When the last outstanding report arrives, runs the
-  // pairwise verification and bulk settlement automatically.
+  // pairwise verification and bulk settlement automatically.  Idempotent:
+  // a duplicated or replayed report is counted stale and ignored.
   void on_reply(std::size_t g, const crypto::Bytes& wire);
+
+  // Re-seals the open round's request for every compliant ISP that has not
+  // reported yet (empty when no round is open).  The snapshot-recovery
+  // path: a lost request would otherwise leave the round open forever.
+  // ISPs that already reported bumped their seq, so a re-request cannot
+  // re-quiesce them (it would look stale).
+  std::vector<std::pair<std::size_t, crypto::Bytes>> resend_requests();
 
   bool round_open() const noexcept { return !canrequest_; }
   std::uint64_t seq() const noexcept { return seq_; }
@@ -60,6 +74,14 @@ class Bank {
   // Violations found by the most recent completed verification round.
   const std::vector<CreditViolation>& last_violations() const noexcept {
     return last_violations_;
+  }
+
+  // ISP pairs whose *cumulative* inconsistency has been nonzero for two or
+  // more consecutive rounds.  Single-round skew (an ISP that quiesced late
+  // because its snapshot request had to be re-sent) self-cancels in the
+  // next round; a free-riding pair drifts monotonically and stays counted.
+  std::uint64_t persistent_drift_pairs() const noexcept {
+    return persistent_drift_pairs_;
   }
 
   // Attaches an audit journal; all monetary and verification events are
@@ -76,6 +98,18 @@ class Bank {
   }
 
  private:
+  // Idempotency record for one ISP's most recent applied trade.  ISP nonces
+  // carry a strictly increasing counter (crypto::NonceGenerator), and each
+  // ISP has at most one buy and one sell outstanding, so "counter <= the
+  // highest applied" identifies every duplicate; the latest one also gets
+  // its cached reply replayed so a lost reply is recoverable by retry.
+  struct TradeLedger {
+    bool any_applied = false;
+    std::uint64_t applied_hi = 0;        // highest applied nonce counter
+    crypto::Nonce last_nonce;            // nonce of the cached reply
+    crypto::Bytes last_reply;            // sealed wire, replayed on duplicate
+  };
+
   void verify_round();
   void audit(AuditKind kind, std::size_t a, std::size_t b = 0,
              std::int64_t amount = 0) {
@@ -88,7 +122,17 @@ class Bank {
   Rng rng_;
 
   std::vector<Money> accounts_;
+  std::vector<TradeLedger> buy_ledger_;   // per-ISP buy idempotency
+  std::vector<TradeLedger> sell_ledger_;  // per-ISP sell idempotency
   std::vector<std::vector<EPenny>> verify_;  // verify[i][g] = credit_g[i]
+  // Cumulative per-pair inconsistency across rounds (upper triangle,
+  // drift_[i][j] for i < j) and how many consecutive rounds it has been
+  // nonzero.  A recovered snapshot (one ISP quiesced late after a lost
+  // request) skews a pair by +/-d across two adjacent rounds, which nets to
+  // zero here; genuine misbehaviour accumulates and keeps the streak alive.
+  std::vector<std::vector<EPenny>> drift_;
+  std::vector<std::vector<std::uint32_t>> drift_streak_;
+  std::uint64_t persistent_drift_pairs_ = 0;
   std::vector<bool> reported_;
   std::uint64_t seq_ = 0;
   std::size_t total_ = 0;  // outstanding reports this round

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/time.hpp"
 #include "util/money.hpp"
 
 namespace zmail::core {
@@ -48,6 +49,31 @@ enum class NonCompliantPolicy : std::uint8_t {
   kDiscard,      // drop
 };
 
+// Exponential backoff + jitter for ISP<->Bank exchanges (buy/sell requests
+// and credit reports).  Disabled by default: with a reliable network the
+// retry timers would add scheduled events and perturb the deterministic
+// (at, seq) event interleaving that the bit-identical sweeps depend on.
+// Retries reuse the original nonce, so a reply to any attempt satisfies
+// them all and the bank's idempotent handlers absorb the duplicates.
+struct RetryPolicy {
+  bool enabled = false;
+  sim::Duration base = 2 * sim::kSecond;       // first retry after ~base
+  double multiplier = 2.0;                     // backoff growth per attempt
+  sim::Duration max_backoff = 5 * sim::kMinute;
+  double jitter = 0.25;          // +/- fraction of the backoff, uniform
+  std::uint32_t max_attempts = 0;  // 0 = retry forever
+
+  sim::Duration backoff_for(std::uint32_t attempt) const {
+    double b = static_cast<double>(base);
+    for (std::uint32_t i = 1; i < attempt; ++i) {
+      b *= multiplier;
+      if (b >= static_cast<double>(max_backoff)) break;
+    }
+    const auto capped = static_cast<sim::Duration>(b);
+    return capped < max_backoff ? capped : max_backoff;
+  }
+};
+
 struct ZmailParams {
   // Population shape (paper constants n and m).
   std::size_t n_isps = 2;
@@ -85,6 +111,29 @@ struct ZmailParams {
   // Record full inboxes (tests/examples) or count-only (large benches).
   bool record_inboxes = true;
 
+  // --- Fault tolerance (all default-off: zero scheduled events, zero RNG
+  // draws, bit-identical behaviour when a run never sees a fault plan). ---
+
+  // ISP<->Bank retry/backoff; see RetryPolicy above.
+  RetryPolicy retry;
+
+  // Acknowledged, exactly-once inter-ISP email transport: paid email rides
+  // in an id-framed envelope, receivers dedupe and ack, senders retransmit
+  // on an exponential-backoff timer.  Required for liveness under a lossy
+  // FaultPlan; off by default for bit-identical fault-free runs.
+  bool reliable_email_transport = false;
+
+  // After this many unacked retransmits the sender abandons the transfer
+  // and refunds the payer (0 = retry forever).  Abandoning is only
+  // loss-safe while the destination has never processed the mail, so the
+  // default keeps retrying until the partition heals.
+  std::uint32_t email_max_retransmits = 0;
+
+  // Bound on the quiesce buffer of pending paid sends per ISP; overflow is
+  // shed (payment undone, emails_shed metric).  0 = unbounded (paper
+  // behaviour).
+  std::size_t max_buffered_sends = 0;
+
   bool is_compliant(std::size_t isp) const {
     return compliant.empty() ? true : compliant.at(isp);
   }
@@ -118,6 +167,15 @@ struct ZmailParams {
       problems.push_back("initial_user_account must be >= 0");
     if (initial_isp_bank_account.is_negative())
       problems.push_back("initial_isp_bank_account must be >= 0");
+    if (retry.enabled) {
+      if (retry.base <= 0) problems.push_back("retry.base must be > 0");
+      if (retry.multiplier < 1.0)
+        problems.push_back("retry.multiplier must be >= 1");
+      if (retry.max_backoff < retry.base)
+        problems.push_back("retry.max_backoff must be >= retry.base");
+      if (retry.jitter < 0.0 || retry.jitter > 1.0)
+        problems.push_back("retry.jitter must be in [0, 1]");
+    }
     return problems;
   }
 };

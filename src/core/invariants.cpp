@@ -1,0 +1,96 @@
+#include "core/invariants.hpp"
+
+#include "util/assert.hpp"
+
+namespace zmail::core {
+
+namespace {
+constexpr std::size_t kMaxMessages = 16;
+}  // namespace
+
+InvariantAuditor::InvariantAuditor(ZmailSystem& sys)
+    : sys_(&sys),
+      initial_real_money_(
+          sys.total_real_money() +
+          Money::from_epennies(sys.bank().epennies_outstanding())) {}
+
+void InvariantAuditor::fail(std::string msg) {
+  ++report_.violations;
+  if (report_.messages.size() < kMaxMessages)
+    report_.messages.push_back(std::move(msg));
+}
+
+void InvariantAuditor::check_now() {
+  const ZmailSystem& sys = *sys_;
+  const ZmailParams& params = sys.params();
+
+  // 1. e-penny conservation: holdings == endowment + net mint.
+  if (!sys.conservation_holds())
+    fail("e-penny conservation broken: holdings != initial + minted - burned");
+  if (sys.epennies_in_flight() < 0)
+    fail("negative in-flight escrow");
+
+  // 2. real money is only ever moved, never created.  A mint swaps dollars
+  //    out of the measured accounts into the bank's vault (where they back
+  //    the outstanding e-pennies) and a burn swaps them back, so the
+  //    conserved quantity is accounts + vault, not accounts alone.
+  if (!(sys.total_real_money() +
+            Money::from_epennies(sys.bank().epennies_outstanding()) ==
+        initial_real_money_))
+    fail("real-money total (accounts + e-penny backing) drifted from its"
+         " initial value");
+
+  // 3. per-user limit safety and non-negative pools.
+  for (std::size_t i = 0; i < params.n_isps; ++i) {
+    if (!params.is_compliant(i)) continue;
+    const Isp& isp = sys.isp(i);
+    if (isp.avail() < 0) fail("negative avail pool at isp " + std::to_string(i));
+    if (isp.buffered_paid() < 0)
+      fail("negative buffered-paid escrow at isp " + std::to_string(i));
+    for (std::size_t u = 0; u < isp.user_count(); ++u) {
+      const UserAccount& acc = isp.user(u);
+      if (acc.balance < 0)
+        fail("negative balance: user " + std::to_string(u) + " at isp " +
+             std::to_string(i));
+      if (acc.sent > acc.limit)
+        fail("daily limit exceeded: user " + std::to_string(u) + " at isp " +
+             std::to_string(i));
+    }
+  }
+
+  // 4. nonce non-reuse: duplicates were absorbed, not re-applied.  A
+  //    re-applied nonce mints or burns twice, which invariant (1) catches;
+  //    here we tally how much duplication the shields ate.
+  const BankMetrics& bm = sys.bank().metrics();
+  report_.replays_absorbed = bm.duplicate_buys + bm.duplicate_sells +
+                             bm.stale_trades + bm.stale_reports +
+                             sys.total_isp_metrics().duplicate_emails_dropped;
+  if (sys.bank().epennies_outstanding() < 0)
+    fail("bank burned more e-pennies than it minted");
+
+  // 5. credit consistency (unless misbehaviour was injected on purpose).
+  //    Persistent drift only: a snapshot recovered after a lost request
+  //    legitimately skews one pair by +/-d across two adjacent rounds, and
+  //    that skew nets out; a dishonest pair keeps drifting and is counted.
+  if (expect_consistent_ && sys.bank().persistent_drift_pairs() != 0)
+    fail("bank saw " + std::to_string(sys.bank().persistent_drift_pairs()) +
+         " ISP pair(s) in persistent credit drift without injected"
+         " misbehaviour");
+
+  ++report_.checks;
+}
+
+void InvariantAuditor::run_continuously(sim::Duration period) {
+  sys_->simulator().schedule_every(period, [this] {
+    check_now();
+    return true;
+  });
+}
+
+void InvariantAuditor::assert_ok() const {
+  ZMAIL_ASSERT_MSG(report_.ok(), report_.messages.empty()
+                                     ? "invariant violated"
+                                     : report_.messages.front().c_str());
+}
+
+}  // namespace zmail::core

@@ -22,6 +22,7 @@ const char* send_result_name(SendResult r) noexcept {
     case SendResult::kNoBalance: return "no-balance";
     case SendResult::kDailyLimit: return "daily-limit";
     case SendResult::kQuarantined: return "quarantined";
+    case SendResult::kShed: return "shed";
   }
   return "?";
 }
@@ -109,12 +110,17 @@ SendResult Isp::user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
 
   if (!params_.is_compliant(dest_isp)) {
     // "~compliant[j] -> send email(s, r) to isp[j]": free, unpaid.
-    ++metrics_.emails_sent_noncompliant;
     if (!cansend_) {
-      buffer_.push_back(BufferedSend{dest_isp, std::move(msg), false});
+      if (buffer_full()) {
+        ++metrics_.emails_shed;
+        return SendResult::kShed;
+      }
+      ++metrics_.emails_sent_noncompliant;
+      buffer_.push_back(BufferedSend{dest_isp, std::move(msg), false, kNoUser});
       ++metrics_.emails_buffered_during_quiesce;
       return SendResult::kBuffered;
     }
+    ++metrics_.emails_sent_noncompliant;
     outbox_.push_back(Outbound{Outbound::Dest::kIsp, dest_isp, kMsgEmail,
                                msg.serialize()});
     return SendResult::kSentFree;
@@ -135,24 +141,47 @@ SendResult Isp::user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
                                     : SendResult::kDailyLimit;
   }
   if (!cansend_) {
+    if (buffer_full()) {
+      // Graceful degradation: the quiesce buffer is saturated, so the send
+      // is shed and the just-committed payment undone in full.
+      UserAccount& u = users_.at(s);
+      u.balance += 1;
+      u.sent -= 1;
+      u.lifetime_sent -= 1;
+      ++metrics_.emails_shed;
+      return SendResult::kShed;
+    }
     // Section 4.4: "these emails will be buffered and sent right after the
     // timeout expires".  Payment is committed now; the credit entry is
     // recorded at actual transmission so the snapshot stays consistent.
-    buffer_.push_back(BufferedSend{dest_isp, std::move(msg), true});
+    buffer_.push_back(BufferedSend{dest_isp, std::move(msg), true, s});
     buffered_paid_ += 1;
     ++metrics_.emails_buffered_during_quiesce;
     return SendResult::kBuffered;
   }
-  transport_paid_email(dest_isp, msg);
+  transport_paid_email(dest_isp, msg, s);
   return SendResult::kSentPaid;
 }
 
 void Isp::transport_paid_email(std::size_t dest_isp,
-                               const net::EmailMessage& msg) {
+                               const net::EmailMessage& msg,
+                               std::size_t sender_user) {
   credit_.at(dest_isp) += 1;
   ++metrics_.emails_sent_compliant;
   outbox_.push_back(Outbound{Outbound::Dest::kIsp, dest_isp, kMsgEmail,
-                             msg.serialize()});
+                             msg.serialize(), sender_user});
+}
+
+void Isp::refund_lost_email(std::size_t sender_user, std::size_t dest_isp,
+                            bool same_epoch) {
+  if (sender_user < users_.size()) {
+    UserAccount& u = users_.at(sender_user);
+    u.balance += 1;
+    if (u.sent > 0) u.sent -= 1;
+    if (u.lifetime_sent > 0) u.lifetime_sent -= 1;
+  }
+  if (same_epoch) credit_.at(dest_isp) -= 1;
+  ++metrics_.emails_refunded;
 }
 
 void Isp::deliver_locally(std::size_t r, const net::EmailMessage& msg,
@@ -204,14 +233,21 @@ void Isp::maybe_generate_ack(std::size_t recipient,
     return;
   }
   if (!cansend_) {
-    buffer_.push_back(BufferedSend{dist_isp, std::move(ack), true});
+    if (buffer_full()) {
+      // Shed the acknowledgment rather than overflow: undo its payment.
+      u.balance += 1;
+      --metrics_.acks_generated;
+      ++metrics_.emails_shed;
+      return;
+    }
+    buffer_.push_back(BufferedSend{dist_isp, std::move(ack), true, recipient});
     buffered_paid_ += 1;
     ++metrics_.emails_buffered_during_quiesce;
     return;
   }
   credit_.at(dist_isp) += 1;
   outbox_.push_back(Outbound{Outbound::Dest::kIsp, dist_isp, kMsgEmail,
-                             ack.serialize()});
+                             ack.serialize(), recipient});
 }
 
 void Isp::send_zombie_warning(std::size_t s) {
@@ -317,7 +353,48 @@ bool Isp::user_sell(std::size_t t, EPenny x) {
   return true;
 }
 
-void Isp::maybe_trade_with_bank() {
+sim::Duration Isp::jittered_backoff(std::uint32_t attempt) {
+  sim::Duration b = params_.retry.backoff_for(attempt);
+  const double j = params_.retry.jitter;
+  if (j > 0.0)
+    b = static_cast<sim::Duration>(static_cast<double>(b) *
+                                   rng_.uniform(1.0 - j, 1.0 + j));
+  return b > 0 ? b : 1;
+}
+
+void Isp::arm_retry(PendingWire& p, net::MsgType type,
+                    const crypto::Bytes& wire, sim::SimTime now) {
+  if (!params_.retry.enabled) return;
+  p.active = true;
+  p.type = type;
+  p.wire = wire;  // the sealed bytes; retries replay them nonce and all
+  p.attempts = 1;
+  p.next_at = now + jittered_backoff(1);
+}
+
+void Isp::retry_wire(PendingWire& p, sim::SimTime now, std::uint64_t& counter) {
+  if (!p.active || now < p.next_at) return;
+  const RetryPolicy& rp = params_.retry;
+  if (rp.max_attempts != 0 && p.attempts >= rp.max_attempts) {
+    // Give up; the guard resets (if ever) via the normal reply path.
+    p.active = false;
+    p.wire = crypto::Bytes{};
+    return;
+  }
+  outbox_.push_back(Outbound{Outbound::Dest::kBank, 0, p.type, p.wire});
+  ++counter;
+  ++p.attempts;
+  p.next_at = now + jittered_backoff(p.attempts);
+}
+
+void Isp::poll_retries(sim::SimTime now) {
+  if (!params_.retry.enabled) return;
+  retry_wire(pending_buy_, now, metrics_.bank_retries);
+  retry_wire(pending_sell_, now, metrics_.bank_retries);
+  retry_wire(pending_report_, now, metrics_.report_retries);
+}
+
+void Isp::maybe_trade_with_bank(sim::SimTime now) {
   if (canbuy_ && avail_ < params_.minavail) {
     canbuy_ = false;
     buyvalue_ = params_.maxavail - avail_;  // refill to the upper bound
@@ -326,6 +403,7 @@ void Isp::maybe_trade_with_bank() {
     ++metrics_.bank_buys_attempted;
     Outbound o{Outbound::Dest::kBank, 0, kMsgBuy, {}};
     seal_into(bank_pub_, req.serialize(), rng_, env_scratch_, o.payload);
+    arm_retry(pending_buy_, kMsgBuy, o.payload, now);
     outbox_.push_back(std::move(o));
   }
   if (cansell_ && avail_ > params_.maxavail) {
@@ -343,6 +421,7 @@ void Isp::maybe_trade_with_bank() {
     ++metrics_.bank_sells;
     Outbound o{Outbound::Dest::kBank, 0, kMsgSell, {}};
     seal_into(bank_pub_, req.serialize(), rng_, env_scratch_, o.payload);
+    arm_retry(pending_sell_, kMsgSell, o.payload, now);
     outbox_.push_back(std::move(o));
   }
 }
@@ -364,6 +443,8 @@ void Isp::on_buyreply(const crypto::Bytes& wire) {
   }
   ns1_.reset();
   canbuy_ = true;
+  pending_buy_.active = false;
+  pending_buy_.wire = crypto::Bytes{};
   if (reply->accepted) {
     avail_ += buyvalue_;
     ++metrics_.bank_buys_accepted;
@@ -387,6 +468,8 @@ void Isp::on_sellreply(const crypto::Bytes& wire) {
   }
   ns2_.reset();
   cansell_ = true;
+  pending_sell_.active = false;
+  pending_sell_.wire = crypto::Bytes{};
   sellvalue_ = 0;  // already deducted at initiation (see maybe_trade_with_bank)
 }
 
@@ -405,11 +488,16 @@ void Isp::on_request(const crypto::Bytes& wire) {
     ++metrics_.stale_requests;
     return;
   }
+  // The bank only opens round seq_ after completing round seq_ - 1, so a
+  // current-seq request doubles as the ack for our previous credit report:
+  // stop retrying it.
+  pending_report_.active = false;
+  pending_report_.wire = crypto::Bytes{};
   cansend_ = false;
   quiescing_ = true;
 }
 
-void Isp::on_quiesce_timeout() {
+void Isp::on_quiesce_timeout(sim::SimTime now) {
   if (!quiescing_) return;
   quiescing_ = false;
 
@@ -417,6 +505,7 @@ void Isp::on_quiesce_timeout() {
   CreditReport report{seq_, credit_};
   Outbound o{Outbound::Dest::kBank, 0, kMsgReply, {}};
   seal_into(bank_pub_, report.serialize(), rng_, env_scratch_, o.payload);
+  arm_retry(pending_report_, kMsgReply, o.payload, now);
   outbox_.push_back(std::move(o));
   ++metrics_.snapshots_answered;
 
@@ -433,7 +522,7 @@ void Isp::on_quiesce_timeout() {
       // Payment was committed at buffer time; the credit entry and the
       // transmission happen now.
       buffered_paid_ -= 1;
-      transport_paid_email(b.dest_isp, b.msg);
+      transport_paid_email(b.dest_isp, b.msg, b.sender_user);
     } else {
       outbox_.push_back(Outbound{Outbound::Dest::kIsp, b.dest_isp, kMsgEmail,
                                  b.msg.serialize()});

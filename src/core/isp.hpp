@@ -31,6 +31,9 @@
 
 namespace zmail::core {
 
+// "No user" sentinel for Outbound::sender_user (free/unpaid sends).
+constexpr std::size_t kNoUser = static_cast<std::size_t>(-1);
+
 // A message the ISP wants transported; the harness owns actual delivery.
 struct Outbound {
   enum class Dest : std::uint8_t { kIsp, kBank };
@@ -38,6 +41,9 @@ struct Outbound {
   std::size_t isp_index = 0;  // meaningful when dest == kIsp
   net::MsgType type;
   crypto::Bytes payload;
+  // The local user whose e-penny paid for this email (kNoUser when unpaid);
+  // lets the harness refund the right account if the transfer is abandoned.
+  std::size_t sender_user = kNoUser;
 };
 
 enum class SendResult : std::uint8_t {
@@ -48,6 +54,7 @@ enum class SendResult : std::uint8_t {
   kNoBalance,         // balance[s] = 0 branch
   kDailyLimit,        // sent[s] >= limit[s] branch
   kQuarantined,       // account suspended after repeated zombie warnings
+  kShed,              // quiesce buffer full (max_buffered_sends); refunded
 };
 
 const char* send_result_name(SendResult r) noexcept;
@@ -85,17 +92,40 @@ class Isp {
   bool user_sell(std::size_t t, EPenny x);
 
   // --- Section 4.3: ISP <-> bank trades ----------------------------------
-  // The two `canbuy ->` / `cansell ->` actions; call periodically.
-  void maybe_trade_with_bank();
+  // The two `canbuy ->` / `cansell ->` actions; call periodically.  `now`
+  // only matters when params.retry.enabled: it arms the retry timer for the
+  // exchange just initiated.
+  void maybe_trade_with_bank(sim::SimTime now = 0);
   void on_buyreply(const crypto::Bytes& wire);
   void on_sellreply(const crypto::Bytes& wire);
+
+  // Re-emits any outstanding buy/sell/report wire whose backoff deadline
+  // has passed (no-op unless params.retry.enabled).  Retries re-send the
+  // *cached sealed wire* — same nonce, same bytes — so the bank's
+  // idempotent handlers absorb whichever copies arrive.
+  void poll_retries(sim::SimTime now);
+  // True while a buy or sell exchange awaits its reply.
+  bool bank_exchange_pending() const noexcept {
+    return ns1_.has_value() || ns2_.has_value();
+  }
 
   // --- Section 4.4: snapshot ---------------------------------------------
   void on_request(const crypto::Bytes& wire);
   // The `timeout expired ->` action; the harness fires it (10 simulated
   // minutes in the timed rendition; channels-empty in the AP rendition).
-  void on_quiesce_timeout();
+  // `now` arms the credit-report retry timer when params.retry.enabled.
+  void on_quiesce_timeout(sim::SimTime now = 0);
   bool in_quiesce() const noexcept { return quiescing_; }
+
+  // Undoes one paid remote send whose transfer the harness abandoned (all
+  // retransmits exhausted): the payer gets the e-penny and daily-limit slot
+  // back.  `same_epoch` must be true iff no snapshot reset happened between
+  // transmission and abandonment — only then is the credit entry still in
+  // the live array and reversed here.  (Abandoning across a snapshot
+  // boundary is indistinguishable from ISP misbehaviour to the bank; the
+  // default retry-forever transport never abandons.)
+  void refund_lost_email(std::size_t sender_user, std::size_t dest_isp,
+                         bool same_epoch);
 
   // --- Section 5: daily reset + zombie guard -----------------------------
   void end_of_day();
@@ -143,6 +173,12 @@ class Isp {
   // Sum of user balances + avail pool (for conservation checks).
   EPenny epennies_held() const noexcept;
 
+  // Transport-layer events attributed to this ISP's counters (the harness
+  // owns the reliable email transport but the metrics live here so obs
+  // snapshots and sweep merges pick them up).
+  void note_retransmit() noexcept { ++metrics_.emails_retransmitted; }
+  void note_duplicate_email() noexcept { ++metrics_.duplicate_emails_dropped; }
+
   // Testing hooks.
   void set_avail(EPenny v) noexcept { avail_ = v; }
   void force_cansend(bool v) noexcept { cansend_ = v; }
@@ -163,14 +199,33 @@ class Isp {
     std::size_t dest_isp;
     net::EmailMessage msg;
     bool paid = false;  // carries a committed e-penny
+    std::size_t sender_user = kNoUser;
+  };
+
+  // An ISP->bank wire kept around for retransmission (retry.enabled only).
+  struct PendingWire {
+    bool active = false;
+    net::MsgType type;
+    crypto::Bytes wire;          // cached sealed bytes: retries reuse them
+    std::uint32_t attempts = 0;  // sends so far (first send included)
+    sim::SimTime next_at = 0;
   };
 
   void deliver_locally(std::size_t r, const net::EmailMessage& msg,
                        EPenny paid, bool junk);
-  void transport_paid_email(std::size_t dest_isp, const net::EmailMessage& msg);
+  void transport_paid_email(std::size_t dest_isp, const net::EmailMessage& msg,
+                            std::size_t sender_user);
   void maybe_generate_ack(std::size_t recipient, const net::EmailMessage& msg);
   void send_zombie_warning(std::size_t s);
   bool commit_paid_send(std::size_t s);  // balance/limit check + decrement
+  bool buffer_full() const noexcept {
+    return params_.max_buffered_sends > 0 &&
+           buffer_.size() >= params_.max_buffered_sends;
+  }
+  sim::Duration jittered_backoff(std::uint32_t attempt);
+  void arm_retry(PendingWire& p, net::MsgType type, const crypto::Bytes& wire,
+                 sim::SimTime now);
+  void retry_wire(PendingWire& p, sim::SimTime now, std::uint64_t& counter);
 
   std::size_t index_;
   const ZmailParams& params_;
@@ -196,6 +251,9 @@ class Isp {
 
   std::deque<BufferedSend> buffer_;  // held during quiesce
   EPenny buffered_paid_ = 0;
+  PendingWire pending_buy_;
+  PendingWire pending_sell_;
+  PendingWire pending_report_;
   std::vector<Outbound> outbox_;
   std::function<bool(const net::EmailMessage&)> filter_;
   std::function<void(std::size_t, const net::EmailMessage&)> ack_sink_;

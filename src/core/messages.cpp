@@ -1,5 +1,7 @@
 #include "core/messages.hpp"
 
+#include <algorithm>
+
 namespace zmail::core {
 
 namespace {
@@ -148,7 +150,10 @@ std::optional<CreditReport> CreditReport::deserialize(const crypto::Bytes& b) {
   CreditReport m;
   m.seq = r.get_u64();
   const std::uint32_t n = r.get_u32();
-  m.credit.reserve(n);
+  // The count is attacker-controlled; never reserve more than the buffer
+  // could actually carry (8 bytes per entry), or a corrupt length field
+  // turns into an allocation bomb before the ok() checks run.
+  m.credit.reserve(std::min<std::size_t>(n, b.size() / 8));
   for (std::uint32_t i = 0; i < n && r.ok(); ++i)
     m.credit.push_back(r.get_i64());
   if (!r.ok() || !r.at_end()) return std::nullopt;

@@ -47,6 +47,14 @@ struct IspMetrics {
   std::uint64_t bad_envelopes = 0;
   std::uint64_t stale_requests = 0;
 
+  // Fault recovery (retry/backoff, reliable transport, shedding).
+  std::uint64_t bank_retries = 0;       // buy/sell wires re-sent on timeout
+  std::uint64_t report_retries = 0;     // credit reports re-sent on timeout
+  std::uint64_t emails_retransmitted = 0;
+  std::uint64_t emails_refunded = 0;    // abandoned transfers, payment undone
+  std::uint64_t emails_shed = 0;        // quiesce buffer overflow, refunded
+  std::uint64_t duplicate_emails_dropped = 0;  // receiver-side ARQ dedupe
+
   // Field-wise sum, for fleet-wide aggregation (obs snapshots, sweeps).
   void merge(const IspMetrics& o) noexcept {
     emails_sent_local += o.emails_sent_local;
@@ -71,6 +79,12 @@ struct IspMetrics {
     bad_nonce_replies += o.bad_nonce_replies;
     bad_envelopes += o.bad_envelopes;
     stale_requests += o.stale_requests;
+    bank_retries += o.bank_retries;
+    report_retries += o.report_retries;
+    emails_retransmitted += o.emails_retransmitted;
+    emails_refunded += o.emails_refunded;
+    emails_shed += o.emails_shed;
+    duplicate_emails_dropped += o.duplicate_emails_dropped;
   }
 };
 
@@ -84,6 +98,13 @@ struct BankMetrics {
   std::uint64_t inconsistent_pairs_found = 0;
   std::uint64_t bad_envelopes = 0;
   std::uint64_t stale_reports = 0;
+
+  // Idempotency shield: duplicated/retried trade requests absorbed without
+  // re-applying (cached reply re-sent) and out-of-date ones dropped.
+  std::uint64_t duplicate_buys = 0;
+  std::uint64_t duplicate_sells = 0;
+  std::uint64_t stale_trades = 0;
+  std::uint64_t snapshot_rerequests = 0;  // re-sent requests to silent ISPs
 
   // E-penny supply accounting (for the conservation invariant).
   EPenny epennies_minted = 0;

@@ -8,6 +8,47 @@ namespace zmail::core {
 namespace {
 // Quiesce window of Section 4.4 ("say 10 minutes").
 constexpr sim::Duration kQuiesceWindow = 10 * sim::kMinute;
+
+// Reliable email transport: initial retransmit timeout (doubles per
+// attempt, capped).  Deterministic — no jitter draws — because the
+// receiver-side dedupe makes redundant copies harmless.
+constexpr sim::Duration kEmailRtoBase = 500 * sim::kMillisecond;
+constexpr sim::Duration kEmailRtoCap = 60 * sim::kSecond;
+
+sim::Duration email_rto(std::uint32_t attempts) {
+  sim::Duration rto = kEmailRtoBase;
+  for (std::uint32_t i = 1; i < attempts && rto < kEmailRtoCap; ++i) rto *= 2;
+  return rto < kEmailRtoCap ? rto : kEmailRtoCap;
+}
+
+// Id-framed reliable-email datagram types (interned once).
+net::MsgType msg_email_rel() {
+  static const net::MsgType t = net::MsgType::intern("email-rel");
+  return t;
+}
+net::MsgType msg_email_ack() {
+  static const net::MsgType t = net::MsgType::intern("email-ack");
+  return t;
+}
+
+// Transfer ids and acks travel over a corruptible network, and a bit-flip
+// that redirects an ack (or a frame) to a *different* live transfer id
+// would silently complete the wrong transfer.  Both id words are therefore
+// sent twice, the second xored with a constant: a flip in either word
+// breaks the pair and the frame is dropped for the retransmit to replace.
+constexpr std::uint64_t kIdGuard = 0xA5A5'5A5A'C3C3'3C3CULL;
+
+// FNV-1a over the email bytes: any payload corruption fails the frame, so
+// a corrupted copy is never acknowledged (the sender's clean retransmit
+// eventually gets through).
+std::uint64_t frame_checksum(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
 }  // namespace
 
 ZmailSystem::ZmailSystem(ZmailParams params, std::uint64_t seed)
@@ -40,6 +81,18 @@ ZmailSystem::ZmailSystem(ZmailParams params, std::uint64_t seed)
       "bank.example",
       [this](const net::Datagram& d) { on_datagram(bank_host(), d); });
   ZMAIL_ASSERT(bh == bank_host());
+
+  if (params_.retry.enabled) {
+    // Fault-recovery poll: drives ISP buy/sell/report backoff timers and
+    // the bank's snapshot re-requests.  Only armed when retries are on, so
+    // default runs schedule no extra events and stay bit-identical.
+    sim::Duration poll = params_.retry.base / 2;
+    if (poll < 100 * sim::kMillisecond) poll = 100 * sim::kMillisecond;
+    sim_.schedule_every(poll, [this] {
+      poll_fault_recovery();
+      return true;
+    });
+  }
 }
 
 Isp& ZmailSystem::isp(IspId i) {
@@ -188,11 +241,38 @@ void ZmailSystem::enable_bank_trading(sim::Duration poll) {
   sim_.schedule_every(poll, [this] {
     for (std::size_t i = 0; i < isps_.size(); ++i) {
       if (!isps_[i]) continue;
-      isps_[i]->maybe_trade_with_bank();
+      isps_[i]->maybe_trade_with_bank(sim_.now());
       pump_isp(i);
     }
     return true;
   });
+}
+
+void ZmailSystem::poll_fault_recovery() {
+  for (std::size_t i = 0; i < isps_.size(); ++i) {
+    if (!isps_[i]) continue;
+    isps_[i]->poll_retries(sim_.now());
+    pump_isp(i);
+  }
+  // Bank-side snapshot recovery: a round still open after its deadline has
+  // lost requests or reports in transit.  Re-request every silent ISP and
+  // push the deadline out a full window, so re-requests back off instead
+  // of flooding.  (ISPs that reported already advanced their seq and see a
+  // re-request as stale; ISPs mid-quiesce just re-confirm.)
+  if (!bank_->round_open() || sim_.now() < snapshot_deadline_) return;
+  auto requests = bank_->resend_requests();
+  if (requests.empty()) return;
+  const sim::SimTime deadline = sim_.now() + kQuiesceWindow;
+  snapshot_deadline_ = deadline;
+  for (auto& [isp_index, wire] : requests) {
+    net_.send(bank_host(), isp_index, kMsgRequest, std::move(wire));
+    sim_.schedule_at(deadline, [this, i = isp_index] {
+      if (isps_[i] && isps_[i]->in_quiesce()) {
+        isps_[i]->on_quiesce_timeout(sim_.now());
+        pump_isp(i);
+      }
+    });
+  }
 }
 
 void ZmailSystem::enable_periodic_snapshots(sim::Duration period) {
@@ -214,11 +294,12 @@ void ZmailSystem::start_snapshot() {
   auto requests = bank_->start_snapshot();
   if (requests.empty()) return;
   const sim::SimTime deadline = sim_.now() + kQuiesceWindow;
+  snapshot_deadline_ = deadline;
   for (auto& [isp_index, wire] : requests) {
     net_.send(bank_host(), isp_index, kMsgRequest, std::move(wire));
     sim_.schedule_at(deadline, [this, i = isp_index] {
       if (isps_[i] && isps_[i]->in_quiesce()) {
-        isps_[i]->on_quiesce_timeout();
+        isps_[i]->on_quiesce_timeout(sim_.now());
         pump_isp(i);
       }
     });
@@ -238,10 +319,113 @@ void ZmailSystem::pump_isp(std::size_t i) {
       net_.send(i, bank_host(), std::move(o.type), std::move(o.payload));
       continue;
     }
-    if (o.type == kMsgEmail && params_.is_compliant(o.isp_index))
+    if (o.type == kMsgEmail && params_.is_compliant(o.isp_index)) {
       in_flight_paid_ += 1;  // the e-penny rides inside the message
+      if (params_.reliable_email_transport) {
+        start_transfer(i, o.isp_index, std::move(o.payload), o.sender_user);
+        continue;
+      }
+    }
     net_.send(i, o.isp_index, std::move(o.type), std::move(o.payload));
   }
+}
+
+void ZmailSystem::start_transfer(std::size_t from_isp, std::size_t to_isp,
+                                 crypto::Bytes&& email,
+                                 std::size_t sender_user) {
+  const std::uint64_t id = next_transfer_id_++;
+  PendingTransfer t;
+  t.from_isp = from_isp;
+  t.to_isp = to_isp;
+  t.sender_user = sender_user;
+  t.epoch = isps_[from_isp]->seq();
+  t.payload = std::move(email);
+  transfers_.emplace(id, std::move(t));
+  transmit_transfer(id);
+}
+
+void ZmailSystem::transmit_transfer(std::uint64_t id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  PendingTransfer& t = it->second;
+  ++t.attempts;
+  if (t.attempts > 1) isps_[t.from_isp]->note_retransmit();
+  // Frame: [id][id ^ guard][checksum(email)][email bytes].
+  crypto::Bytes wire;
+  wire.reserve(24 + t.payload.size());
+  crypto::put_u64(wire, id);
+  crypto::put_u64(wire, id ^ kIdGuard);
+  crypto::put_u64(wire, frame_checksum(t.payload.data(), t.payload.size()));
+  wire.insert(wire.end(), t.payload.begin(), t.payload.end());
+  net_.send(t.from_isp, t.to_isp, msg_email_rel(), std::move(wire));
+  sim_.schedule_at(sim_.now() + email_rto(t.attempts),
+                   [this, id] { on_retransmit_timer(id); });
+}
+
+void ZmailSystem::on_retransmit_timer(std::uint64_t id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;  // acked; timer is a no-op
+  if (params_.email_max_retransmits != 0 &&
+      it->second.attempts > params_.email_max_retransmits) {
+    abandon_transfer(id);
+    return;
+  }
+  transmit_transfer(id);
+}
+
+void ZmailSystem::abandon_transfer(std::uint64_t id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  const PendingTransfer& t = it->second;
+  // The e-penny comes out of escrow and back to the payer.  A free-ride
+  // (misbehaving) send carries no payment, so there is nothing to refund.
+  in_flight_paid_ -= 1;
+  Isp& sender = *isps_[t.from_isp];
+  if (t.sender_user != kNoUser)
+    sender.refund_lost_email(t.sender_user, t.to_isp,
+                             t.epoch == sender.seq());
+  transfers_.erase(it);
+}
+
+void ZmailSystem::handle_reliable_email(std::size_t host,
+                                        const net::Datagram& d) {
+  crypto::ByteReader r(d.payload);
+  const std::uint64_t id = r.get_u64();
+  const std::uint64_t guard = r.get_u64();
+  const std::uint64_t sum = r.get_u64();
+  if (!r.ok() || (id ^ kIdGuard) != guard) return;  // mangled id: no ack
+  if (seen_transfers_.count(id) != 0) {
+    // Already delivered; the previous ack must have been lost.  Re-ack.
+    if (isps_[host]) isps_[host]->note_duplicate_email();
+    crypto::Bytes ack;
+    crypto::put_u64(ack, id);
+    crypto::put_u64(ack, id ^ kIdGuard);
+    net_.send(host, d.from, msg_email_ack(), std::move(ack));
+    return;
+  }
+  const crypto::Bytes email(d.payload.begin() + 24, d.payload.end());
+  if (frame_checksum(email.data(), email.size()) != sum)
+    return;  // corrupted in transit: drop silently, retransmit replaces it
+  seen_transfers_.insert(id);
+  crypto::Bytes ack;
+  crypto::put_u64(ack, id);
+  crypto::put_u64(ack, id ^ kIdGuard);
+  net_.send(host, d.from, msg_email_ack(), std::move(ack));
+  if (d.from < params_.n_isps && params_.is_compliant(d.from) &&
+      params_.is_compliant(host))
+    in_flight_paid_ -= 1;
+  deliver_via_smtp(host, d.from, email);
+}
+
+void ZmailSystem::handle_email_ack(const net::Datagram& d) {
+  crypto::ByteReader r(d.payload);
+  const std::uint64_t id = r.get_u64();
+  const std::uint64_t guard = r.get_u64();
+  if (!r.ok() || (id ^ kIdGuard) != guard) return;  // mangled ack: ignore
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;  // duplicate ack
+  if (d.from != it->second.to_isp) return;  // not from the receiver
+  transfers_.erase(it);
 }
 
 void ZmailSystem::pump_all() {
@@ -308,6 +492,16 @@ void ZmailSystem::on_datagram(std::size_t host, const net::Datagram& d) {
   }
 
   // ISP host.
+  if (params_.reliable_email_transport) {
+    if (d.type == msg_email_rel()) {
+      handle_reliable_email(host, d);
+      return;
+    }
+    if (d.type == msg_email_ack()) {
+      handle_email_ack(d);
+      return;
+    }
+  }
   if (d.type == kMsgEmail) {
     if (d.from < params_.n_isps && params_.is_compliant(d.from) &&
         params_.is_compliant(host))

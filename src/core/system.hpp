@@ -21,6 +21,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/bank.hpp"
@@ -111,6 +113,18 @@ class ZmailSystem {
   // One snapshot round now (requests go out over the network).
   void start_snapshot();
 
+  // --- Fault tolerance ------------------------------------------------------
+  // Attaches a deterministic fault injector to the network (nullptr
+  // detaches).  Not owned; must outlive the system or be detached.  For the
+  // zero-sum invariants to survive lossy plans, enable
+  // params.reliable_email_transport and params.retry first.
+  void attach_faults(net::FaultInjector* injector) {
+    net_.attach_faults(injector);
+  }
+  // Reliable-transport transfers still awaiting their ack (0 when idle or
+  // when reliable_email_transport is off).
+  std::size_t pending_transfers() const noexcept { return transfers_.size(); }
+
   // --- Time ----------------------------------------------------------------
   void run_for(sim::Duration d);
   void run_until_quiet(sim::Duration max = 365 * sim::kDay);
@@ -164,12 +178,33 @@ class ZmailSystem {
     LegacyHostStats stats;
   };
 
+  // One paid email riding the reliable (ack + retransmit) transport.
+  struct PendingTransfer {
+    std::size_t from_isp = 0;
+    std::size_t to_isp = 0;
+    std::size_t sender_user = kNoUser;
+    std::uint64_t epoch = 0;       // sender's snapshot seq at first transmit
+    std::uint32_t attempts = 0;    // transmissions so far
+    crypto::Bytes payload;         // clean email bytes kept for retransmit
+  };
+
   void on_datagram(std::size_t host, const net::Datagram& d);
   void deliver_via_smtp(std::size_t to_isp, std::size_t from_isp,
                         const crypto::Bytes& payload);
   void pump_isp(std::size_t i);
   void pump_all();
   std::size_t bank_host() const noexcept { return params_.n_isps; }
+
+  // Reliable email transport (ARQ): framing, retransmit timer, dedupe.
+  void start_transfer(std::size_t from_isp, std::size_t to_isp,
+                      crypto::Bytes&& email, std::size_t sender_user);
+  void transmit_transfer(std::uint64_t id);
+  void on_retransmit_timer(std::uint64_t id);
+  void abandon_transfer(std::uint64_t id);
+  void handle_reliable_email(std::size_t host, const net::Datagram& d);
+  void handle_email_ack(const net::Datagram& d);
+  // Retry/backoff recovery poll (armed when params.retry.enabled).
+  void poll_fault_recovery();
 
   ZmailParams params_;
   Rng rng_;
@@ -186,6 +221,14 @@ class ZmailSystem {
   Sample latency_;
   EPenny in_flight_paid_ = 0;
   bool snapshots_enabled_ = false;
+
+  // Reliable-transport state (empty/idle unless reliable_email_transport).
+  std::unordered_map<std::uint64_t, PendingTransfer> transfers_;
+  std::unordered_set<std::uint64_t> seen_transfers_;  // receiver dedupe
+  std::uint64_t next_transfer_id_ = 1;
+  // Snapshot recovery: deadline of the most recent round's requests; the
+  // recovery poll re-requests silent ISPs once it passes.
+  sim::SimTime snapshot_deadline_ = 0;
 };
 
 }  // namespace zmail::core

@@ -101,7 +101,10 @@ std::optional<EmailMessage> EmailMessage::deserialize(
     m.headers.emplace_back(std::move(k), std::move(v));
   }
   m.body = r.get_string();
-  m.truth = static_cast<MailClass>(r.get_u8());
+  const std::uint8_t truth = r.get_u8();
+  // A flipped bit must not smuggle an out-of-range enum into the system.
+  if (truth > static_cast<std::uint8_t>(MailClass::kVirus)) return std::nullopt;
+  m.truth = static_cast<MailClass>(truth);
   if (!r.ok()) return std::nullopt;
   return m;
 }

@@ -24,21 +24,57 @@ HostId Network::resolve(const std::string& domain) const {
   return it == mx_.end() ? kNoHost : it->second;
 }
 
-void Network::send(HostId from, HostId to, MsgType type,
-                   crypto::Bytes&& payload) {
-  ZMAIL_ASSERT(from < hosts_.size() && to < hosts_.size());
-  ZMAIL_ASSERT_MSG(type != kMsgInvalid, "datagram needs a type");
+SendStatus Network::send(HostId from, HostId to, MsgType type,
+                         crypto::Bytes&& payload) {
+  if (from >= hosts_.size() || to >= hosts_.size()) {
+    ++send_errors_;
+    return SendStatus::kUnknownHost;
+  }
+  if (type == kMsgInvalid) {
+    ++send_errors_;
+    return SendStatus::kInvalidType;
+  }
   const std::size_t size = payload.size() + type.name().size() + 16;
   ++datagrams_;
   bytes_ += size;
   bytes_to_[to] += size;
 
-  sim::SimTime deliver_at = sim_.now() + latency_.sample(rng_);
+  if (faults_ == nullptr) {
+    schedule_copy(from, to, type, std::move(payload), false, 0);
+    return SendStatus::kOk;
+  }
+
+  const FaultInjector::Fate fate = faults_->on_send(sim_.now(), from, to, type);
+  if (fate.drop) return SendStatus::kFaultDropped;
+  if (fate.corrupt) faults_->corrupt_payload(payload);
+  if (fate.truncate) faults_->truncate_payload(payload);
+  for (std::uint32_t copy = 1; copy < fate.copies; ++copy) {
+    crypto::Bytes dup = payload;  // extra copies pay a real allocation
+    const std::size_t dup_size = dup.size() + type.name().size() + 16;
+    ++datagrams_;
+    bytes_ += dup_size;
+    bytes_to_[to] += dup_size;
+    schedule_copy(from, to, type, std::move(dup), fate.reorder,
+                  fate.extra_delay);
+  }
+  schedule_copy(from, to, type, std::move(payload), fate.reorder,
+                fate.extra_delay);
+  return SendStatus::kOk;
+}
+
+void Network::schedule_copy(HostId from, HostId to, MsgType type,
+                            crypto::Bytes&& payload, bool skip_fifo,
+                            sim::Duration extra_delay) {
+  sim::SimTime deliver_at = sim_.now() + latency_.sample(rng_) + extra_delay;
   // Enforce per-(from,to) FIFO: never deliver before an earlier datagram.
+  // A reorder fault skips both the clamp and the watermark update, so this
+  // copy may overtake (or be overtaken by) its neighbours.
   auto& fifo = hosts_[to].last_from;
   if (from >= fifo.size()) fifo.resize(from + 1, 0);
-  if (deliver_at <= fifo[from]) deliver_at = fifo[from] + 1;
-  fifo[from] = deliver_at;
+  if (!skip_fifo) {
+    if (deliver_at <= fifo[from]) deliver_at = fifo[from] + 1;
+    fifo[from] = deliver_at;
+  }
 
   std::uint32_t slot;
   if (free_slots_.empty()) {
@@ -57,6 +93,21 @@ void Network::send(HostId from, HostId to, MsgType type,
 }
 
 void Network::deliver(std::uint32_t slot) {
+  if (faults_ != nullptr) {
+    const sim::SimTime up = faults_->down_until(sim_.now(), pending_[slot].to);
+    if (up != 0) {
+      if (faults_->plan().outage_preserves_inflight) {
+        // The host buffers across the crash: retry delivery at restart.
+        faults_->note_outage_deferral();
+        sim_.schedule_at(up, [this, slot] { deliver(slot); });
+        return;
+      }
+      faults_->note_outage_loss();
+      pending_[slot].payload = crypto::Bytes{};
+      free_slots_.push_back(slot);
+      return;
+    }
+  }
   // Move the datagram out before invoking the handler: a reentrant send()
   // may grow pending_ and would invalidate a reference into it.
   Datagram d = std::move(pending_[slot]);

@@ -20,14 +20,25 @@
 #include <vector>
 
 #include "crypto/bytes.hpp"
+#include "net/faults.hpp"
 #include "net/msg_type.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
 namespace zmail::net {
 
-using HostId = std::size_t;
 constexpr HostId kNoHost = static_cast<HostId>(-1);
+
+// Typed result of Network::send.  Unknown hosts and untyped datagrams are
+// reported (and counted) instead of aborting, mirroring the bytes_sent_to
+// 0-for-unknown convention; kFaultDropped means an attached FaultInjector
+// swallowed the datagram at send time (partition, outage, or drop fault).
+enum class SendStatus : std::uint8_t {
+  kOk = 0,
+  kUnknownHost,
+  kInvalidType,
+  kFaultDropped,
+};
 
 struct Datagram {
   MsgType type;
@@ -58,10 +69,19 @@ class Network {
   // Registers a host; the handler runs at delivery time.
   HostId add_host(std::string name, HandlerFn handler);
 
-  // Reliable, latency-delayed, per-pair FIFO delivery.  The payload is
-  // consumed: it moves through the pending slot to the handler unexposed to
-  // any copy.
-  void send(HostId from, HostId to, MsgType type, crypto::Bytes&& payload);
+  // Latency-delayed, per-pair FIFO delivery (reliable unless a fault
+  // injector is attached).  The payload is consumed: it moves through the
+  // pending slot to the handler unexposed to any copy.  Unknown host ids
+  // return kUnknownHost and bump send_errors() instead of aborting.
+  SendStatus send(HostId from, HostId to, MsgType type,
+                  crypto::Bytes&& payload);
+
+  // Attaches (or detaches, with nullptr) a fault injector.  Not owned; must
+  // outlive the network or be detached first.  With no injector the send
+  // and deliver paths draw the same RNG sequence and schedule the same
+  // events as a build without the fault layer.
+  void attach_faults(FaultInjector* injector) noexcept { faults_ = injector; }
+  FaultInjector* faults() const noexcept { return faults_; }
 
   // MX-style name resolution (domain -> host).
   void bind_domain(const std::string& domain, HostId host);
@@ -77,6 +97,8 @@ class Network {
   std::uint64_t bytes_sent_to(HostId h) const noexcept {
     return h < bytes_to_.size() ? bytes_to_[h] : 0;
   }
+  // Sends rejected for an unknown host or invalid type.
+  std::uint64_t send_errors() const noexcept { return send_errors_; }
 
  private:
   struct Host {
@@ -88,14 +110,20 @@ class Network {
   };
 
   void deliver(std::uint32_t slot);
+  // Schedules one physical copy (latency sample + FIFO clamp + slot).
+  void schedule_copy(HostId from, HostId to, MsgType type,
+                     crypto::Bytes&& payload, bool skip_fifo,
+                     sim::Duration extra_delay);
 
   sim::Simulator& sim_;
   Rng rng_;
   LatencyModel latency_;
+  FaultInjector* faults_ = nullptr;
   std::vector<Host> hosts_;
   std::unordered_map<std::string, HostId> mx_;
   std::uint64_t datagrams_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t send_errors_ = 0;
   std::vector<std::uint64_t> bytes_to_;
   // In-flight datagram pool: slots are recycled so steady-state traffic
   // stops allocating; payload buffers are moved in and out, never copied.

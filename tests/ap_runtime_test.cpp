@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "ap/trace_format.hpp"
+#include "core/ap_spec.hpp"
 #include "crypto/bytes.hpp"
 
 namespace zmail::ap {
@@ -290,6 +291,63 @@ TEST(ApScheduler, MessageReplayViaChannelInjection) {
   sched.run();
   EXPECT_EQ(ponger.pings(), 2);  // the runtime delivers both; the *protocol*
                                  // layer must reject the replay
+}
+
+TEST(ApScheduler, LostBuyReplyTimeoutRetriesAndRecovers) {
+  // Section 3 gives processes timeout actions precisely so a lost message
+  // cannot deadlock the protocol.  Script the loss against the executable
+  // Zmail spec: an ISP below minavail buys from the bank, the adversary
+  // pops the buyreply out of the channel, and the spec must (a) fire the
+  // buy-retry timeout, (b) resend the same nonce so the bank absorbs the
+  // duplicate instead of minting twice, and (c) complete the exchange.
+  core::ZmailParams p;
+  p.n_isps = 2;
+  p.users_per_isp = 1;
+  p.minavail = 50;
+  p.maxavail = 200;
+  p.initial_avail = 10;  // below minavail: the buy guard is enabled at once
+  core::ApZmailWorld world(p, Scheduler::Policy::kRoundRobin, 77);
+  Scheduler& sched = world.scheduler();
+  sched.set_trace_enabled(true);
+  const auto initial = world.total_epennies();
+
+  // Run until isp0's buyreply is in flight, then lose it.
+  Channel& reply_ch = sched.channel(world.bank_pid(), world.isp_pid(0));
+  std::uint64_t safety = 0;
+  while (reply_ch.empty() && sched.step()) ASSERT_LT(++safety, 10'000u);
+  ASSERT_FALSE(reply_ch.empty());
+  ASSERT_EQ(reply_ch.front().type, core::kMsgBuyReply.name());
+  (void)reply_ch.pop();  // the adversary drops the reply in transit
+
+  const core::ApIspProcess& isp0 = world.isp(0);
+  EXPECT_FALSE(isp0.canbuy);  // the exchange is stuck without recovery
+
+  world.run();
+
+  // The timeout action fired and the retry carried the original nonce: the
+  // bank recognized the duplicate and replayed its reply instead of
+  // re-applying the trade.
+  EXPECT_GE(isp0.buy_retries, 1u);
+  EXPECT_GE(world.bank().duplicate_buys, 1u);
+  EXPECT_TRUE(isp0.canbuy);
+  EXPECT_GE(isp0.avail, p.minavail);
+  EXPECT_TRUE(sched.all_channels_empty());
+  // Exactly-once accounting: a double mint would break the supply identity.
+  EXPECT_EQ(world.total_epennies(),
+            initial + world.epennies_minted() - world.epennies_burned());
+
+  // The trace shows the Section 3 shape: timeout fires, then the (replayed)
+  // reply is received.
+  std::size_t retry_step = 0, reply_step = 0;
+  for (const auto& e : sched.trace()) {
+    if (e.process != world.isp_pid(0)) continue;
+    if (e.action == "buy-retry" && retry_step == 0) retry_step = e.step;
+    if (e.action == std::string("rcv ").append(core::kMsgBuyReply.name()) &&
+        e.step > retry_step && retry_step != 0 && reply_step == 0)
+      reply_step = e.step;
+  }
+  EXPECT_GT(retry_step, 0u);
+  EXPECT_GT(reply_step, retry_step);
 }
 
 }  // namespace

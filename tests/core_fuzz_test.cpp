@@ -9,7 +9,9 @@
 //      the global invariants checked throughout.
 #include <gtest/gtest.h>
 
+#include "core/invariants.hpp"
 #include "core/system.hpp"
+#include "net/faults.hpp"
 
 namespace zmail::core {
 namespace {
@@ -183,6 +185,80 @@ TEST_P(OpFuzzTest, InvariantsSurviveRandomOperationSequences) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OpFuzzTest,
                          ::testing::Range<std::uint64_t>(10, 26));
+
+// --- Layer 3: corruption round trip over every wire type ----------------------
+//
+// A FaultInjector bit-flips half and truncates a quarter of ALL datagrams —
+// emails on the reliable transport, plain emails to/from the legacy ISP,
+// buy/sell exchanges, snapshot requests and credit reports, acks.  Every
+// parse/unseal path sees mangled input mid-protocol; the hardened
+// configuration must neither crash nor leak a single e-penny, and once the
+// network heals every paid email must have landed.
+
+class CorruptionRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CorruptionRoundTripTest, MangledWiresNeverCrashOrLeak) {
+  const std::uint64_t seed = GetParam();
+  ZmailParams p;
+  p.n_isps = 3;
+  p.users_per_isp = 3;
+  p.initial_user_balance = 500;
+  p.default_daily_limit = 1'000;
+  p.minavail = 50;
+  p.maxavail = 200;
+  p.initial_avail = 100;
+  p.compliant = {true, true, false};  // a legacy ISP keeps kMsgEmail in play
+  p.retry.enabled = true;
+  p.reliable_email_transport = true;
+  ZmailSystem sys(p, seed);
+  sys.enable_bank_trading(sim::kMinute);
+
+  net::FaultPlan plan;
+  plan.rates.corrupt = 0.5;
+  plan.rates.truncate = 0.25;
+  net::FaultInjector inj(plan, seed ^ 0xC0FFEE);
+  sys.attach_faults(&inj);
+
+  InvariantAuditor auditor(sys);
+  Rng rng(seed + 3);
+  for (int i = 0; i < 40; ++i) {
+    // Paid compliant<->compliant, free compliant->legacy, legacy->compliant.
+    sys.send_email(user(0, rng.next_below(3)), user(1, rng.next_below(3)),
+                   "x", "p" + std::to_string(i));
+    if (i % 4 == 0)
+      sys.send_email(user(0, 0), user(2, 0), "x", "to-legacy");
+    if (i % 4 == 2)
+      sys.send_email(user(2, 0), user(1, 0), "x", "from-legacy");
+    // Force bank trades so buy/sell wires cross the hostile network too.
+    if (i % 8 == 1) sys.buy_epennies(user(0, 0), 60);
+    if (i % 8 == 5) sys.sell_epennies(user(1, 0), 30);
+    sys.run_for(sim::kMinute);
+  }
+  sys.start_snapshot();  // request/reply wires get mangled as well
+  sys.run_for(sim::kHour);
+
+  // Heal and drain: recovery must finish the job.
+  sys.attach_faults(nullptr);
+  sys.run_for(2 * sim::kHour);
+
+  EXPECT_GT(inj.counters().corrupted + inj.counters().truncated, 0u);
+  const IspMetrics m = sys.total_isp_metrics();
+  EXPECT_EQ(m.emails_received_compliant + m.emails_refunded,
+            m.emails_sent_compliant)
+      << "seed " << seed;
+  EXPECT_EQ(sys.pending_transfers(), 0u) << "seed " << seed;
+  EXPECT_TRUE(sys.conservation_holds()) << "seed " << seed;
+  auditor.check_now();
+  EXPECT_TRUE(auditor.report().ok())
+      << "seed " << seed << ": "
+      << (auditor.report().messages.empty()
+              ? ""
+              : auditor.report().messages.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionRoundTripTest,
+                         ::testing::Range<std::uint64_t>(40, 46));
 
 }  // namespace
 }  // namespace zmail::core

@@ -1,0 +1,272 @@
+// Zero-sum invariants under failure: the InvariantAuditor, the bank's
+// idempotent trade ledger, the ISP's retry/backoff machinery, and the
+// reliable email transport.
+#include "core/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/bank.hpp"
+#include "core/isp.hpp"
+#include "core/system.hpp"
+#include "net/address.hpp"
+#include "net/faults.hpp"
+
+namespace zmail::core {
+namespace {
+
+ZmailParams small_params() {
+  ZmailParams p;
+  p.n_isps = 2;
+  p.users_per_isp = 2;
+  p.initial_user_balance = 50;
+  p.default_daily_limit = 100;
+  p.initial_avail = 100;
+  p.minavail = 50;
+  p.maxavail = 200;
+  return p;
+}
+
+net::EmailMessage mail(std::size_t fi, std::size_t fu, std::size_t ti,
+                       std::size_t tu) {
+  return net::make_email(net::make_user_address(fi, fu),
+                         net::make_user_address(ti, tu), "s", "b",
+                         net::MailClass::kLegitimate);
+}
+
+std::string first_message(const InvariantAuditor& aud) {
+  return aud.report().messages.empty() ? "" : aud.report().messages.front();
+}
+
+TEST(InvariantAuditorTest, CleanTimedRunAuditsGreen) {
+  ZmailParams p;
+  p.n_isps = 3;
+  p.users_per_isp = 4;
+  p.initial_user_balance = 1'000;
+  p.default_daily_limit = 10'000;
+  p.record_inboxes = false;
+  ZmailSystem sys(p, 21);
+  sys.enable_bank_trading();
+
+  InvariantAuditor auditor(sys);
+  auditor.run_continuously(sim::kMinute);
+
+  Rng rng(22);
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t src = rng.next_below(p.n_isps);
+    const std::size_t dst = (src + 1) % p.n_isps;
+    sys.send_email(net::make_user_address(src, rng.next_below(p.users_per_isp)),
+                   net::make_user_address(dst, rng.next_below(p.users_per_isp)),
+                   "t", "b" + std::to_string(i));
+    sys.run_for(sim::kMinute);
+  }
+  sys.start_snapshot();
+  sys.run_for(sim::kHour);
+
+  auditor.check_now();
+  EXPECT_TRUE(auditor.report().ok()) << first_message(auditor);
+  EXPECT_GT(auditor.report().checks, 60u);
+  EXPECT_EQ(auditor.report().replays_absorbed, 0u);
+}
+
+TEST(BankIdempotencyTest, DuplicatedBuyMintsOnceAndReplaysTheReply) {
+  Rng rng(101);
+  const crypto::KeyPair keys = crypto::generate_keypair(rng);
+  const ZmailParams p = small_params();
+  Isp isp(0, p, keys.pub, 7);
+  Bank bank(p, keys, 8);
+
+  isp.set_avail(10);  // below minavail: triggers a buy of 190
+  isp.maybe_trade_with_bank();
+  crypto::Bytes wire;
+  for (const auto& o : isp.take_outbox()) wire = o.payload;
+  ASSERT_FALSE(wire.empty());
+
+  const crypto::Bytes r1 = bank.on_buy(0, wire);
+  const crypto::Bytes r2 = bank.on_buy(0, wire);  // network duplicate
+  EXPECT_EQ(r1, r2);  // the cached sealed reply is replayed byte-for-byte
+  EXPECT_EQ(bank.metrics().duplicate_buys, 1u);
+  EXPECT_EQ(bank.metrics().epennies_minted, 190);  // once, not twice
+
+  isp.on_buyreply(r1);
+  EXPECT_EQ(isp.avail(), 200);
+  isp.on_buyreply(r2);  // duplicate reply: nonce already consumed
+  EXPECT_EQ(isp.avail(), 200);
+  EXPECT_EQ(isp.metrics().bad_nonce_replies, 1u);
+}
+
+TEST(BankIdempotencyTest, OutOfDateTradeWireIsDropped) {
+  Rng rng(102);
+  const crypto::KeyPair keys = crypto::generate_keypair(rng);
+  const ZmailParams p = small_params();
+  Isp isp(0, p, keys.pub, 9);
+  Bank bank(p, keys, 10);
+
+  isp.set_avail(10);
+  isp.maybe_trade_with_bank();
+  crypto::Bytes wire1;
+  for (const auto& o : isp.take_outbox()) wire1 = o.payload;
+  isp.on_buyreply(bank.on_buy(0, wire1));
+
+  isp.set_avail(10);  // a second, newer buy
+  isp.maybe_trade_with_bank();
+  crypto::Bytes wire2;
+  for (const auto& o : isp.take_outbox()) wire2 = o.payload;
+  isp.on_buyreply(bank.on_buy(0, wire2));
+  const EPenny minted = bank.metrics().epennies_minted;
+
+  // A straggler copy of the *older* wire must be dropped, not re-applied
+  // and not answered from the (newer) cache.
+  EXPECT_TRUE(bank.on_buy(0, wire1).empty());
+  EXPECT_EQ(bank.metrics().stale_trades, 1u);
+  EXPECT_EQ(bank.metrics().epennies_minted, minted);
+}
+
+TEST(IspRetryTest, LostBuyReplyIsRecoveredByBackoffRetry) {
+  Rng rng(103);
+  const crypto::KeyPair keys = crypto::generate_keypair(rng);
+  ZmailParams p = small_params();
+  p.retry.enabled = true;  // base 2s, jitter 25%: first retry due <= 2.5s
+  Isp isp(0, p, keys.pub, 11);
+  Bank bank(p, keys, 12);
+
+  isp.set_avail(10);
+  isp.maybe_trade_with_bank(/*now=*/0);
+  crypto::Bytes wire;
+  for (const auto& o : isp.take_outbox()) wire = o.payload;
+  bank.on_buy(0, wire);  // the bank applies it, but the reply is LOST
+  EXPECT_TRUE(isp.bank_exchange_pending());
+
+  isp.poll_retries(sim::kSecond);  // before any backoff deadline
+  EXPECT_TRUE(isp.outbox_empty());
+
+  isp.poll_retries(3 * sim::kSecond);
+  auto out = isp.take_outbox();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, kMsgBuy);
+  EXPECT_EQ(out[0].payload, wire);  // same sealed bytes, same nonce
+  EXPECT_EQ(isp.metrics().bank_retries, 1u);
+
+  // The bank absorbs the duplicate and replays the cached reply; the
+  // exchange completes exactly once.
+  const crypto::Bytes reply = bank.on_buy(0, out[0].payload);
+  EXPECT_EQ(bank.metrics().duplicate_buys, 1u);
+  isp.on_buyreply(reply);
+  EXPECT_EQ(isp.avail(), 200);
+  EXPECT_FALSE(isp.bank_exchange_pending());
+  EXPECT_EQ(bank.metrics().epennies_minted, 190);
+
+  // Settled exchanges never retry again.
+  isp.poll_retries(sim::kHour);
+  EXPECT_TRUE(isp.outbox_empty());
+}
+
+TEST(ReliableTransportTest, EveryPaidEmailLandsUnderHeavyLoss) {
+  ZmailParams p = small_params();
+  p.initial_user_balance = 200;
+  p.default_daily_limit = 1'000;
+  p.retry.enabled = true;
+  p.reliable_email_transport = true;
+  ZmailSystem sys(p, 33);
+
+  net::FaultPlan plan;
+  plan.rates.drop = 0.25;
+  net::FaultInjector inj(plan, 44);
+  sys.attach_faults(&inj);
+
+  InvariantAuditor auditor(sys);
+  for (int i = 0; i < 40; ++i) {
+    sys.send_email(net::make_user_address(0, 0), net::make_user_address(1, 1),
+                   "lossy", "m" + std::to_string(i));
+    sys.run_for(30 * sim::kSecond);
+  }
+  sys.run_for(sim::kHour);
+  sys.attach_faults(nullptr);
+
+  const IspMetrics m = sys.total_isp_metrics();
+  EXPECT_EQ(m.emails_sent_compliant, 40u);
+  EXPECT_EQ(m.emails_received_compliant, 40u);
+  EXPECT_EQ(m.emails_refunded, 0u);
+  EXPECT_GT(m.emails_retransmitted, 0u);
+  EXPECT_EQ(sys.pending_transfers(), 0u);
+  EXPECT_TRUE(sys.conservation_holds());
+  auditor.check_now();
+  EXPECT_TRUE(auditor.report().ok()) << first_message(auditor);
+}
+
+// Drives one complete snapshot round at the unit level (no network).
+void run_round(Bank& bank, Isp& isp0, Isp& isp1,
+               std::vector<Outbound>* mail_out = nullptr) {
+  auto requests = bank.start_snapshot();
+  for (auto& [idx, wire] : requests) (idx == 0 ? isp0 : isp1).on_request(wire);
+  isp0.on_quiesce_timeout();
+  isp1.on_quiesce_timeout();
+  for (auto& o : isp0.take_outbox()) {
+    if (o.type == kMsgReply)
+      bank.on_reply(0, o.payload);
+    else if (mail_out)
+      mail_out->push_back(std::move(o));
+  }
+  for (auto& o : isp1.take_outbox())
+    if (o.type == kMsgReply) bank.on_reply(1, o.payload);
+}
+
+TEST(PersistentDriftTest, SingleRoundSkewSelfCancels) {
+  Rng rng(104);
+  const crypto::KeyPair keys = crypto::generate_keypair(rng);
+  const ZmailParams p = small_params();
+  Isp isp0(0, p, keys.pub, 13);
+  Isp isp1(1, p, keys.pub, 14);
+  Bank bank(p, keys, 15);
+
+  // isp0 pays for a send whose delivery straggles past the next round: the
+  // +1 is reported this round, the -1 only in the following one.
+  EXPECT_EQ(isp0.user_send(0, 1, 0, mail(0, 0, 1, 0)), SendResult::kSentPaid);
+  crypto::Bytes in_flight;
+  for (const auto& o : isp0.take_outbox()) in_flight = o.payload;
+
+  run_round(bank, isp0, isp1);
+  EXPECT_EQ(bank.metrics().inconsistent_pairs_found, 1u);
+  EXPECT_EQ(bank.persistent_drift_pairs(), 0u);  // streak of one round
+
+  isp1.on_email(0, in_flight);  // the straggler lands: -1 in the new epoch
+  run_round(bank, isp0, isp1);
+  EXPECT_EQ(bank.metrics().inconsistent_pairs_found, 2u);
+  EXPECT_EQ(bank.persistent_drift_pairs(), 0u);  // drift netted to zero
+
+  run_round(bank, isp0, isp1);  // and stays clean from here on
+  EXPECT_EQ(bank.metrics().inconsistent_pairs_found, 2u);
+  EXPECT_EQ(bank.persistent_drift_pairs(), 0u);
+}
+
+TEST(PersistentDriftTest, FreeRidingPairStaysFlagged) {
+  Rng rng(105);
+  const crypto::KeyPair keys = crypto::generate_keypair(rng);
+  const ZmailParams p = small_params();
+  Isp isp0(0, p, keys.pub, 16);
+  Isp isp1(1, p, keys.pub, 17);
+  Bank bank(p, keys, 18);
+  isp0.set_misbehavior(Isp::Misbehavior::kFreeRide);
+
+  const auto cheat_once = [&] {
+    isp0.user_send(0, 1, 0, mail(0, 0, 1, 0));
+    for (const auto& o : isp0.take_outbox())
+      if (o.type == kMsgEmail) isp1.on_email(0, o.payload);
+  };
+
+  cheat_once();
+  run_round(bank, isp0, isp1);
+  EXPECT_EQ(bank.persistent_drift_pairs(), 0u);  // one round could be skew
+
+  cheat_once();
+  run_round(bank, isp0, isp1);
+  EXPECT_EQ(bank.persistent_drift_pairs(), 1u);  // two rounds cannot
+
+  cheat_once();
+  run_round(bank, isp0, isp1);
+  EXPECT_EQ(bank.persistent_drift_pairs(), 1u);  // counted once per episode
+}
+
+}  // namespace
+}  // namespace zmail::core

@@ -1,0 +1,268 @@
+#include "net/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace zmail::net {
+namespace {
+
+constexpr sim::Duration kBase = 10 * sim::kMillisecond;
+constexpr sim::Duration kJitter = 5 * sim::kMillisecond;
+
+// A two-host network with a recording receiver; the injector (if any) is
+// attached by the individual test.
+struct Rig {
+  sim::Simulator sim;
+  Network net{sim, Rng(5), LatencyModel{kBase, kJitter}};
+  HostId a = kNoHost;
+  HostId b = kNoHost;
+  std::vector<crypto::Bytes> received;
+  std::vector<sim::SimTime> times;
+
+  Rig() {
+    a = net.add_host("a", [](const Datagram&) {});
+    b = net.add_host("b", [this](const Datagram& d) {
+      received.push_back(d.payload);
+      times.push_back(sim.now());
+    });
+  }
+
+  // Drains the queue and moves the clock to the absolute time `t`.
+  void advance_to(sim::SimTime t) {
+    sim.schedule_at(t, [] {});
+    sim.run(t);
+  }
+};
+
+TEST(FaultInjectorTest, ZeroRatePlanIsBehaviourTransparent) {
+  // Same seed, one network bare and one with an all-zero injector attached:
+  // the latency stream is untouched, so delivery times are bit-identical.
+  Rig bare;
+  Rig faulty;
+  FaultInjector inj(FaultPlan{}, 99);
+  faulty.net.attach_faults(&inj);
+  const MsgType m = MsgType::intern("zct");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(bare.net.send(bare.a, bare.b, m, {1}), SendStatus::kOk);
+    EXPECT_EQ(faulty.net.send(faulty.a, faulty.b, m, {1}), SendStatus::kOk);
+    bare.sim.run();
+    faulty.sim.run();
+  }
+  EXPECT_EQ(bare.times, faulty.times);
+  EXPECT_EQ(inj.counters().total_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysBitIdentically) {
+  const auto run = [](std::uint64_t seed) {
+    Rig rig;
+    FaultPlan plan;
+    plan.rates.drop = 0.2;
+    plan.rates.duplicate = 0.2;
+    plan.rates.corrupt = 0.1;
+    plan.rates.delay_spike = 0.1;
+    FaultInjector inj(plan, seed);
+    rig.net.attach_faults(&inj);
+    const MsgType m = MsgType::intern("replay");
+    for (std::uint8_t i = 0; i < 100; ++i)
+      rig.net.send(rig.a, rig.b, m, crypto::Bytes(16, i));
+    rig.sim.run();
+    return std::make_pair(rig.times, inj.counters());
+  };
+  const auto [t1, c1] = run(7);
+  const auto [t2, c2] = run(7);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(c1.dropped, c2.dropped);
+  EXPECT_EQ(c1.duplicated, c2.duplicated);
+  EXPECT_EQ(c1.corrupted, c2.corrupted);
+  EXPECT_EQ(c1.delayed, c2.delayed);
+  EXPECT_GT(c1.total_injected(), 0u);
+  const auto [t3, c3] = run(8);
+  EXPECT_NE(t1, t3);  // a different fault stream really is different
+  (void)c3;
+}
+
+TEST(FaultInjectorTest, CertainDropLosesEverySend) {
+  Rig rig;
+  FaultPlan plan;
+  plan.rates.drop = 1.0;
+  FaultInjector inj(plan, 1);
+  rig.net.attach_faults(&inj);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(rig.net.send(rig.a, rig.b, MsgType::intern("d"), {1, 2}),
+              SendStatus::kFaultDropped);
+  rig.sim.run();
+  EXPECT_TRUE(rig.received.empty());
+  EXPECT_EQ(inj.counters().dropped, 10u);
+}
+
+TEST(FaultInjectorTest, CertainDuplicationDeliversTwoCopies) {
+  Rig rig;
+  FaultPlan plan;
+  plan.rates.duplicate = 1.0;
+  FaultInjector inj(plan, 2);
+  rig.net.attach_faults(&inj);
+  for (int i = 0; i < 10; ++i)
+    rig.net.send(rig.a, rig.b, MsgType::intern("dup"), {9});
+  rig.sim.run();
+  EXPECT_EQ(rig.received.size(), 20u);
+  EXPECT_EQ(inj.counters().duplicated, 10u);
+  EXPECT_EQ(rig.net.datagrams_sent(), 20u);  // extra copies are accounted
+}
+
+TEST(FaultInjectorTest, CorruptionFlipsExactlyOneBit) {
+  Rig rig;
+  FaultPlan plan;
+  plan.rates.corrupt = 1.0;
+  FaultInjector inj(plan, 3);
+  rig.net.attach_faults(&inj);
+  const crypto::Bytes original(32, 0xAB);
+  rig.net.send(rig.a, rig.b, MsgType::intern("c"), crypto::Bytes(original));
+  rig.sim.run();
+  ASSERT_EQ(rig.received.size(), 1u);
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    std::uint8_t x = original[i] ^ rig.received[0][i];
+    while (x != 0) {
+      differing_bits += x & 1;
+      x >>= 1;
+    }
+  }
+  EXPECT_EQ(differing_bits, 1);
+  EXPECT_EQ(inj.counters().corrupted, 1u);
+}
+
+TEST(FaultInjectorTest, TruncationShortensThePayload) {
+  Rig rig;
+  FaultPlan plan;
+  plan.rates.truncate = 1.0;
+  FaultInjector inj(plan, 4);
+  rig.net.attach_faults(&inj);
+  rig.net.send(rig.a, rig.b, MsgType::intern("t"), crypto::Bytes(64, 1));
+  rig.sim.run();
+  ASSERT_EQ(rig.received.size(), 1u);
+  EXPECT_LT(rig.received[0].size(), 64u);
+  EXPECT_EQ(inj.counters().truncated, 1u);
+}
+
+TEST(FaultInjectorTest, ReorderBreaksPerPairFifo) {
+  Rig rig;
+  FaultPlan plan;
+  plan.rates.reorder = 1.0;
+  FaultInjector inj(plan, 6);
+  rig.net.attach_faults(&inj);
+  const MsgType m = MsgType::intern("ro");
+  for (std::uint8_t i = 0; i < 50; ++i) rig.net.send(rig.a, rig.b, m, {i});
+  rig.sim.run();
+  ASSERT_EQ(rig.received.size(), 50u);
+  EXPECT_EQ(inj.counters().reordered, 50u);
+  // All 50 arrive, but with the FIFO clamp skipped the jittered latencies
+  // leak through as at least one inversion.
+  std::vector<std::uint8_t> order;
+  for (const auto& p : rig.received) order.push_back(p.at(0));
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+  std::sort(order.begin(), order.end());
+  for (std::uint8_t i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(FaultInjectorTest, PartitionSwallowsOnlyTheWindow) {
+  Rig rig;
+  FaultPlan plan;
+  plan.partitions.push_back(
+      Partition{0, 1, sim::kSecond, 2 * sim::kSecond});
+  FaultInjector inj(plan, 7);
+  rig.net.attach_faults(&inj);
+  const MsgType m = MsgType::intern("p");
+
+  EXPECT_EQ(rig.net.send(rig.a, rig.b, m, {0}), SendStatus::kOk);
+  rig.advance_to(sim::kSecond + 100 * sim::kMillisecond);
+  EXPECT_EQ(rig.net.send(rig.a, rig.b, m, {1}), SendStatus::kFaultDropped);
+  EXPECT_EQ(rig.net.send(rig.b, rig.a, m, {2}),
+            SendStatus::kFaultDropped);  // cuts both directions
+  rig.advance_to(2 * sim::kSecond + 100 * sim::kMillisecond);
+  EXPECT_EQ(rig.net.send(rig.a, rig.b, m, {3}), SendStatus::kOk);
+  rig.sim.run();
+
+  ASSERT_EQ(rig.received.size(), 2u);
+  EXPECT_EQ(rig.received[0].at(0), 0);
+  EXPECT_EQ(rig.received[1].at(0), 3);
+  EXPECT_EQ(inj.counters().partitioned, 2u);
+}
+
+TEST(FaultInjectorTest, ReceiverOutageLosesInflightByDefault) {
+  Rig rig;
+  FaultPlan plan;
+  plan.outages.push_back(HostOutage{1, 0, sim::kSecond});
+  FaultInjector inj(plan, 8);
+  rig.net.attach_faults(&inj);
+  // Sent from a healthy host, delivery lands inside b's crash window.
+  rig.net.send(rig.a, rig.b, MsgType::intern("o"), {1});
+  rig.sim.run();
+  EXPECT_TRUE(rig.received.empty());
+  EXPECT_EQ(inj.counters().outage_lost, 1u);
+}
+
+TEST(FaultInjectorTest, ReceiverOutageCanDeferUntilRestart) {
+  Rig rig;
+  FaultPlan plan;
+  plan.outages.push_back(HostOutage{1, 0, sim::kSecond});
+  plan.outage_preserves_inflight = true;
+  FaultInjector inj(plan, 9);
+  rig.net.attach_faults(&inj);
+  rig.net.send(rig.a, rig.b, MsgType::intern("o2"), {1});
+  rig.sim.run();
+  ASSERT_EQ(rig.received.size(), 1u);
+  EXPECT_GE(rig.times[0], sim::kSecond);  // held until the restart
+  EXPECT_EQ(inj.counters().outage_deferred, 1u);
+  EXPECT_EQ(inj.counters().outage_lost, 0u);
+}
+
+TEST(FaultInjectorTest, CrashedSenderEmitsNothing) {
+  Rig rig;
+  FaultPlan plan;
+  plan.outages.push_back(HostOutage{0, 0, sim::kSecond});
+  FaultInjector inj(plan, 10);
+  rig.net.attach_faults(&inj);
+  EXPECT_EQ(rig.net.send(rig.a, rig.b, MsgType::intern("s"), {1}),
+            SendStatus::kFaultDropped);
+  rig.sim.run();
+  EXPECT_TRUE(rig.received.empty());
+  EXPECT_EQ(inj.counters().outage_lost, 1u);
+}
+
+TEST(FaultInjectorTest, OnlyTypesFilterExemptsControlTraffic) {
+  Rig rig;
+  FaultPlan plan;
+  plan.rates.drop = 1.0;
+  plan.only_types = {kMsgEmail};
+  FaultInjector inj(plan, 11);
+  rig.net.attach_faults(&inj);
+  EXPECT_EQ(rig.net.send(rig.a, rig.b, kMsgEmail, {1}),
+            SendStatus::kFaultDropped);
+  EXPECT_EQ(rig.net.send(rig.a, rig.b, kMsgBuy, {2}), SendStatus::kOk);
+  rig.sim.run();
+  ASSERT_EQ(rig.received.size(), 1u);
+  EXPECT_EQ(rig.received[0].at(0), 2);
+}
+
+TEST(FaultInjectorTest, DetachRestoresTheCleanPath) {
+  Rig rig;
+  FaultPlan plan;
+  plan.rates.drop = 1.0;
+  FaultInjector inj(plan, 12);
+  rig.net.attach_faults(&inj);
+  EXPECT_EQ(rig.net.send(rig.a, rig.b, MsgType::intern("x"), {1}),
+            SendStatus::kFaultDropped);
+  rig.net.attach_faults(nullptr);
+  EXPECT_EQ(rig.net.send(rig.a, rig.b, MsgType::intern("x"), {2}),
+            SendStatus::kOk);
+  rig.sim.run();
+  ASSERT_EQ(rig.received.size(), 1u);
+  EXPECT_EQ(rig.received[0].at(0), 2);
+}
+
+}  // namespace
+}  // namespace zmail::net

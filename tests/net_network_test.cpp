@@ -101,6 +101,34 @@ TEST_F(NetworkTest, BytesSentToUnknownHostIsZero) {
   EXPECT_EQ(net_.bytes_sent_to(a), 0u);
 }
 
+TEST_F(NetworkTest, SendToUnknownHostReturnsTypedError) {
+  const HostId a = net_.add_host("a", [](const Datagram&) {});
+  std::size_t delivered = 0;
+  const HostId b =
+      net_.add_host("b", [&](const Datagram&) { ++delivered; });
+  (void)b;
+
+  // An out-of-range destination (and source) is refused, counted, and never
+  // scheduled — mirroring the bytes_sent_to 0-for-unknown convention.
+  EXPECT_EQ(net_.send(a, HostId{99}, kMsgEmail, {1}),
+            SendStatus::kUnknownHost);
+  EXPECT_EQ(net_.send(HostId{99}, a, kMsgEmail, {1}),
+            SendStatus::kUnknownHost);
+  EXPECT_EQ(net_.send(a, kNoHost, kMsgEmail, {1}), SendStatus::kUnknownHost);
+  EXPECT_EQ(net_.send_errors(), 3u);
+  EXPECT_EQ(net_.datagrams_sent(), 0u);
+
+  // An uninterned message type is likewise a typed refusal, not UB.
+  EXPECT_EQ(net_.send(a, b, kMsgInvalid, {1}), SendStatus::kInvalidType);
+  EXPECT_EQ(net_.send_errors(), 4u);
+
+  // The healthy path is unaffected.
+  EXPECT_EQ(net_.send(a, b, kMsgEmail, {1}), SendStatus::kOk);
+  sim_.run();
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(net_.send_errors(), 4u);
+}
+
 TEST(MsgTypeTest, InternRoundTripsAndDeduplicates) {
   const MsgType a = MsgType::intern("net-test-alpha");
   const MsgType b = MsgType::intern("net-test-beta");
