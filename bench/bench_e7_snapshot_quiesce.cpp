@@ -12,8 +12,16 @@
 //   E7.b  the ISP view: messages buffered, then flushed in one burst
 //   E7.c  snapshot frequency sweep: added average latency is negligible at
 //         realistic (weekly/monthly) verification cadences
+//   E7.e  the durable-store angle: what one checkpoint actually costs —
+//         state serialize/deserialize time and the on-disk snapshot size
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <functional>
+
 #include "bench_common.hpp"
 #include "core/system.hpp"
+#include "store/checkpoint.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "workload/traffic.hpp"
@@ -179,6 +187,78 @@ void e7d_month_of_traffic() {
                "the worst case is bounded by one quiesce window");
 }
 
+void e7e_durable_snapshot_cost(bench::Bench& harness) {
+  // With zmail::store enabled, every quiesce boundary is also a checkpoint:
+  // the party's settlement state is serialized, written atomically, and the
+  // WAL truncated behind it.  Price that work for each party.
+  const std::string dir = "e7e_store";
+  std::filesystem::remove_all(dir);
+  core::ZmailParams p = params();
+  p.store.enabled = true;
+  p.store.dir = dir;
+  core::ZmailSystem sys(p, 76);
+  for (int i = 0; i < 60; ++i) {
+    sys.send_email(net::make_user_address(i % 2, i % 4),
+                   net::make_user_address((i + 1) % 2, (i + 2) % 4),
+                   "fill", "f" + std::to_string(i));
+    sys.run_for(sim::kMinute);
+  }
+  sys.start_snapshot();
+  sys.run_for(sim::kHour);
+  sys.checkpoint_all();
+
+  Table t({"party", "state bytes", "serialize", "deserialize",
+           "snapshot on disk"});
+  json::Value rows = json::Value::array();
+  const auto time_party = [&](const std::string& name, std::size_t host,
+                              const std::function<crypto::Bytes()>& ser,
+                              const std::function<bool(const crypto::Bytes&)>&
+                                  deser) {
+    auto t0 = std::chrono::steady_clock::now();
+    const crypto::Bytes state = ser();
+    const double ser_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    t0 = std::chrono::steady_clock::now();
+    const bool ok = deser(state);
+    const double deser_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const std::uint64_t disk = sys.host_store(host)->stats().last_snapshot_bytes;
+    bench::check(ok, "e7e: " + name + " state round-trips through restore");
+    t.add_row({name, Table::num(std::uint64_t{state.size()}),
+               Table::num(ser_s * 1e6, 1) + " us",
+               Table::num(deser_s * 1e6, 1) + " us",
+               Table::num(disk) + " B"});
+    json::Value row = json::Value::object();
+    row["party"] = name;
+    row["state_bytes"] = std::uint64_t{state.size()};
+    row["serialize_seconds"] = ser_s;
+    row["deserialize_seconds"] = deser_s;
+    row["snapshot_disk_bytes"] = disk;
+    rows.push_back(std::move(row));
+    return disk;
+  };
+
+  std::uint64_t min_disk = ~0ull;
+  for (std::size_t i = 0; i < p.n_isps; ++i) {
+    const std::uint64_t disk = time_party(
+        "isp" + std::to_string(i), i,
+        [&, i] { return sys.isp(i).serialize_state(); },
+        [&, i](const crypto::Bytes& b) { return sys.isp(i).restore_state(b); });
+    min_disk = std::min(min_disk, disk);
+  }
+  const std::uint64_t bank_disk = time_party(
+      "bank", sys.bank_index(), [&] { return sys.bank().serialize_state(); },
+      [&](const crypto::Bytes& b) { return sys.bank().restore_state(b); });
+  min_disk = std::min(min_disk, bank_disk);
+  t.print("E7.e  per-checkpoint cost with the durable store enabled");
+  harness.metrics()["e7e_snapshot_cost"] = std::move(rows);
+
+  bench::check(min_disk > 0, "e7e: every party wrote a non-empty snapshot");
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -188,5 +268,6 @@ int main(int argc, char** argv) {
   e7b_buffer_flush();
   e7c_cadence_sweep();
   e7d_month_of_traffic();
+  e7e_durable_snapshot_cost(harness);
   return harness.finish();
 }

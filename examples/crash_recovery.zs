@@ -1,0 +1,40 @@
+# Crash-recovery smoke: both settlement parties die mid-scenario and come
+# back from their durable store (snapshot + WAL replay).  Run with
+#
+#   ./scenario_runner examples/crash_recovery.zs --store-dir /tmp/zmail_crash
+#
+# The `crash` verb refuses to run without --store-dir: with no durable
+# state there is nothing to recover from.
+# retry=1 reliable=1: crashes destroy in-flight datagrams, so the ISP<->bank
+# wires must retransmit and paid mail must ride the ack'd transport.
+world isps=3 users=4 balance=100 limit=200 seed=2718 retry=1 reliable=1
+
+# Build up real state: paid mail in both directions, a top-up, a day roll.
+send 0.0 1.1 subject hello
+send 1.1 2.2 subject hola
+send 2.3 0.2 subject hi
+run 30m
+buy 0.2 25
+day
+run 30m
+
+# First settlement round, which also checkpoints every party.
+snapshot
+run 30m
+
+# Kill an ISP for 20 minutes while mail keeps flowing toward it.
+crash 1 20m
+send 0.0 1.1 subject while-you-were-out
+run 1h
+expect conservation
+
+# Now the bank itself dies across a trade and a settlement round.
+crash bank 20m
+sell 0.2 5
+run 1h
+snapshot
+run 30m
+
+expect violations 0
+expect conservation
+print balances

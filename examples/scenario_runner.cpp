@@ -5,11 +5,18 @@
 //   echo "world isps=2 users=2" | ./scenario_runner -
 //
 //   ./scenario_runner script.zs --replicas 8 --threads 4 --json out.json
+//   ./scenario_runner crashy.zs --store-dir /tmp/zs --checkpoint-interval 1h
 //
 // With no script argument, runs a built-in demo script.  With --replicas N
 // the script runs N times on the sweep harness (seed varied per replica via
 // sweep::derive_seed) and the merged counters land in the JSON report; the
 // script's own expectations are checked in every replica.
+//
+// --store-dir DIR switches the durable store on (replica k persists under
+// DIR/r<k>), which also unlocks the script's `crash` verb: a crashed host's
+// in-memory state is wiped and rebuilt from its snapshot + WAL tail.
+// --checkpoint-interval adds time-based checkpoints on top of the default
+// quiesce-boundary ones.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -65,12 +72,22 @@ struct Args {
   std::uint64_t seed = 0;
   bool seed_given = false;
   std::string json_path;
+  std::string store_dir;  // non-empty enables the durable store
+  sim::Duration checkpoint_interval = 0;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [script.zs|-] [--replicas N] [--threads N]"
-               " [--seed S] [--json PATH]\n",
+               " [--seed S] [--json PATH]\n"
+               "       [--store-dir DIR] [--checkpoint-interval DUR]\n"
+               "  --store-dir DIR           enable the durable store (WAL +\n"
+               "                            snapshots) under DIR; replica k\n"
+               "                            writes to DIR/r<k>.  Unlocks the\n"
+               "                            script's `crash` verb.\n"
+               "  --checkpoint-interval DUR also checkpoint every DUR of\n"
+               "                            simulated time (30m, 2h, ...),\n"
+               "                            not just at quiesce boundaries\n",
                argv0);
   return 2;
 }
@@ -101,6 +118,15 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v) return usage(argv[0]);
       args.json_path = v;
+    } else if (std::strcmp(a, "--store-dir") == 0) {
+      const char* v = value();
+      if (!v || !*v) return usage(argv[0]);
+      args.store_dir = v;
+    } else if (std::strcmp(a, "--checkpoint-interval") == 0) {
+      const char* v = value();
+      const auto d = v ? core::parse_duration(v) : std::nullopt;
+      if (!d) return usage(argv[0]);
+      args.checkpoint_interval = *d;
     } else if (a[0] == '-' && std::strcmp(a, "-") != 0) {
       return usage(argv[0]);
     } else if (args.script.empty()) {
@@ -158,6 +184,14 @@ int main(int argc, char** argv) {
       [&](const sweep::Point&, std::uint64_t seed, std::size_t replica) {
         core::Scenario copy = *scenario;
         if (vary_seed) copy.set_seed(seed);
+        if (!args.store_dir.empty()) {
+          // Per-replica subdirectories: replicas run concurrently and must
+          // not share WAL/snapshot files.
+          store::StoreConfig& st = copy.mutable_params().store;
+          st.enabled = true;
+          st.dir = args.store_dir + "/r" + std::to_string(replica);
+          st.checkpoint_interval_us = args.checkpoint_interval;
+        }
         core::ScenarioRunner runner(copy);
         const core::ScenarioResult r = runner.run();
         sweep::MetricBag bag;

@@ -18,6 +18,12 @@ Bank::Bank(const ZmailParams& params, crypto::KeyPair keys,
 }
 
 crypto::Bytes Bank::on_buy(std::size_t g, const crypto::Bytes& wire) {
+  if (wal_) {
+    crypto::Bytes p;
+    crypto::put_u64(p, g);
+    crypto::put_bytes(p, wire);
+    log_op(WalOp::kOnBuy, p);
+  }
   ++metrics_.buys_received;
   if (!unseal_into(keys_.priv, wire, env_scratch_, plain_scratch_)) {
     ++metrics_.bad_envelopes;
@@ -64,6 +70,12 @@ crypto::Bytes Bank::on_buy(std::size_t g, const crypto::Bytes& wire) {
 }
 
 crypto::Bytes Bank::on_sell(std::size_t g, const crypto::Bytes& wire) {
+  if (wal_) {
+    crypto::Bytes p;
+    crypto::put_u64(p, g);
+    crypto::put_bytes(p, wire);
+    log_op(WalOp::kOnSell, p);
+  }
   ++metrics_.sells_received;
   if (!unseal_into(keys_.priv, wire, env_scratch_, plain_scratch_)) {
     ++metrics_.bad_envelopes;
@@ -99,6 +111,7 @@ crypto::Bytes Bank::on_sell(std::size_t g, const crypto::Bytes& wire) {
 
 std::vector<std::pair<std::size_t, crypto::Bytes>> Bank::start_snapshot() {
   if (!canrequest_) return {};
+  log_op(WalOp::kStartSnapshot, crypto::Bytes{});
   canrequest_ = false;
   total_ = 0;
   reported_.assign(params_.n_isps, false);
@@ -118,6 +131,7 @@ std::vector<std::pair<std::size_t, crypto::Bytes>> Bank::start_snapshot() {
 
 std::vector<std::pair<std::size_t, crypto::Bytes>> Bank::resend_requests() {
   if (canrequest_) return {};
+  log_op(WalOp::kResendRequests, crypto::Bytes{});
   std::vector<std::pair<std::size_t, crypto::Bytes>> out;
   SnapshotRequest req{seq_};
   for (std::size_t i = 0; i < params_.n_isps; ++i) {
@@ -132,6 +146,12 @@ std::vector<std::pair<std::size_t, crypto::Bytes>> Bank::resend_requests() {
 
 void Bank::on_reply(std::size_t g, const crypto::Bytes& wire) {
   if (!params_.is_compliant(g)) return;  // paper: "~compliant[g] -> skip"
+  if (wal_) {
+    crypto::Bytes p;
+    crypto::put_u64(p, g);
+    crypto::put_bytes(p, wire);
+    log_op(WalOp::kOnReply, p);
+  }
   if (!unseal_into(keys_.priv, wire, env_scratch_, plain_scratch_)) {
     ++metrics_.bad_envelopes;
     return;

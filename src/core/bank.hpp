@@ -24,6 +24,10 @@
 #include "crypto/nonce.hpp"
 #include "crypto/rsa.hpp"
 
+namespace zmail::store {
+class WalSink;
+}  // namespace zmail::store
+
 namespace zmail::core {
 
 // A detected antisymmetry violation: credit_i[j] + credit_j[i] != 0.
@@ -87,6 +91,28 @@ class Bank {
   // Attaches an audit journal; all monetary and verification events are
   // recorded there (nullptr detaches).  The journal must outlive the bank.
   void attach_journal(AuditJournal* journal) noexcept { journal_ = journal; }
+  AuditJournal* journal() const noexcept { return journal_; }
+
+  // --- Durability (src/store) ---------------------------------------------
+  // Mirror of the Isp durability contract (see isp.hpp): with a sink
+  // attached every mutating handler logs its inputs, and replay re-invokes
+  // the handler with the sink *and the audit journal* detached — the
+  // journal recorded those events the first time around — discarding
+  // returned reply wires (they were sent pre-crash; ISP retries recover a
+  // lost one via the idempotency ledger's cached replies).  The RSA keypair
+  // is construction input, not serialized state.
+  enum class WalOp : std::uint8_t {
+    kOnBuy = 1,
+    kOnSell,
+    kOnReply,
+    kStartSnapshot,
+    kResendRequests,
+  };
+  void attach_wal(store::WalSink* wal) noexcept { wal_ = wal; }
+  store::WalSink* wal() const noexcept { return wal_; }
+  crypto::Bytes serialize_state() const;
+  bool restore_state(const crypto::Bytes& state);
+  void apply_wal_record(std::uint8_t op, const crypto::Bytes& payload);
 
   // --- Introspection ------------------------------------------------------
   Money account(std::size_t g) const { return accounts_.at(g); }
@@ -115,8 +141,11 @@ class Bank {
              std::int64_t amount = 0) {
     if (journal_) journal_->record(AuditEvent{kind, seq_, a, b, amount});
   }
+  // WAL logging helper (no-op when no sink is attached; bank_persist.cpp).
+  void log_op(WalOp op, const crypto::Bytes& payload);
 
   AuditJournal* journal_ = nullptr;
+  store::WalSink* wal_ = nullptr;
   const ZmailParams& params_;
   crypto::KeyPair keys_;
   Rng rng_;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "store/checkpoint.hpp"
 #include "util/money.hpp"
 
 namespace zmail::core {
@@ -134,6 +135,14 @@ struct ZmailParams {
   // behaviour).
   std::size_t max_buffered_sends = 0;
 
+  // Durable settlement store (src/store): WAL + snapshot checkpointing per
+  // party.  Off by default — disabled runs construct no store objects,
+  // schedule no events, and stay bit-identical to a build without the
+  // subsystem.  With store.enabled, a host crash (FaultPlan outage or
+  // ZmailSystem::crash_host) wipes the party's in-memory state and recovery
+  // rebuilds it from the latest snapshot plus WAL-tail replay.
+  store::StoreConfig store;
+
   bool is_compliant(std::size_t isp) const {
     return compliant.empty() ? true : compliant.at(isp);
   }
@@ -175,6 +184,12 @@ struct ZmailParams {
         problems.push_back("retry.max_backoff must be >= retry.base");
       if (retry.jitter < 0.0 || retry.jitter > 1.0)
         problems.push_back("retry.jitter must be in [0, 1]");
+    }
+    if (store.enabled) {
+      if (store.dir.empty())
+        problems.push_back("store.dir must be set when store.enabled");
+      if (store.checkpoint_interval_us < 0)
+        problems.push_back("store.checkpoint_interval_us must be >= 0");
     }
     return problems;
   }

@@ -77,6 +77,14 @@ SendResult Isp::user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
                           net::EmailMessage msg) {
   ZMAIL_ASSERT(s < users_.size());
   ZMAIL_ASSERT(dest_isp < params_.n_isps);
+  if (wal_) {
+    crypto::Bytes p;
+    crypto::put_u64(p, s);
+    crypto::put_u64(p, dest_isp);
+    crypto::put_u64(p, r);
+    crypto::put_bytes(p, msg.serialize());
+    log_op(WalOp::kUserSend, p);
+  }
 
   if (users_.at(s).quarantined) return SendResult::kQuarantined;
 
@@ -174,6 +182,13 @@ void Isp::transport_paid_email(std::size_t dest_isp,
 
 void Isp::refund_lost_email(std::size_t sender_user, std::size_t dest_isp,
                             bool same_epoch) {
+  if (wal_) {
+    crypto::Bytes p;
+    crypto::put_u64(p, sender_user);
+    crypto::put_u64(p, dest_isp);
+    crypto::put_u8(p, same_epoch ? 1 : 0);
+    log_op(WalOp::kRefundLost, p);
+  }
   if (sender_user < users_.size()) {
     UserAccount& u = users_.at(sender_user);
     u.balance += 1;
@@ -271,6 +286,12 @@ void Isp::send_zombie_warning(std::size_t s) {
 }
 
 void Isp::on_email(std::size_t from_isp, const crypto::Bytes& payload) {
+  if (wal_) {
+    crypto::Bytes p;
+    crypto::put_u64(p, from_isp);
+    crypto::put_bytes(p, payload);
+    log_op(WalOp::kOnEmail, p);
+  }
   auto msg = net::EmailMessage::deserialize(payload);
   if (!msg) {
     ++metrics_.bad_envelopes;
@@ -326,6 +347,12 @@ void Isp::on_email(std::size_t from_isp, const crypto::Bytes& payload) {
 
 bool Isp::user_buy(std::size_t t, EPenny x) {
   ZMAIL_ASSERT(t < users_.size());
+  if (wal_) {
+    crypto::Bytes p;
+    crypto::put_u64(p, t);
+    crypto::put_i64(p, x);
+    log_op(WalOp::kUserBuy, p);
+  }
   if (x <= 0) return false;
   UserAccount& u = users_.at(t);
   const Money cost = Money::from_epennies(x);
@@ -341,6 +368,12 @@ bool Isp::user_buy(std::size_t t, EPenny x) {
 
 bool Isp::user_sell(std::size_t t, EPenny x) {
   ZMAIL_ASSERT(t < users_.size());
+  if (wal_) {
+    crypto::Bytes p;
+    crypto::put_u64(p, t);
+    crypto::put_i64(p, x);
+    log_op(WalOp::kUserSell, p);
+  }
   if (x <= 0) return false;
   UserAccount& u = users_.at(t);
   if (u.balance < x) return false;
@@ -389,12 +422,34 @@ void Isp::retry_wire(PendingWire& p, sim::SimTime now, std::uint64_t& counter) {
 
 void Isp::poll_retries(sim::SimTime now) {
   if (!params_.retry.enabled) return;
+  // Same chatty-poll treatment as maybe_trade_with_bank: log only when a
+  // pending wire is actually due (retry_wire mutates in exactly that case).
+  if (wal_) {
+    const auto due = [now](const PendingWire& p) {
+      return p.active && now >= p.next_at;
+    };
+    if (due(pending_buy_) || due(pending_sell_) || due(pending_report_)) {
+      crypto::Bytes p;
+      crypto::put_i64(p, now);
+      log_op(WalOp::kPollRetries, p);
+    }
+  }
   retry_wire(pending_buy_, now, metrics_.bank_retries);
   retry_wire(pending_sell_, now, metrics_.bank_retries);
   retry_wire(pending_report_, now, metrics_.report_retries);
 }
 
 void Isp::maybe_trade_with_bank(sim::SimTime now) {
+  // Logged only when a guard will fire: this poll runs every simulated
+  // second per ISP and almost always no-ops, which would otherwise dominate
+  // the WAL.  The predicate mirrors the guards below exactly, so replaying
+  // the logged polls re-fires the same trades.
+  if (wal_ && ((canbuy_ && avail_ < params_.minavail) ||
+               (cansell_ && avail_ > params_.maxavail))) {
+    crypto::Bytes p;
+    crypto::put_i64(p, now);
+    log_op(WalOp::kTradePoll, p);
+  }
   if (canbuy_ && avail_ < params_.minavail) {
     canbuy_ = false;
     buyvalue_ = params_.maxavail - avail_;  // refill to the upper bound
@@ -427,6 +482,7 @@ void Isp::maybe_trade_with_bank(sim::SimTime now) {
 }
 
 void Isp::on_buyreply(const crypto::Bytes& wire) {
+  log_op(WalOp::kBuyReply, wire);
   if (!unseal_into(bank_pub_, wire, env_scratch_, plain_scratch_)) {
     ++metrics_.bad_envelopes;
     return;
@@ -453,6 +509,7 @@ void Isp::on_buyreply(const crypto::Bytes& wire) {
 }
 
 void Isp::on_sellreply(const crypto::Bytes& wire) {
+  log_op(WalOp::kSellReply, wire);
   if (!unseal_into(bank_pub_, wire, env_scratch_, plain_scratch_)) {
     ++metrics_.bad_envelopes;
     return;
@@ -474,6 +531,7 @@ void Isp::on_sellreply(const crypto::Bytes& wire) {
 }
 
 void Isp::on_request(const crypto::Bytes& wire) {
+  log_op(WalOp::kSnapshotRequest, wire);
   if (!unseal_into(bank_pub_, wire, env_scratch_, plain_scratch_)) {
     ++metrics_.bad_envelopes;
     return;
@@ -499,6 +557,11 @@ void Isp::on_request(const crypto::Bytes& wire) {
 
 void Isp::on_quiesce_timeout(sim::SimTime now) {
   if (!quiescing_) return;
+  if (wal_) {
+    crypto::Bytes p;
+    crypto::put_i64(p, now);
+    log_op(WalOp::kQuiesceTimeout, p);
+  }
   quiescing_ = false;
 
   // send reply(NCR(B_b, credit)) to bank
@@ -531,6 +594,11 @@ void Isp::on_quiesce_timeout(sim::SimTime now) {
 }
 
 void Isp::release_user(std::size_t u) {
+  if (wal_) {
+    crypto::Bytes p;
+    crypto::put_u64(p, u);
+    log_op(WalOp::kReleaseUser, p);
+  }
   UserAccount& acc = users_.at(u);
   acc.quarantined = false;
   acc.warnings = 0;
@@ -538,6 +606,7 @@ void Isp::release_user(std::size_t u) {
 }
 
 void Isp::end_of_day() {
+  log_op(WalOp::kEndOfDay);
   // "At the end of every day, array sent is reset to 0."
   for (auto& u : users_) {
     u.sent = 0;

@@ -29,6 +29,10 @@
 #include "crypto/nonce.hpp"
 #include "net/email.hpp"
 
+namespace zmail::store {
+class WalSink;
+}  // namespace zmail::store
+
 namespace zmail::core {
 
 // "No user" sentinel for Outbound::sender_user (free/unpaid sends).
@@ -176,8 +180,49 @@ class Isp {
   // Transport-layer events attributed to this ISP's counters (the harness
   // owns the reliable email transport but the metrics live here so obs
   // snapshots and sweep merges pick them up).
-  void note_retransmit() noexcept { ++metrics_.emails_retransmitted; }
-  void note_duplicate_email() noexcept { ++metrics_.duplicate_emails_dropped; }
+  void note_retransmit() {
+    ++metrics_.emails_retransmitted;
+    log_op(WalOp::kNoteRetransmit);
+  }
+  void note_duplicate_email() {
+    ++metrics_.duplicate_emails_dropped;
+    log_op(WalOp::kNoteDupEmail);
+  }
+
+  // --- Durability (src/store) ---------------------------------------------
+  // The ISP is a deterministic state machine: with a WAL sink attached,
+  // every mutating command logs its inputs before applying, and
+  // apply_wal_record() re-invokes the same method with the sink detached
+  // (so replay does not re-log) and the outbox discarded (replayed output
+  // was already transported pre-crash).  serialize_state()/restore_state()
+  // capture everything replay depends on — including the RNG and nonce
+  // streams — except construction-time inputs (params, bank key, seeds)
+  // and the user-facing inbox spool, which is mail storage, not settlement
+  // state.  The filter and ack sink callbacks must be re-installed by the
+  // harness after restore.
+  enum class WalOp : std::uint8_t {
+    kUserSend = 1,
+    kOnEmail,
+    kUserBuy,
+    kUserSell,
+    kTradePoll,
+    kBuyReply,
+    kSellReply,
+    kSnapshotRequest,
+    kQuiesceTimeout,
+    kPollRetries,
+    kRefundLost,
+    kEndOfDay,
+    kReleaseUser,
+    kNoteRetransmit,
+    kNoteDupEmail,
+    kSetMisbehavior,
+  };
+  void attach_wal(store::WalSink* wal) noexcept { wal_ = wal; }
+  store::WalSink* wal() const noexcept { return wal_; }
+  crypto::Bytes serialize_state() const;
+  bool restore_state(const crypto::Bytes& state);
+  void apply_wal_record(std::uint8_t op, const crypto::Bytes& payload);
 
   // Testing hooks.
   void set_avail(EPenny v) noexcept { avail_ = v; }
@@ -191,7 +236,10 @@ class Isp {
   // or recording the credit entry.  The receiving ISP still decrements its
   // credit, so the bank's antisymmetry check exposes the pair.
   enum class Misbehavior : std::uint8_t { kNone = 0, kFreeRide };
-  void set_misbehavior(Misbehavior m) noexcept { misbehavior_ = m; }
+  void set_misbehavior(Misbehavior m) {
+    misbehavior_ = m;
+    log_misbehavior(m);
+  }
   Misbehavior misbehavior() const noexcept { return misbehavior_; }
 
  private:
@@ -226,6 +274,10 @@ class Isp {
   void arm_retry(PendingWire& p, net::MsgType type, const crypto::Bytes& wire,
                  sim::SimTime now);
   void retry_wire(PendingWire& p, sim::SimTime now, std::uint64_t& counter);
+  // WAL logging helpers (no-ops when no sink is attached; isp_persist.cpp).
+  void log_op(WalOp op);
+  void log_op(WalOp op, const crypto::Bytes& payload);
+  void log_misbehavior(Misbehavior m);
 
   std::size_t index_;
   const ZmailParams& params_;
@@ -258,6 +310,7 @@ class Isp {
   std::function<bool(const net::EmailMessage&)> filter_;
   std::function<void(std::size_t, const net::EmailMessage&)> ack_sink_;
   Misbehavior misbehavior_ = Misbehavior::kNone;
+  store::WalSink* wal_ = nullptr;
   IspMetrics metrics_;
   // Scratch buffers for the bank-message envelope path (see
   // core::seal_into): reused across messages so steady-state traffic stops

@@ -1,0 +1,338 @@
+// Durability half of the Isp state machine: full-state (de)serialization
+// for snapshots, WAL command logging helpers, and command replay.  Kept out
+// of isp.cpp so the protocol logic stays readable; the two files share the
+// private state via the class.
+//
+// Replay correctness rests on determinism: serialize_state() captures every
+// input a mutating method reads — including the RNG stream (seal_into and
+// backoff jitter draw from it) and the nonce counter — so re-invoking the
+// logged commands in order reproduces the pre-crash state bit for bit.
+#include <bit>
+
+#include "core/isp.hpp"
+#include "store/wal.hpp"
+
+namespace zmail::core {
+
+namespace {
+
+constexpr std::uint8_t kStateVersion = 1;
+
+void put_money(crypto::Bytes& b, Money m) { crypto::put_i64(b, m.micros()); }
+Money get_money(crypto::ByteReader& r) {
+  return Money::from_micros(r.get_i64());
+}
+
+void put_bool(crypto::Bytes& b, bool v) { crypto::put_u8(b, v ? 1 : 0); }
+bool get_bool(crypto::ByteReader& r) { return r.get_u8() != 0; }
+
+void put_rng(crypto::Bytes& b, const Rng& rng) {
+  const Rng::State st = rng.save_state();
+  for (std::uint64_t w : st.s) crypto::put_u64(b, w);
+  crypto::put_u64(b, std::bit_cast<std::uint64_t>(st.cached_normal));
+  put_bool(b, st.has_cached_normal);
+}
+
+void get_rng(crypto::ByteReader& r, Rng& rng) {
+  Rng::State st;
+  for (auto& w : st.s) w = r.get_u64();
+  st.cached_normal = std::bit_cast<double>(r.get_u64());
+  st.has_cached_normal = get_bool(r);
+  rng.restore_state(st);
+}
+
+}  // namespace
+
+void Isp::log_op(WalOp op) {
+  if (wal_) wal_->append(static_cast<std::uint8_t>(op), crypto::Bytes{});
+}
+
+void Isp::log_op(WalOp op, const crypto::Bytes& payload) {
+  if (wal_) wal_->append(static_cast<std::uint8_t>(op), payload);
+}
+
+void Isp::log_misbehavior(Misbehavior m) {
+  if (!wal_) return;
+  crypto::Bytes p;
+  crypto::put_u8(p, static_cast<std::uint8_t>(m));
+  log_op(WalOp::kSetMisbehavior, p);
+}
+
+crypto::Bytes Isp::serialize_state() const {
+  crypto::Bytes b;
+  crypto::put_u8(b, kStateVersion);
+
+  crypto::put_u32(b, static_cast<std::uint32_t>(users_.size()));
+  for (const UserAccount& u : users_) {
+    crypto::put_u8(b, u.policy_override
+                          ? static_cast<std::uint8_t>(*u.policy_override) + 1
+                          : 0);
+    put_money(b, u.account);
+    crypto::put_i64(b, u.balance);
+    crypto::put_i64(b, u.sent);
+    crypto::put_i64(b, u.limit);
+    put_bool(b, u.blocked_today);
+    crypto::put_i64(b, u.warnings);
+    put_bool(b, u.quarantined);
+    crypto::put_i64(b, u.lifetime_sent);
+    crypto::put_i64(b, u.lifetime_received_paid);
+    crypto::put_i64(b, u.lifetime_epennies_bought);
+    crypto::put_i64(b, u.lifetime_epennies_sold);
+  }
+
+  crypto::put_i64(b, avail_);
+  put_money(b, till_);
+  crypto::put_u32(b, static_cast<std::uint32_t>(credit_.size()));
+  for (EPenny c : credit_) crypto::put_i64(b, c);
+
+  put_bool(b, cansend_);
+  put_bool(b, canbuy_);
+  put_bool(b, cansell_);
+  put_bool(b, quiescing_);
+  crypto::put_i64(b, buyvalue_);
+  crypto::put_i64(b, sellvalue_);
+  crypto::put_u64(b, seq_);
+  put_bool(b, ns1_.has_value());
+  if (ns1_) crypto::put_nonce(b, *ns1_);
+  put_bool(b, ns2_.has_value());
+  if (ns2_) crypto::put_nonce(b, *ns2_);
+
+  crypto::put_u32(b, static_cast<std::uint32_t>(buffer_.size()));
+  for (const BufferedSend& s : buffer_) {
+    crypto::put_u64(b, s.dest_isp);
+    crypto::put_bytes(b, s.msg.serialize());
+    put_bool(b, s.paid);
+    crypto::put_u64(b, s.sender_user);
+  }
+  crypto::put_i64(b, buffered_paid_);
+
+  for (const PendingWire* p : {&pending_buy_, &pending_sell_, &pending_report_}) {
+    put_bool(b, p->active);
+    crypto::put_string(b, p->type.name());
+    crypto::put_bytes(b, p->wire);
+    crypto::put_u32(b, p->attempts);
+    crypto::put_i64(b, p->next_at);
+  }
+
+  // The outbox is drained within the same event that fills it, so it is
+  // empty at every crash point the simulation can model; serialized anyway
+  // so standalone round trips are exact.
+  crypto::put_u32(b, static_cast<std::uint32_t>(outbox_.size()));
+  for (const Outbound& o : outbox_) {
+    crypto::put_u8(b, static_cast<std::uint8_t>(o.dest));
+    crypto::put_u64(b, o.isp_index);
+    crypto::put_string(b, o.type.name());
+    crypto::put_bytes(b, o.payload);
+    crypto::put_u64(b, o.sender_user);
+  }
+
+  crypto::put_u8(b, static_cast<std::uint8_t>(misbehavior_));
+
+  const IspMetrics& m = metrics_;
+  for (std::uint64_t v :
+       {m.emails_sent_local, m.emails_sent_compliant,
+        m.emails_sent_noncompliant, m.emails_received_compliant,
+        m.emails_received_noncompliant, m.emails_delivered,
+        m.emails_segregated, m.emails_discarded, m.emails_filtered_out,
+        m.refused_no_balance, m.refused_daily_limit,
+        m.emails_buffered_during_quiesce, m.snapshots_answered,
+        m.zombie_warnings_sent, m.acks_generated, m.acks_received,
+        m.bank_buys_attempted, m.bank_buys_accepted, m.bank_sells,
+        m.bad_nonce_replies, m.bad_envelopes, m.stale_requests,
+        m.bank_retries, m.report_retries, m.emails_retransmitted,
+        m.emails_refunded, m.emails_shed, m.duplicate_emails_dropped})
+    crypto::put_u64(b, v);
+
+  put_rng(b, rng_);
+  crypto::put_u64(b, nonce_gen_.issued());
+  return b;
+}
+
+bool Isp::restore_state(const crypto::Bytes& state) {
+  crypto::ByteReader r(state);
+  if (r.get_u8() != kStateVersion) return false;
+
+  const std::uint32_t n_users = r.get_u32();
+  if (!r.ok() || n_users > (1u << 24)) return false;
+  users_.assign(n_users, UserAccount{});
+  for (UserAccount& u : users_) {
+    const std::uint8_t pol = r.get_u8();
+    u.policy_override =
+        pol == 0 ? std::nullopt
+                 : std::optional<NonCompliantPolicy>(
+                       static_cast<NonCompliantPolicy>(pol - 1));
+    u.account = get_money(r);
+    u.balance = r.get_i64();
+    u.sent = r.get_i64();
+    u.limit = r.get_i64();
+    u.blocked_today = get_bool(r);
+    u.warnings = r.get_i64();
+    u.quarantined = get_bool(r);
+    u.lifetime_sent = r.get_i64();
+    u.lifetime_received_paid = r.get_i64();
+    u.lifetime_epennies_bought = r.get_i64();
+    u.lifetime_epennies_sold = r.get_i64();
+  }
+  // The mail spool is not settlement state; recovery starts it empty.
+  inboxes_.assign(n_users, std::vector<Delivery>{});
+
+  avail_ = r.get_i64();
+  till_ = get_money(r);
+  const std::uint32_t n_credit = r.get_u32();
+  if (!r.ok() || n_credit > (1u << 24)) return false;
+  credit_.assign(n_credit, 0);
+  for (auto& c : credit_) c = r.get_i64();
+
+  cansend_ = get_bool(r);
+  canbuy_ = get_bool(r);
+  cansell_ = get_bool(r);
+  quiescing_ = get_bool(r);
+  buyvalue_ = r.get_i64();
+  sellvalue_ = r.get_i64();
+  seq_ = r.get_u64();
+  ns1_.reset();
+  if (get_bool(r)) ns1_ = crypto::get_nonce(r);
+  ns2_.reset();
+  if (get_bool(r)) ns2_ = crypto::get_nonce(r);
+
+  const std::uint32_t n_buf = r.get_u32();
+  if (!r.ok() || n_buf > (1u << 24)) return false;
+  buffer_.clear();
+  for (std::uint32_t i = 0; i < n_buf; ++i) {
+    BufferedSend s{};
+    s.dest_isp = r.get_u64();
+    const auto msg = net::EmailMessage::deserialize(r.get_bytes());
+    if (!msg) return false;
+    s.msg = *msg;
+    s.paid = get_bool(r);
+    s.sender_user = r.get_u64();
+    buffer_.push_back(std::move(s));
+  }
+  buffered_paid_ = r.get_i64();
+
+  for (PendingWire* p : {&pending_buy_, &pending_sell_, &pending_report_}) {
+    p->active = get_bool(r);
+    // A never-used slot round-trips the default MsgType (empty name, not
+    // internable).
+    const std::string type_name = r.get_string();
+    p->type = type_name.empty() ? net::MsgType{} : net::MsgType::intern(type_name);
+    p->wire = r.get_bytes();
+    p->attempts = r.get_u32();
+    p->next_at = r.get_i64();
+  }
+
+  const std::uint32_t n_out = r.get_u32();
+  if (!r.ok() || n_out > (1u << 24)) return false;
+  outbox_.clear();
+  for (std::uint32_t i = 0; i < n_out; ++i) {
+    Outbound o{};
+    o.dest = static_cast<Outbound::Dest>(r.get_u8());
+    o.isp_index = r.get_u64();
+    const std::string type_name = r.get_string();
+    o.type = type_name.empty() ? net::MsgType{} : net::MsgType::intern(type_name);
+    o.payload = r.get_bytes();
+    o.sender_user = r.get_u64();
+    outbox_.push_back(std::move(o));
+  }
+
+  misbehavior_ = static_cast<Misbehavior>(r.get_u8());
+
+  IspMetrics& m = metrics_;
+  for (std::uint64_t* v :
+       {&m.emails_sent_local, &m.emails_sent_compliant,
+        &m.emails_sent_noncompliant, &m.emails_received_compliant,
+        &m.emails_received_noncompliant, &m.emails_delivered,
+        &m.emails_segregated, &m.emails_discarded, &m.emails_filtered_out,
+        &m.refused_no_balance, &m.refused_daily_limit,
+        &m.emails_buffered_during_quiesce, &m.snapshots_answered,
+        &m.zombie_warnings_sent, &m.acks_generated, &m.acks_received,
+        &m.bank_buys_attempted, &m.bank_buys_accepted, &m.bank_sells,
+        &m.bad_nonce_replies, &m.bad_envelopes, &m.stale_requests,
+        &m.bank_retries, &m.report_retries, &m.emails_retransmitted,
+        &m.emails_refunded, &m.emails_shed, &m.duplicate_emails_dropped})
+    *v = r.get_u64();
+
+  get_rng(r, rng_);
+  nonce_gen_.restore_issued(r.get_u64());
+  return r.ok() && r.at_end();
+}
+
+void Isp::apply_wal_record(std::uint8_t op, const crypto::Bytes& payload) {
+  // Detach the sink so replayed commands do not re-log, and discard any
+  // output they produce — it was already transported before the crash.
+  store::WalSink* saved = wal_;
+  wal_ = nullptr;
+  crypto::ByteReader r(payload);
+  switch (static_cast<WalOp>(op)) {
+    case WalOp::kUserSend: {
+      const std::size_t s = r.get_u64();
+      const std::size_t dest = r.get_u64();
+      const std::size_t rcpt = r.get_u64();
+      const auto msg = net::EmailMessage::deserialize(r.get_bytes());
+      if (r.ok() && msg) user_send(s, dest, rcpt, *msg);
+      break;
+    }
+    case WalOp::kOnEmail: {
+      const std::size_t from = r.get_u64();
+      const crypto::Bytes wire = r.get_bytes();
+      if (r.ok()) on_email(from, wire);
+      break;
+    }
+    case WalOp::kUserBuy: {
+      const std::size_t t = r.get_u64();
+      const EPenny x = r.get_i64();
+      if (r.ok()) user_buy(t, x);
+      break;
+    }
+    case WalOp::kUserSell: {
+      const std::size_t t = r.get_u64();
+      const EPenny x = r.get_i64();
+      if (r.ok()) user_sell(t, x);
+      break;
+    }
+    case WalOp::kTradePoll:
+      maybe_trade_with_bank(r.get_i64());
+      break;
+    case WalOp::kBuyReply:
+      on_buyreply(payload);
+      break;
+    case WalOp::kSellReply:
+      on_sellreply(payload);
+      break;
+    case WalOp::kSnapshotRequest:
+      on_request(payload);
+      break;
+    case WalOp::kQuiesceTimeout:
+      on_quiesce_timeout(r.get_i64());
+      break;
+    case WalOp::kPollRetries:
+      poll_retries(r.get_i64());
+      break;
+    case WalOp::kRefundLost: {
+      const std::size_t s = r.get_u64();
+      const std::size_t dest = r.get_u64();
+      const bool same_epoch = get_bool(r);
+      if (r.ok()) refund_lost_email(s, dest, same_epoch);
+      break;
+    }
+    case WalOp::kEndOfDay:
+      end_of_day();
+      break;
+    case WalOp::kReleaseUser:
+      release_user(r.get_u64());
+      break;
+    case WalOp::kNoteRetransmit:
+      note_retransmit();
+      break;
+    case WalOp::kNoteDupEmail:
+      note_duplicate_email();
+      break;
+    case WalOp::kSetMisbehavior:
+      set_misbehavior(static_cast<Misbehavior>(r.get_u8()));
+      break;
+  }
+  outbox_.clear();
+  wal_ = saved;
+}
+
+}  // namespace zmail::core

@@ -104,6 +104,12 @@ std::optional<Scenario> Scenario::parse(const std::string& text,
         s.params_.default_daily_limit = *to_int(*v);
       if (const auto v = kv(args, "seed"); v && to_int(*v))
         s.seed_ = static_cast<std::uint64_t>(*to_int(*v));
+      // Hardened-transport switches: crash/outage scenarios lose in-flight
+      // datagrams, so scripts using `crash` want both of these on.
+      if (const auto v = kv(args, "retry"); v && to_int(*v))
+        s.params_.retry.enabled = *to_int(*v) != 0;
+      if (const auto v = kv(args, "reliable"); v && to_int(*v))
+        s.params_.reliable_email_transport = *to_int(*v) != 0;
       if (const auto v = kv(args, "compliant")) {
         if (v->size() != s.params_.n_isps)
           return fail(lineno, "compliant mask length != isps");
@@ -120,7 +126,7 @@ std::optional<Scenario> Scenario::parse(const std::string& text,
     if (!world_seen) return fail(lineno, "script must start with `world`");
     static const std::vector<std::string> kVerbs = {
         "send", "spam", "buy",      "sell",   "run",   "day",
-        "flip", "snapshot", "expect", "print", "policy"};
+        "flip", "snapshot", "expect", "print", "policy", "crash"};
     bool known = false;
     for (const auto& v : kVerbs) known = known || v == toks[0];
     if (!known) return fail(lineno, "unknown command: " + toks[0]);
@@ -234,6 +240,31 @@ ScenarioResult ScenarioRunner::run() {
       system_->make_compliant(static_cast<std::size_t>(*i));
     } else if (cmd.verb == "snapshot") {
       system_->start_snapshot();
+    } else if (cmd.verb == "crash") {
+      // crash <isp-index|bank> <duration>: wipe the host's in-memory state
+      // and recover it from snapshot + WAL replay after <duration>.  Only
+      // meaningful with the durable store (there is nothing to recover from
+      // otherwise), so it refuses on store-off worlds.
+      if (!system_->params().store.enabled) {
+        fail(cmd.line, "crash requires the durable store (--store-dir)");
+        continue;
+      }
+      const auto d = a.size() == 2 ? parse_duration(a[1]) : std::nullopt;
+      std::optional<std::size_t> host;
+      if (a.size() == 2 && a[0] == "bank") {
+        host = system_->bank_index();
+      } else if (a.size() == 2) {
+        const auto i = to_int(a[0]);
+        if (i && *i >= 0 &&
+            static_cast<std::size_t>(*i) < system_->params().n_isps &&
+            system_->is_compliant(static_cast<std::size_t>(*i)))
+          host = static_cast<std::size_t>(*i);
+      }
+      if (!host || !d) {
+        fail(cmd.line, "crash needs <compliant-isp|bank> <duration>");
+        continue;
+      }
+      system_->crash_host(*host, *d);
     } else if (cmd.verb == "policy") {
       // policy <isp> <accept|segregate|discard|filter>: how this ISP's
       // users treat mail from non-compliant senders (per-user overrides).

@@ -9,6 +9,7 @@
 //     buy 0.1 25
 //     run 2h
 //     snapshot
+//     crash 1 20m        # durable store only: kill isp1, recover after 20m
 //     run 30m
 //     day
 //     flip 2
@@ -47,6 +48,10 @@ class Scenario {
                                        ScenarioError* error = nullptr);
 
   const ZmailParams& params() const noexcept { return params_; }
+  // Harnesses overlay configuration the script language does not cover
+  // (e.g. scenario_runner --store-dir enables the durable store) before
+  // handing the scenario to a ScenarioRunner.
+  ZmailParams& mutable_params() noexcept { return params_; }
   std::size_t command_count() const noexcept { return commands_.size(); }
 
   // The world seed (from the script's `seed=` key, default 1).  Writable so

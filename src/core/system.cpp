@@ -67,10 +67,12 @@ ZmailSystem::ZmailSystem(ZmailParams params, std::uint64_t seed)
   legacy_.resize(params_.n_isps);
   smtp_bytes_in_.assign(params_.n_isps, 0);
   isps_.resize(params_.n_isps);
+  isp_ctor_seed_.assign(params_.n_isps, 0);
   for (std::size_t i = 0; i < params_.n_isps; ++i) {
+    isp_ctor_seed_[i] = seed * 0x5851F42D4C957F2DULL + i;
     if (params_.is_compliant(i))
       isps_[i] = std::make_unique<Isp>(i, params_, bank_keys_.pub,
-                                       seed * 0x5851F42D4C957F2DULL + i);
+                                       isp_ctor_seed_[i]);
     const net::HostId h = net_.add_host(
         net::isp_domain(i),
         [this, i](const net::Datagram& d) { on_datagram(i, d); });
@@ -81,6 +83,23 @@ ZmailSystem::ZmailSystem(ZmailParams params, std::uint64_t seed)
       "bank.example",
       [this](const net::Datagram& d) { on_datagram(bank_host(), d); });
   ZMAIL_ASSERT(bh == bank_host());
+
+  if (params_.store.enabled) {
+    std::string err;
+    ZMAIL_ASSERT_MSG(store::ensure_dir(params_.store.dir, &err), err.c_str());
+    stores_.resize(params_.n_isps + 1);
+    for (std::size_t i = 0; i < params_.n_isps; ++i)
+      if (isps_[i]) open_store(i);
+    open_store(bank_host());
+    if (params_.store.checkpoint_interval_us > 0) {
+      sim_.schedule_every(
+          static_cast<sim::Duration>(params_.store.checkpoint_interval_us),
+          [this] {
+            checkpoint_all();
+            return true;
+          });
+    }
+  }
 
   if (params_.retry.enabled) {
     // Fault-recovery poll: drives ISP buy/sell/report backoff timers and
@@ -131,8 +150,11 @@ LegacyHostStats ZmailSystem::total_legacy_stats() const {
 
 void ZmailSystem::set_spam_filter(
     std::function<bool(const net::EmailMessage&)> f) {
+  // Kept so crash recovery can reinstall it on a rebuilt ISP: process-local
+  // callbacks are not durable state, the harness owns them.
+  spam_filter_ = std::move(f);
   for (auto& isp : isps_)
-    if (isp) isp->set_filter(f);
+    if (isp) isp->set_filter(spam_filter_);
 }
 
 SendOutcome ZmailSystem::send_email(const net::EmailAddress& from,
@@ -204,11 +226,18 @@ void ZmailSystem::make_compliant(IspId isp) {
   if (params_.compliant.empty())
     params_.compliant.assign(params_.n_isps, true);
   params_.compliant[isp_index] = true;
-  isps_[isp_index] = std::make_unique<Isp>(
-      isp_index, params_, bank_keys_.pub,
-      seed_ * 0x5851F42D4C957F2DULL + isp_index + 0x9E37ULL);
+  isp_ctor_seed_[isp_index] =
+      seed_ * 0x5851F42D4C957F2DULL + isp_index + 0x9E37ULL;
+  isps_[isp_index] = std::make_unique<Isp>(isp_index, params_, bank_keys_.pub,
+                                           isp_ctor_seed_[isp_index]);
+  if (spam_filter_) isps_[isp_index]->set_filter(spam_filter_);
+  if (params_.store.enabled) open_store(isp_index);
   // Join the bank's current billing period.
   isps_[isp_index]->set_seq(bank_->seq());
+  // set_seq is a harness-side fixup, not a logged command; baseline the
+  // flipped ISP with an immediate checkpoint so recovery starts from a
+  // snapshot that already carries the adopted seq.
+  if (params_.store.enabled) checkpoint_host(isp_index);
 }
 
 bool ZmailSystem::buy_epennies(const net::EmailAddress& user, EPenny n) {
@@ -270,6 +299,7 @@ void ZmailSystem::poll_fault_recovery() {
       if (isps_[i] && isps_[i]->in_quiesce()) {
         isps_[i]->on_quiesce_timeout(sim_.now());
         pump_isp(i);
+        maybe_checkpoint(i);
       }
     });
   }
@@ -301,9 +331,115 @@ void ZmailSystem::start_snapshot() {
       if (isps_[i] && isps_[i]->in_quiesce()) {
         isps_[i]->on_quiesce_timeout(sim_.now());
         pump_isp(i);
+        maybe_checkpoint(i);
       }
     });
   }
+}
+
+void ZmailSystem::attach_faults(net::FaultInjector* injector) {
+  faults_ = injector;
+  net_.attach_faults(injector);
+  if (!injector || stores_.empty()) return;
+  // With the durable store on, each planned outage is a real crash: the
+  // party restarts with wiped memory and recovers from snapshot + WAL.
+  for (const net::HostOutage& o : injector->plan().outages) {
+    if (o.host >= stores_.size() || !stores_[o.host]) continue;
+    sim_.schedule_at(o.until, [this, h = o.host] { recover_host(h); });
+  }
+}
+
+void ZmailSystem::open_store(std::size_t host) {
+  auto cp = std::make_unique<store::Checkpointer>();
+  std::string err;
+  const std::string party = host == bank_host()
+                                ? std::string("bank")
+                                : "isp" + std::to_string(host);
+  ZMAIL_ASSERT_MSG(cp->open(params_.store, party, &err), err.c_str());
+  stores_[host] = std::move(cp);
+  // Recover-at-open makes reopening an existing store directory resume the
+  // persisted state; on a fresh directory both files are absent and this
+  // is a no-op (neither callback fires).  Not counted as a crash recovery.
+  rebuild_from_store(host);
+}
+
+void ZmailSystem::maybe_checkpoint(std::size_t host) {
+  if (stores_.empty() || !params_.store.checkpoint_at_snapshot) return;
+  checkpoint_host(host);
+}
+
+void ZmailSystem::checkpoint_host(std::size_t host) {
+  if (host >= stores_.size() || !stores_[host]) return;
+  std::string err;
+  const crypto::Bytes state = host == bank_host()
+                                  ? bank_->serialize_state()
+                                  : isps_[host]->serialize_state();
+  ZMAIL_ASSERT_MSG(
+      stores_[host]->checkpoint(state, static_cast<std::uint64_t>(sim_.now()),
+                                &err),
+      err.c_str());
+}
+
+void ZmailSystem::checkpoint_all() {
+  for (std::size_t h = 0; h < stores_.size(); ++h)
+    if (stores_[h]) checkpoint_host(h);
+}
+
+void ZmailSystem::crash_host(std::size_t host, sim::Duration down_for) {
+  ZMAIL_ASSERT_MSG(!stores_.empty(), "crash_host requires params.store.enabled");
+  ZMAIL_ASSERT(host < stores_.size() && stores_[host] != nullptr);
+  if (!faults_) {
+    // An outage-only injector: empty rates draw no RNG per datagram, so
+    // attaching it perturbs nothing but the crashed host's traffic.
+    crash_faults_ = std::make_unique<net::FaultInjector>(net::FaultPlan{},
+                                                         seed_ ^ 0xC4A5ULL);
+    faults_ = crash_faults_.get();
+    net_.attach_faults(faults_);
+  }
+  faults_->add_outage({host, sim_.now(), sim_.now() + down_for});
+  sim_.schedule_at(sim_.now() + down_for,
+                   [this, host] { recover_host(host); });
+}
+
+void ZmailSystem::recover_host(std::size_t host) {
+  ZMAIL_ASSERT(host < stores_.size() && stores_[host] != nullptr);
+  // Process death first: whatever the WAL buffered but never synced is
+  // gone (empty under the default group_commit_records = 1).
+  stores_[host]->simulate_crash();
+  rebuild_from_store(host);
+  ++state_recoveries_;
+  if (faults_) faults_->note_state_recovery();
+}
+
+void ZmailSystem::rebuild_from_store(std::size_t host) {
+  store::Checkpointer* cp = stores_[host].get();
+  store::RecoveryStats rs;
+  std::string err;
+  bool ok = false;
+  if (host == bank_host()) {
+    AuditJournal* journal = bank_->journal();
+    bank_ = std::make_unique<Bank>(params_, bank_keys_, seed_ ^ 0xB0B0ULL);
+    Bank* b = bank_.get();
+    ok = cp->recover(
+        [b](const crypto::Bytes& s) { ZMAIL_ASSERT(b->restore_state(s)); },
+        [b](std::uint8_t t, const crypto::Bytes& p) { b->apply_wal_record(t, p); },
+        &rs, &err);
+    bank_->attach_wal(&cp->wal());
+    if (journal) bank_->attach_journal(journal);
+  } else {
+    isps_[host] = std::make_unique<Isp>(host, params_, bank_keys_.pub,
+                                        isp_ctor_seed_[host]);
+    Isp* isp = isps_[host].get();
+    ok = cp->recover(
+        [isp](const crypto::Bytes& s) { ZMAIL_ASSERT(isp->restore_state(s)); },
+        [isp](std::uint8_t t, const crypto::Bytes& p) {
+          isp->apply_wal_record(t, p);
+        },
+        &rs, &err);
+    isp->attach_wal(&cp->wal());
+    if (spam_filter_) isp->set_filter(spam_filter_);
+  }
+  ZMAIL_ASSERT_MSG(ok, err.c_str());
 }
 
 void ZmailSystem::run_for(sim::Duration d) { sim_.run(sim_.now() + d); }
@@ -487,6 +623,13 @@ void ZmailSystem::on_datagram(std::size_t host, const net::Datagram& d) {
         net_.send(bank_host(), g, kMsgSellReply, std::move(reply));
     } else if (d.type == kMsgReply) {
       bank_->on_reply(g, d.payload);
+      // A round that just closed (seq advanced, no round open) is the
+      // bank's snapshot-quiesce boundary: checkpoint once per round.
+      if (!stores_.empty() && params_.store.checkpoint_at_snapshot &&
+          !bank_->round_open() && bank_->seq() != bank_ckpt_seq_) {
+        checkpoint_host(bank_host());
+        bank_ckpt_seq_ = bank_->seq();
+      }
     }
     return;
   }

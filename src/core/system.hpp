@@ -117,13 +117,36 @@ class ZmailSystem {
   // Attaches a deterministic fault injector to the network (nullptr
   // detaches).  Not owned; must outlive the system or be detached.  For the
   // zero-sum invariants to survive lossy plans, enable
-  // params.reliable_email_transport and params.retry first.
-  void attach_faults(net::FaultInjector* injector) {
-    net_.attach_faults(injector);
-  }
+  // params.reliable_email_transport and params.retry first.  With the
+  // durable store on (params.store.enabled), every HostOutage in the plan
+  // becomes a real crash: at the window's end the party's in-memory state
+  // is wiped and rebuilt from its latest snapshot plus WAL-tail replay.
+  void attach_faults(net::FaultInjector* injector);
   // Reliable-transport transfers still awaiting their ack (0 when idle or
   // when reliable_email_transport is off).
   std::size_t pending_transfers() const noexcept { return transfers_.size(); }
+
+  // --- Durable store (params.store; see src/store) --------------------------
+  // Crashes `host` (an ISP index or bank_host()) for `down_for`: the
+  // network isolates it for the window, and at restart its state is
+  // rebuilt from disk.  Requires params.store.enabled.  Attaches an
+  // internal outage-only fault injector when none is attached yet.
+  void crash_host(std::size_t host, sim::Duration down_for);
+  // Wipes and rebuilds one party from snapshot + WAL replay, right now.
+  // Normally invoked by the crash machinery; public for tests/benches.
+  void recover_host(std::size_t host);
+  // Forces a checkpoint (snapshot + WAL truncation) of one party / all
+  // parties.  No-ops for hosts without a store.
+  void checkpoint_host(std::size_t host);
+  void checkpoint_all();
+  // The party's Checkpointer, or nullptr when the store is off (or the
+  // host is legacy).  Bank lives at bank_index().
+  store::Checkpointer* host_store(std::size_t host) noexcept {
+    return host < stores_.size() ? stores_[host].get() : nullptr;
+  }
+  std::size_t bank_index() const noexcept { return bank_host(); }
+  // Crash recoveries performed via the durable store.
+  std::uint64_t state_recoveries() const noexcept { return state_recoveries_; }
 
   // --- Time ----------------------------------------------------------------
   void run_for(sim::Duration d);
@@ -195,6 +218,11 @@ class ZmailSystem {
   void pump_all();
   std::size_t bank_host() const noexcept { return params_.n_isps; }
 
+  // Durable store plumbing (all no-ops when params_.store.enabled is off).
+  void open_store(std::size_t host);
+  void rebuild_from_store(std::size_t host);
+  void maybe_checkpoint(std::size_t host);
+
   // Reliable email transport (ARQ): framing, retransmit timer, dedupe.
   void start_transfer(std::size_t from_isp, std::size_t to_isp,
                       crypto::Bytes&& email, std::size_t sender_user);
@@ -221,6 +249,16 @@ class ZmailSystem {
   Sample latency_;
   EPenny in_flight_paid_ = 0;
   bool snapshots_enabled_ = false;
+
+  // Durable store state (all empty/null when params_.store.enabled is off,
+  // so disabled runs construct nothing and schedule nothing extra).
+  std::vector<std::unique_ptr<store::Checkpointer>> stores_;  // bank last
+  std::vector<std::uint64_t> isp_ctor_seed_;  // per-slot construction seeds
+  std::function<bool(const net::EmailMessage&)> spam_filter_;  // reinstalled
+  net::FaultInjector* faults_ = nullptr;  // whatever attach_faults() saw last
+  std::unique_ptr<net::FaultInjector> crash_faults_;  // crash_host() fallback
+  std::uint64_t state_recoveries_ = 0;
+  std::uint64_t bank_ckpt_seq_ = 0;  // bank round already checkpointed
 
   // Reliable-transport state (empty/idle unless reliable_email_transport).
   std::unordered_map<std::uint64_t, PendingTransfer> transfers_;

@@ -83,6 +83,9 @@ struct FaultCounters {
   std::uint64_t partitioned = 0;   // sends swallowed by an active partition
   std::uint64_t outage_lost = 0;   // datagrams lost to a crashed host
   std::uint64_t outage_deferred = 0;  // re-queued past a restart instead
+  // Host restarts that rebuilt party state from the durable store
+  // (snapshot + WAL replay); bumped by the harness, not the injector.
+  std::uint64_t state_recoveries = 0;
 
   std::uint64_t total_injected() const noexcept {
     return dropped + duplicated + reordered + corrupted + truncated +
@@ -121,6 +124,12 @@ class FaultInjector {
   sim::SimTime down_until(sim::SimTime now, HostId h) const noexcept;
   void note_outage_loss() noexcept { ++counters_.outage_lost; }
   void note_outage_deferral() noexcept { ++counters_.outage_deferred; }
+  void note_state_recovery() noexcept { ++counters_.state_recoveries; }
+
+  // Adds a crash window after construction (ZmailSystem::crash_host injects
+  // ad-hoc outages this way).  Takes effect for all later fate decisions;
+  // safe mid-run because outages are consulted per datagram, not cached.
+  void add_outage(const HostOutage& o) { plan_.outages.push_back(o); }
 
   // Payload mutators (no-ops on empty payloads).
   void corrupt_payload(crypto::Bytes& payload);

@@ -1,0 +1,114 @@
+// Per-party durability: WAL + snapshot + recovery orchestration.
+//
+// A Checkpointer owns one party's on-disk pair
+//
+//   <dir>/<party>.zwal    append-only command log (store/wal.hpp)
+//   <dir>/<party>.zsnap   latest full-state snapshot (store/snapshot.hpp)
+//
+// and is deliberately generic: the party hands it opaque state blobs and
+// replay callbacks, so this layer knows nothing about Bank/Isp internals
+// and `zmail_store` stays below `zmail_core` in the link graph.
+//
+// Lifecycle:
+//   open()        — open/create both files; scan + trim the WAL tail
+//   wal()         — the sink the party logs commands to
+//   checkpoint()  — atomically write a snapshot covering all logged
+//                   commands, then truncate the WAL behind it
+//   simulate_crash() — drop un-fsynced WAL buffer (models process death)
+//   recover()     — load snapshot (if any), replay the WAL tail, report
+//                   what happened; stops *cleanly* at a torn tail
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "crypto/bytes.hpp"
+#include "store/snapshot.hpp"
+#include "store/status.hpp"
+#include "store/wal.hpp"
+
+namespace zmail::store {
+
+// Durability knobs for a simulation run.  Lives here (not core/config.hpp)
+// so benches and tests can drive a Checkpointer without pulling in core.
+struct StoreConfig {
+  bool enabled = false;        // off ⇒ zero store objects, zero overhead
+  std::string dir;             // directory for <party>.zwal/.zsnap files
+  // Records per group commit: 1 = sync every append (strict durability);
+  // N > 1 batches, trading the un-synced tail on crash for throughput.
+  std::uint32_t group_commit_records = 1;
+  bool fsync_data = true;      // issue fsync(2) barriers at sync points
+  // Extra periodic checkpoint cadence in sim microseconds (0 = only at
+  // protocol-driven boundaries: ISP quiesce flush, bank round close).
+  std::int64_t checkpoint_interval_us = 0;
+  bool checkpoint_at_snapshot = true;  // checkpoint at quiesce boundaries
+};
+
+struct RecoveryStats {
+  bool snapshot_loaded = false;
+  StoreStatus snapshot_status = StoreStatus::kNotFound;
+  StoreStatus wal_status = StoreStatus::kNotFound;
+  std::uint64_t wal_records_replayed = 0;
+  Lsn recovered_lsn = 0;       // last applied LSN (0 = nothing)
+  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t wal_bytes = 0;
+};
+
+class Checkpointer {
+ public:
+  struct Stats {
+    std::uint64_t checkpoints = 0;
+    std::uint64_t last_snapshot_bytes = 0;
+    std::uint64_t wal_records_truncated = 0;
+  };
+
+  Checkpointer() = default;
+
+  // Opens `<dir>/<party>.zwal` for appending (creating it if absent).  The
+  // snapshot file is only touched by checkpoint()/recover().
+  bool open(const StoreConfig& cfg, const std::string& party,
+            std::string* error = nullptr);
+  bool is_open() const { return wal_.is_open(); }
+
+  WalWriter& wal() { return wal_; }
+  const WalWriter& wal() const { return wal_; }
+
+  // Writes a snapshot of `state` (one kStateSection blob) covering every
+  // command logged so far, then truncates the WAL behind it.  Single-
+  // threaded simulation makes snapshot+truncate atomic: both happen within
+  // one event, and a modeled crash can only land between events.
+  bool checkpoint(const crypto::Bytes& state, std::uint64_t sim_time_us,
+                  std::string* error = nullptr);
+
+  // Models process death: the un-synced WAL tail vanishes.
+  void simulate_crash() { wal_.simulate_crash(); }
+
+  // Rebuilds party state from disk.  `restore` installs a snapshot state
+  // blob; `replay` applies one logged command.  Neither is called when the
+  // corresponding file is absent (fresh party).  A torn/corrupt WAL tail
+  // is not an error — replay simply stops at the last valid record, which
+  // is exactly the crash contract.  Returns false only on unrecoverable
+  // problems (unreadable snapshot, unknown snapshot version, WAL/snapshot
+  // LSN mismatch).
+  bool recover(const std::function<void(const crypto::Bytes&)>& restore,
+               const std::function<void(std::uint8_t, const crypto::Bytes&)>& replay,
+               RecoveryStats* stats = nullptr, std::string* error = nullptr);
+
+  const Stats& stats() const { return stats_; }
+  const std::string& wal_path() const { return wal_path_; }
+  const std::string& snapshot_path() const { return snap_path_; }
+
+ private:
+  StoreConfig cfg_;
+  std::string wal_path_;
+  std::string snap_path_;
+  WalWriter wal_;
+  Stats stats_;
+  std::uint64_t records_at_last_ckpt_ = 0;
+};
+
+// Creates `dir` (and parents) if needed.  Returns false on failure.
+bool ensure_dir(const std::string& dir, std::string* error = nullptr);
+
+}  // namespace zmail::store

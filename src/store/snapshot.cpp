@@ -1,0 +1,127 @@
+#include "store/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "store/crc32c.hpp"
+
+namespace zmail::store {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'Z', 'S', 'N', 'P'};
+constexpr std::size_t kHeaderSize = 36;
+constexpr std::size_t kSectionOverhead = 16;  // id + len + crc
+constexpr std::uint64_t kMaxSection = 1ull << 32;
+
+std::uint32_t read_u32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint64_t>(read_u32(p)) << 32) | read_u32(p + 4);
+}
+
+}  // namespace
+
+crypto::Bytes encode_snapshot(const SnapshotData& snap) {
+  crypto::Bytes out;
+  out.reserve(kHeaderSize);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  crypto::put_u32(out, snap.meta.version);
+  crypto::put_u32(out, snap.meta.features);
+  crypto::put_u64(out, snap.meta.next_lsn);
+  crypto::put_u64(out, snap.meta.sim_time_us);
+  crypto::put_u32(out, static_cast<std::uint32_t>(snap.sections.size()));
+  crypto::put_u32(out, crc32c(out.data(), out.size()));
+  for (const SnapshotSection& s : snap.sections) {
+    crypto::put_u32(out, s.id);
+    crypto::put_u64(out, s.payload.size());
+    out.insert(out.end(), s.payload.begin(), s.payload.end());
+    crypto::put_u32(out, crc32c(s.payload.data(), s.payload.size()));
+  }
+  return out;
+}
+
+StoreStatus decode_snapshot(const crypto::Bytes& file, SnapshotData& out) {
+  out = SnapshotData{};
+  out.sections.clear();
+  if (file.size() < kHeaderSize)
+    return file.empty() ? StoreStatus::kNotFound : StoreStatus::kTruncated;
+  if (std::memcmp(file.data(), kMagic, 4) != 0) return StoreStatus::kBadMagic;
+  if (read_u32(file.data() + 32) != crc32c(file.data(), 32))
+    return StoreStatus::kCorrupt;
+  out.meta.version = read_u32(file.data() + 4);
+  if (out.meta.version != kSnapshotVersion) return StoreStatus::kUnknownVersion;
+  out.meta.features = read_u32(file.data() + 8);
+  if ((out.meta.features & ~kSupportedFeatures) != 0)
+    return StoreStatus::kUnknownFeature;
+  out.meta.next_lsn = read_u64(file.data() + 12);
+  out.meta.sim_time_us = read_u64(file.data() + 20);
+  const std::uint32_t count = read_u32(file.data() + 28);
+
+  std::size_t pos = kHeaderSize;
+  out.sections.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (file.size() - pos < kSectionOverhead) return StoreStatus::kTruncated;
+    SnapshotSection s;
+    s.id = read_u32(file.data() + pos);
+    const std::uint64_t len = read_u64(file.data() + pos + 4);
+    if (len > kMaxSection) return StoreStatus::kCorrupt;
+    if (file.size() - pos - kSectionOverhead < len) return StoreStatus::kTruncated;
+    const std::uint8_t* payload = file.data() + pos + 12;
+    if (read_u32(payload + len) != crc32c(payload, len))
+      return StoreStatus::kCorrupt;
+    s.payload.assign(payload, payload + len);
+    out.sections.push_back(std::move(s));
+    pos += kSectionOverhead + len;
+  }
+  return StoreStatus::kOk;
+}
+
+StoreStatus write_snapshot_file(const std::string& path,
+                                const SnapshotData& snap, bool fsync_data,
+                                std::string* error) {
+  const crypto::Bytes encoded = encode_snapshot(snap);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (error) *error = "snapshot: open " + tmp + ": " + std::strerror(errno);
+    return StoreStatus::kIoError;
+  }
+  std::size_t off = 0;
+  while (off < encoded.size()) {
+    const ssize_t n = ::write(fd, encoded.data() + off, encoded.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error) *error = "snapshot: write: " + std::string(std::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return StoreStatus::kIoError;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (fsync_data) ::fsync(fd);
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error) *error = "snapshot: rename: " + std::string(std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return StoreStatus::kIoError;
+  }
+  return StoreStatus::kOk;
+}
+
+StoreStatus read_snapshot_file(const std::string& path, SnapshotData& out) {
+  crypto::Bytes file;
+  const StoreStatus rs = read_file(path, file);
+  if (rs != StoreStatus::kOk) return rs;
+  return decode_snapshot(file, out);
+}
+
+}  // namespace zmail::store

@@ -1,0 +1,77 @@
+// Versioned binary snapshot format.
+//
+// A snapshot is a full serialization of one party's settlement state at a
+// quiesce boundary, paired with the WAL position it covers: recovery loads
+// the snapshot, then replays WAL records with lsn >= meta.next_lsn.  (The
+// checkpointer truncates the WAL behind each snapshot, so in practice the
+// whole surviving log replays.)
+//
+// On-disk grammar (all integers big-endian, matching the wire format):
+//
+//   snapshot := header section*
+//   header   := "ZSNP" version:u32 features:u32 next_lsn:u64
+//               sim_time_us:u64 section_count:u32 crc:u32
+//               (36 bytes; crc is CRC32C over the first 32)
+//   section  := id:u32 len:u64 payload:u8[len] crc:u32
+//               (crc is CRC32C over payload)
+//
+// Versioning contract: `version` bumps on any incompatible layout change
+// and readers reject unknown versions with StoreStatus::kUnknownVersion.
+// `features` is a bitmask of *required* capabilities — a reader that does
+// not recognize a set bit must refuse the file (kUnknownFeature) rather
+// than silently ignore data it cannot interpret.  v1 defines no feature
+// bits.  The v1 byte layout is pinned by a golden-file test
+// (tests/store_snapshot_test.cpp); changing it means adding v2, not
+// editing v1.
+//
+// Writes are atomic: encode to `<path>.tmp`, fsync, rename over `path`, so
+// a crash mid-checkpoint leaves the previous snapshot intact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.hpp"
+#include "store/status.hpp"
+#include "store/wal.hpp"
+
+namespace zmail::store {
+
+constexpr std::uint32_t kSnapshotVersion = 1;
+// Feature bits this build understands (none defined in v1).
+constexpr std::uint32_t kSupportedFeatures = 0;
+
+// Section ids.  Each party writes a single kStateSection blob today; the
+// id space leaves room for side tables (metrics, indexes) without a
+// version bump — readers skip recognized-but-unneeded sections.
+constexpr std::uint32_t kStateSection = 1;
+
+struct SnapshotSection {
+  std::uint32_t id = 0;
+  crypto::Bytes payload;
+};
+
+struct SnapshotMeta {
+  std::uint32_t version = kSnapshotVersion;
+  std::uint32_t features = 0;
+  Lsn next_lsn = 1;               // first WAL record NOT covered by this state
+  std::uint64_t sim_time_us = 0;  // simulation clock at checkpoint
+};
+
+struct SnapshotData {
+  SnapshotMeta meta;
+  std::vector<SnapshotSection> sections;
+};
+
+// Pure (de)serialization — the fuzz and golden tests work on buffers.
+crypto::Bytes encode_snapshot(const SnapshotData& snap);
+StoreStatus decode_snapshot(const crypto::Bytes& file, SnapshotData& out);
+
+// Atomic file write (temp + rename) / whole-file read.
+StoreStatus write_snapshot_file(const std::string& path,
+                                const SnapshotData& snap, bool fsync_data,
+                                std::string* error = nullptr);
+StoreStatus read_snapshot_file(const std::string& path, SnapshotData& out);
+
+}  // namespace zmail::store

@@ -1,0 +1,36 @@
+// Typed error codes shared by the durable-store layers (WAL, snapshot,
+// checkpointer).  Recovery code switches on these — "the snapshot is from a
+// future format version" and "the snapshot is damaged" demand different
+// operator responses, so they must not collapse into one bool.
+#pragma once
+
+#include <cstdint>
+
+namespace zmail::store {
+
+enum class StoreStatus : std::uint8_t {
+  kOk = 0,
+  kIoError,          // open/read/write/fsync failed (see errno at call site)
+  kBadMagic,         // file does not start with the expected magic
+  kUnknownVersion,   // format version newer than this build understands
+  kUnknownFeature,   // required feature flag this build does not implement
+  kCorrupt,          // CRC mismatch or self-inconsistent framing
+  kTruncated,        // file ends mid-structure (torn final write)
+  kNotFound,         // no snapshot/WAL file present
+};
+
+inline const char* store_status_name(StoreStatus s) noexcept {
+  switch (s) {
+    case StoreStatus::kOk: return "ok";
+    case StoreStatus::kIoError: return "io-error";
+    case StoreStatus::kBadMagic: return "bad-magic";
+    case StoreStatus::kUnknownVersion: return "unknown-version";
+    case StoreStatus::kUnknownFeature: return "unknown-feature";
+    case StoreStatus::kCorrupt: return "corrupt";
+    case StoreStatus::kTruncated: return "truncated";
+    case StoreStatus::kNotFound: return "not-found";
+  }
+  return "?";
+}
+
+}  // namespace zmail::store

@@ -77,6 +77,23 @@ class Rng {
   // An independent stream; deterministic function of the current state.
   Rng split() noexcept;
 
+  // Full generator state, for durable checkpointing: replaying a logged
+  // command must consume the same deviates the original call drew, so the
+  // cached Box-Muller half is part of the state, not an optimization.
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State save_state() const noexcept {
+    return State{state_, cached_normal_, has_cached_normal_};
+  }
+  void restore_state(const State& st) noexcept {
+    state_ = st.s;
+    cached_normal_ = st.cached_normal;
+    has_cached_normal_ = st.has_cached_normal;
+  }
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;

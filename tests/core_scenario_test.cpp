@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 namespace zmail::core {
 namespace {
 
@@ -227,6 +229,54 @@ TEST(ScenarioRun, BuyRefusalIsAFailure) {
   ASSERT_TRUE(s.has_value());
   ScenarioRunner runner(*s);
   EXPECT_FALSE(runner.run().ok());
+}
+
+// --- The durable-store verbs ---------------------------------------------------
+
+TEST(ScenarioParse, WorldHardenedTransportKeys) {
+  const auto s = Scenario::parse("world isps=2 users=2 retry=1 reliable=1\n");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->params().retry.enabled);
+  EXPECT_TRUE(s->params().reliable_email_transport);
+  const auto off = Scenario::parse("world isps=2 users=2\n");
+  ASSERT_TRUE(off.has_value());
+  EXPECT_FALSE(off->params().retry.enabled);
+  EXPECT_FALSE(off->params().reliable_email_transport);
+}
+
+TEST(ScenarioRun, CrashVerbRequiresTheStore) {
+  const auto s = Scenario::parse(
+      "world isps=2 users=2\n"
+      "crash 0 10m\n");
+  ASSERT_TRUE(s.has_value());
+  ScenarioRunner runner(*s);
+  const ScenarioResult r = runner.run();
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_NE(r.failures[0].message.find("durable store"), std::string::npos);
+}
+
+TEST(ScenarioRun, CrashVerbRecoversFromTheStore) {
+  auto s = Scenario::parse(
+      "world isps=2 users=3 balance=50 limit=100 retry=1 reliable=1\n"
+      "send 0.0 1.1 subject hi\n"
+      "run 10m\n"
+      "snapshot\n"
+      "run 30m\n"
+      "crash 0 15m\n"
+      "crash bank 15m\n"
+      "run 1h\n"
+      "crash 7 10m\n"    // no such host: reported, not asserted
+      "crash bank\n"     // missing duration
+      "expect conservation\n"
+      "expect violations 0\n");
+  ASSERT_TRUE(s.has_value());
+  s->mutable_params().store.enabled = true;
+  s->mutable_params().store.dir = "scenario_crash_test_store";
+  ScenarioRunner runner(*s);
+  const ScenarioResult r = runner.run();
+  EXPECT_EQ(r.failures.size(), 2u);  // exactly the two malformed crash lines
+  EXPECT_EQ(runner.system().state_recoveries(), 2u);
+  std::filesystem::remove_all("scenario_crash_test_store");
 }
 
 }  // namespace

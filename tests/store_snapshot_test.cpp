@@ -1,0 +1,139 @@
+// Snapshot format: the v1 byte layout is pinned by a golden file, unknown
+// versions/features are rejected with typed errors, and the file writer is
+// atomic (temp + rename).
+#include "store/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace zmail::store {
+namespace {
+
+SnapshotData golden_snapshot() {
+  SnapshotData s;
+  s.meta.version = kSnapshotVersion;
+  s.meta.features = 0;
+  s.meta.next_lsn = 0x0102030405060708ull;
+  s.meta.sim_time_us = 1234567890;
+  SnapshotSection sec;
+  sec.id = kStateSection;
+  sec.payload = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x42};
+  s.sections.push_back(sec);
+  return s;
+}
+
+std::string to_hex(const crypto::Bytes& b) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * b.size());
+  for (std::uint8_t v : b) {
+    out.push_back(digits[v >> 4]);
+    out.push_back(digits[v & 0xF]);
+  }
+  return out;
+}
+
+// The v1 on-disk layout, byte for byte.  If this test breaks, the format
+// changed: bump kSnapshotVersion and teach decode_snapshot the old layout
+// instead of editing the golden string.
+TEST(SnapshotGoldenTest, V1ByteLayoutIsPinned) {
+  const crypto::Bytes encoded = encode_snapshot(golden_snapshot());
+  EXPECT_EQ(to_hex(encoded),
+            // magic  version  features next_lsn
+            "5a534e50"
+            "00000001"
+            "00000000"
+            "0102030405060708"
+            // sim_time_us      sections header-crc
+            "00000000499602d2"
+            "00000001"
+            "cebfcd9c"
+            // section: id      len              payload    payload-crc
+            "00000001"
+            "0000000000000006"
+            "deadbeef0042"
+            "fb6bb3d0");
+}
+
+TEST(SnapshotCodecTest, EncodeDecodeRoundTrip) {
+  const SnapshotData in = golden_snapshot();
+  SnapshotData out;
+  ASSERT_EQ(decode_snapshot(encode_snapshot(in), out), StoreStatus::kOk);
+  EXPECT_EQ(out.meta.version, in.meta.version);
+  EXPECT_EQ(out.meta.features, in.meta.features);
+  EXPECT_EQ(out.meta.next_lsn, in.meta.next_lsn);
+  EXPECT_EQ(out.meta.sim_time_us, in.meta.sim_time_us);
+  ASSERT_EQ(out.sections.size(), 1u);
+  EXPECT_EQ(out.sections[0].id, kStateSection);
+  EXPECT_EQ(out.sections[0].payload, in.sections[0].payload);
+}
+
+TEST(SnapshotCodecTest, UnknownVersionIsATypedError) {
+  SnapshotData s = golden_snapshot();
+  s.meta.version = kSnapshotVersion + 1;  // a future format
+  SnapshotData out;
+  EXPECT_EQ(decode_snapshot(encode_snapshot(s), out),
+            StoreStatus::kUnknownVersion);
+}
+
+TEST(SnapshotCodecTest, UnknownFeatureBitIsATypedError) {
+  SnapshotData s = golden_snapshot();
+  s.meta.features = 0x80000000u;  // a feature flag this build predates
+  SnapshotData out;
+  EXPECT_EQ(decode_snapshot(encode_snapshot(s), out),
+            StoreStatus::kUnknownFeature);
+}
+
+TEST(SnapshotCodecTest, DamageIsDetected) {
+  const crypto::Bytes intact = encode_snapshot(golden_snapshot());
+  SnapshotData out;
+
+  crypto::Bytes bad_magic = intact;
+  bad_magic[1] ^= 0xFF;
+  EXPECT_EQ(decode_snapshot(bad_magic, out), StoreStatus::kBadMagic);
+
+  crypto::Bytes bad_header = intact;
+  bad_header[13] ^= 0x01;  // inside next_lsn: header crc must catch it
+  EXPECT_EQ(decode_snapshot(bad_header, out), StoreStatus::kCorrupt);
+
+  crypto::Bytes bad_payload = intact;
+  bad_payload[intact.size() - 5] ^= 0x01;  // last payload byte
+  EXPECT_EQ(decode_snapshot(bad_payload, out), StoreStatus::kCorrupt);
+
+  crypto::Bytes short_file(intact.begin(), intact.begin() + 40);
+  EXPECT_EQ(decode_snapshot(short_file, out), StoreStatus::kTruncated);
+
+  EXPECT_EQ(decode_snapshot(crypto::Bytes{}, out), StoreStatus::kNotFound);
+}
+
+TEST(SnapshotFileTest, WriteReadRoundTripAndMissingFile) {
+  const std::string path = "store_snapshot_test_file.zsnap";
+  std::remove(path.c_str());
+
+  SnapshotData missing;
+  EXPECT_EQ(read_snapshot_file(path, missing), StoreStatus::kNotFound);
+
+  std::string err;
+  ASSERT_EQ(write_snapshot_file(path, golden_snapshot(), true, &err),
+            StoreStatus::kOk)
+      << err;
+  SnapshotData out;
+  ASSERT_EQ(read_snapshot_file(path, out), StoreStatus::kOk);
+  EXPECT_EQ(out.meta.next_lsn, golden_snapshot().meta.next_lsn);
+
+  // A rewrite replaces the file atomically — no .tmp litter on success.
+  SnapshotData second = golden_snapshot();
+  second.meta.sim_time_us = 777;
+  ASSERT_EQ(write_snapshot_file(path, second, true, &err), StoreStatus::kOk);
+  ASSERT_EQ(read_snapshot_file(path, out), StoreStatus::kOk);
+  EXPECT_EQ(out.meta.sim_time_us, 777u);
+  FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp) std::fclose(tmp);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace zmail::store
