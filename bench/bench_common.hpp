@@ -16,6 +16,8 @@
 //       --audit        run the cross-system InvariantAuditor inside replicas
 //       --json PATH    output path                (default BENCH_<name>.json)
 //       --no-json      skip the JSON file
+//       --trace PATH   enable the flight recorder; export to PATH at finish
+//                      (.json → Chrome/Perfetto trace, else compact binary)
 //   - runs parameter grids on the parallel sweep harness (run_sweep), and
 //   - emits BENCH_<name>.json (wall time, checks, merged sweep statistics)
 //     alongside the stdout tables.
@@ -34,6 +36,9 @@
 #include <vector>
 
 #include "sim/sweep.hpp"
+#include "trace/analyze.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 #include "util/json.hpp"
 
 namespace zmail::bench {
@@ -47,6 +52,7 @@ struct Options {
   bool write_json = true;
   std::string json_path;     // empty: BENCH_<name>.json in the working dir
   std::string compare_path;  // previous BENCH_<name>.json to diff against
+  std::string trace_path;    // empty: flight recorder stays off
 };
 
 // Reads a previously written BENCH_<name>.json and returns its wall_seconds,
@@ -77,6 +83,7 @@ class Bench {
   explicit Bench(std::string name, int argc = 0, char** argv = nullptr)
       : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
     parse_args(argc, argv);
+    if (!options_.trace_path.empty()) trace::set_enabled(true);
     json_ = json::Value::object();
     json_["schema"] = "zmail-bench-v1";
     json_["bench"] = name_;
@@ -142,6 +149,17 @@ class Bench {
             .count();
     json_["wall_seconds"] = wall;
     json_["failures"] = failures_;
+    if (!options_.trace_path.empty()) {
+      std::string terr;
+      if (trace::export_current(options_.trace_path, &terr))
+        std::printf("wrote trace %s (%zu events)\n",
+                    options_.trace_path.c_str(), trace::collect().size());
+      else
+        std::fprintf(stderr, "trace export failed: %s\n", terr.c_str());
+      json_["trace_breakdown"] =
+          trace::breakdown_to_json(trace::breakdown(trace::collect()));
+      json_["profiles"] = trace::profiles_to_json();
+    }
     if (!options_.compare_path.empty()) report_compare(wall);
     if (options_.write_json) {
       const std::string path = options_.json_path.empty()
@@ -223,13 +241,15 @@ class Bench {
         options_.write_json = false;
       } else if (std::strcmp(a, "--compare") == 0) {
         options_.compare_path = need_value(i, a);
+      } else if (std::strcmp(a, "--trace") == 0) {
+        options_.trace_path = need_value(i, a);
       } else if (std::strncmp(a, "--benchmark_", 12) == 0) {
         // google-benchmark flags pass through to the micro benches.
       } else {
         std::fprintf(stderr,
                      "unknown flag %s\nusage: %s [--threads N] [--replicas N]"
                      " [--seed S] [--smoke] [--audit] [--json PATH]"
-                     " [--no-json] [--compare BASELINE.json]\n",
+                     " [--no-json] [--compare BASELINE.json] [--trace PATH]\n",
                      a, argc > 0 ? argv[0] : "bench");
         std::exit(2);
       }

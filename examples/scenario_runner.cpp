@@ -28,6 +28,9 @@
 #include "core/obs.hpp"
 #include "core/scenario.hpp"
 #include "sim/sweep.hpp"
+#include "trace/analyze.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 using namespace zmail;
 
@@ -74,20 +77,27 @@ struct Args {
   std::string json_path;
   std::string store_dir;  // non-empty enables the durable store
   sim::Duration checkpoint_interval = 0;
+  std::string trace_path;  // non-empty enables the flight recorder
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [script.zs|-] [--replicas N] [--threads N]"
                " [--seed S] [--json PATH]\n"
-               "       [--store-dir DIR] [--checkpoint-interval DUR]\n"
+               "       [--store-dir DIR] [--checkpoint-interval DUR]"
+               " [--trace PATH]\n"
                "  --store-dir DIR           enable the durable store (WAL +\n"
                "                            snapshots) under DIR; replica k\n"
                "                            writes to DIR/r<k>.  Unlocks the\n"
                "                            script's `crash` verb.\n"
                "  --checkpoint-interval DUR also checkpoint every DUR of\n"
                "                            simulated time (30m, 2h, ...),\n"
-               "                            not just at quiesce boundaries\n",
+               "                            not just at quiesce boundaries\n"
+               "  --trace PATH              record per-message lifecycle spans\n"
+               "                            and export them to PATH (.json =\n"
+               "                            Chrome/Perfetto trace-event format,\n"
+               "                            else compact binary).  Single\n"
+               "                            replica only.\n",
                argv0);
   return 2;
 }
@@ -127,6 +137,10 @@ int main(int argc, char** argv) {
       const auto d = v ? core::parse_duration(v) : std::nullopt;
       if (!d) return usage(argv[0]);
       args.checkpoint_interval = *d;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      const char* v = value();
+      if (!v || !*v) return usage(argv[0]);
+      args.trace_path = v;
     } else if (a[0] == '-' && std::strcmp(a, "-") != 0) {
       return usage(argv[0]);
     } else if (args.script.empty()) {
@@ -154,6 +168,16 @@ int main(int argc, char** argv) {
     std::stringstream ss;
     ss << f.rdbuf();
     text = ss.str();
+  }
+
+  if (!args.trace_path.empty()) {
+    if (args.replicas > 1) {
+      // One recorder, one causal stream: replicas would interleave their
+      // spans into a single unreadable trace.
+      std::fprintf(stderr, "--trace requires --replicas 1\n");
+      return 2;
+    }
+    trace::set_enabled(true);
   }
 
   core::ScenarioError err;
@@ -221,6 +245,22 @@ int main(int argc, char** argv) {
               args.replicas, static_cast<unsigned long long>(failures));
   for (const auto& f : first_failures)
     std::fprintf(stderr, "  line %zu: %s\n", f.line, f.message.c_str());
+
+  if (!args.trace_path.empty()) {
+    const auto events = trace::collect();
+    std::string terr;
+    if (!trace::export_auto(args.trace_path, events, trace::collect_logs(),
+                            &terr)) {
+      std::fprintf(stderr, "trace export failed: %s\n", terr.c_str());
+      return 2;
+    }
+    const trace::ValidationResult v = trace::validate(events);
+    std::printf("wrote trace %s (%zu events, %zu spans, %zu chains%s)\n",
+                args.trace_path.c_str(), events.size(), v.spans_total,
+                v.chains_total, v.ok ? "" : ", INVALID");
+    for (const auto& p : v.problems)
+      std::fprintf(stderr, "  trace: %s\n", p.c_str());
+  }
 
   if (!args.json_path.empty()) {
     json::Value j = json::Value::object();

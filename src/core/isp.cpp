@@ -1,5 +1,6 @@
 #include "core/isp.hpp"
 
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -124,13 +125,16 @@ SendResult Isp::user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
         return SendResult::kShed;
       }
       ++metrics_.emails_sent_noncompliant;
+      if (msg.trace_id != 0)
+        trace::begin(trace::Ev::kQuiesceBuffer, msg.trace_id,
+                     static_cast<std::uint16_t>(index_));
       buffer_.push_back(BufferedSend{dest_isp, std::move(msg), false, kNoUser});
       ++metrics_.emails_buffered_during_quiesce;
       return SendResult::kBuffered;
     }
     ++metrics_.emails_sent_noncompliant;
     outbox_.push_back(Outbound{Outbound::Dest::kIsp, dest_isp, kMsgEmail,
-                               msg.serialize()});
+                               msg.serialize(), kNoUser, msg.trace_id});
     return SendResult::kSentFree;
   }
 
@@ -139,7 +143,7 @@ SendResult Isp::user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
     // the credit entry.  Detected by the bank's verification (Section 4.4).
     ++metrics_.emails_sent_compliant;
     outbox_.push_back(Outbound{Outbound::Dest::kIsp, dest_isp, kMsgEmail,
-                               msg.serialize()});
+                               msg.serialize(), kNoUser, msg.trace_id});
     return SendResult::kSentPaid;
   }
 
@@ -162,6 +166,9 @@ SendResult Isp::user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
     // Section 4.4: "these emails will be buffered and sent right after the
     // timeout expires".  Payment is committed now; the credit entry is
     // recorded at actual transmission so the snapshot stays consistent.
+    if (msg.trace_id != 0)
+      trace::begin(trace::Ev::kQuiesceBuffer, msg.trace_id,
+                   static_cast<std::uint16_t>(index_));
     buffer_.push_back(BufferedSend{dest_isp, std::move(msg), true, s});
     buffered_paid_ += 1;
     ++metrics_.emails_buffered_during_quiesce;
@@ -177,7 +184,7 @@ void Isp::transport_paid_email(std::size_t dest_isp,
   credit_.at(dest_isp) += 1;
   ++metrics_.emails_sent_compliant;
   outbox_.push_back(Outbound{Outbound::Dest::kIsp, dest_isp, kMsgEmail,
-                             msg.serialize(), sender_user});
+                             msg.serialize(), sender_user, msg.trace_id});
 }
 
 void Isp::refund_lost_email(std::size_t sender_user, std::size_t dest_isp,
@@ -206,11 +213,27 @@ void Isp::deliver_locally(std::size_t r, const net::EmailMessage& msg,
   // delivered to the receiver's inbox for human attention" (Section 5).
   if (msg.header(kAckFlagHeader)) {
     ++metrics_.acks_received;
+    if (msg.trace_id != 0) {
+      // Terminal for the acknowledgment's own chain (arg1 = 2 marks
+      // auto-processed, never spooled to an inbox).
+      trace::instant(trace::Ev::kDeliver, msg.trace_id,
+                     static_cast<std::uint16_t>(index_),
+                     static_cast<std::uint64_t>(paid), 2);
+      trace::end(trace::Ev::kMessage, msg.trace_id,
+                 static_cast<std::uint16_t>(index_));
+    }
     if (ack_sink_) ack_sink_(r, msg);
     return;
   }
   ++metrics_.emails_delivered;
   if (junk) ++metrics_.emails_segregated;
+  if (msg.trace_id != 0) {
+    trace::instant(trace::Ev::kDeliver, msg.trace_id,
+                   static_cast<std::uint16_t>(index_),
+                   static_cast<std::uint64_t>(paid), junk ? 1 : 0);
+    trace::end(trace::Ev::kMessage, msg.trace_id,
+               static_cast<std::uint16_t>(index_));
+  }
   if (params_.record_inboxes)
     inboxes_.at(r).push_back(Delivery{msg, junk, paid});
 }
@@ -237,6 +260,14 @@ void Isp::maybe_generate_ack(std::size_t recipient,
       net::make_user_address(index_, recipient), *dist, "Ack",
       msg.header("Message-ID").value_or(""), net::MailClass::kAcknowledgment);
   ack.set_header(kAckFlagHeader, "1");
+  // The acknowledgment is a new message with its own lifecycle span; the
+  // triggering message's id rides in arg0 as the causal parent link (the
+  // parent's root span ends at delivery, which happens before this runs,
+  // so the ack cannot live inside the parent interval).
+  ack.trace_id = trace::next_id();
+  if (ack.trace_id != 0)
+    trace::begin(trace::Ev::kMessage, ack.trace_id,
+                 static_cast<std::uint16_t>(index_), msg.trace_id);
 
   u.balance -= 1;
   ++metrics_.acks_generated;
@@ -253,16 +284,26 @@ void Isp::maybe_generate_ack(std::size_t recipient,
       u.balance += 1;
       --metrics_.acks_generated;
       ++metrics_.emails_shed;
+      if (ack.trace_id != 0) {
+        trace::instant(trace::Ev::kShed, ack.trace_id,
+                       static_cast<std::uint16_t>(index_));
+        trace::end(trace::Ev::kMessage, ack.trace_id,
+                   static_cast<std::uint16_t>(index_));
+      }
       return;
     }
+    if (ack.trace_id != 0)
+      trace::begin(trace::Ev::kQuiesceBuffer, ack.trace_id,
+                   static_cast<std::uint16_t>(index_));
     buffer_.push_back(BufferedSend{dist_isp, std::move(ack), true, recipient});
     buffered_paid_ += 1;
     ++metrics_.emails_buffered_during_quiesce;
     return;
   }
   credit_.at(dist_isp) += 1;
+  const std::uint64_t ack_trace = ack.trace_id;
   outbox_.push_back(Outbound{Outbound::Dest::kIsp, dist_isp, kMsgEmail,
-                             ack.serialize(), recipient});
+                             ack.serialize(), recipient, ack_trace});
 }
 
 void Isp::send_zombie_warning(std::size_t s) {
@@ -306,6 +347,13 @@ void Isp::on_email(std::size_t from_isp, const crypto::Bytes& payload) {
     return;
   }
 
+  // Receive/classify span: covers payment accounting, policy, and the
+  // delivery (or drop) decision for this message.
+  std::optional<trace::SpanScope> classify;
+  if (msg->trace_id != 0)
+    classify.emplace(trace::Ev::kClassify, msg->trace_id,
+                     static_cast<std::uint16_t>(index_));
+
   if (params_.is_compliant(from_isp)) {
     // "compliant[g] -> balance[r] := balance[r] + 1; credit[g] -= 1".
     users_.at(rcpt_user).balance += 1;
@@ -332,12 +380,24 @@ void Isp::on_email(std::size_t from_isp, const crypto::Bytes& payload) {
       break;
     case NonCompliantPolicy::kDiscard:
       ++metrics_.emails_discarded;
+      if (msg->trace_id != 0) {
+        trace::instant(trace::Ev::kDiscard, msg->trace_id,
+                       static_cast<std::uint16_t>(index_));
+        trace::end(trace::Ev::kMessage, msg->trace_id,
+                   static_cast<std::uint16_t>(index_));
+      }
       break;
     case NonCompliantPolicy::kFilter:
       // "require any email from a non-compliant ISP to pass a spam filter".
       // Fail-open when no filter is installed.
       if (filter_ && filter_(*msg)) {
         ++metrics_.emails_filtered_out;
+        if (msg->trace_id != 0) {
+          trace::instant(trace::Ev::kFilterDrop, msg->trace_id,
+                         static_cast<std::uint16_t>(index_));
+          trace::end(trace::Ev::kMessage, msg->trace_id,
+                     static_cast<std::uint16_t>(index_));
+        }
       } else {
         deliver_locally(rcpt_user, *msg, 0, false);
       }
@@ -414,7 +474,8 @@ void Isp::retry_wire(PendingWire& p, sim::SimTime now, std::uint64_t& counter) {
     p.wire = crypto::Bytes{};
     return;
   }
-  outbox_.push_back(Outbound{Outbound::Dest::kBank, 0, p.type, p.wire});
+  outbox_.push_back(
+      Outbound{Outbound::Dest::kBank, 0, p.type, p.wire, kNoUser, p.trace_id});
   ++counter;
   ++p.attempts;
   p.next_at = now + jittered_backoff(p.attempts);
@@ -456,9 +517,16 @@ void Isp::maybe_trade_with_bank(sim::SimTime now) {
     ns1_ = nonce_gen_.next();
     BuyRequest req{buyvalue_, *ns1_};
     ++metrics_.bank_buys_attempted;
+    buy_trace_ = trace::next_id();
+    if (buy_trace_ != 0)
+      trace::begin(trace::Ev::kBankBuy, buy_trace_,
+                   static_cast<std::uint16_t>(index_),
+                   static_cast<std::uint64_t>(buyvalue_));
     Outbound o{Outbound::Dest::kBank, 0, kMsgBuy, {}};
+    o.trace_id = buy_trace_;
     seal_into(bank_pub_, req.serialize(), rng_, env_scratch_, o.payload);
     arm_retry(pending_buy_, kMsgBuy, o.payload, now);
+    pending_buy_.trace_id = buy_trace_;
     outbox_.push_back(std::move(o));
   }
   if (cansell_ && avail_ > params_.maxavail) {
@@ -474,9 +542,16 @@ void Isp::maybe_trade_with_bank(sim::SimTime now) {
     ns2_ = nonce_gen_.next();
     SellRequest req{sellvalue_, *ns2_};
     ++metrics_.bank_sells;
+    sell_trace_ = trace::next_id();
+    if (sell_trace_ != 0)
+      trace::begin(trace::Ev::kBankSell, sell_trace_,
+                   static_cast<std::uint16_t>(index_),
+                   static_cast<std::uint64_t>(sellvalue_));
     Outbound o{Outbound::Dest::kBank, 0, kMsgSell, {}};
+    o.trace_id = sell_trace_;
     seal_into(bank_pub_, req.serialize(), rng_, env_scratch_, o.payload);
     arm_retry(pending_sell_, kMsgSell, o.payload, now);
+    pending_sell_.trace_id = sell_trace_;
     outbox_.push_back(std::move(o));
   }
 }
@@ -501,6 +576,11 @@ void Isp::on_buyreply(const crypto::Bytes& wire) {
   canbuy_ = true;
   pending_buy_.active = false;
   pending_buy_.wire = crypto::Bytes{};
+  if (buy_trace_ != 0) {
+    trace::end(trace::Ev::kBankBuy, buy_trace_,
+               static_cast<std::uint16_t>(index_), reply->accepted ? 1 : 0);
+    buy_trace_ = 0;
+  }
   if (reply->accepted) {
     avail_ += buyvalue_;
     ++metrics_.bank_buys_accepted;
@@ -527,6 +607,11 @@ void Isp::on_sellreply(const crypto::Bytes& wire) {
   cansell_ = true;
   pending_sell_.active = false;
   pending_sell_.wire = crypto::Bytes{};
+  if (sell_trace_ != 0) {
+    trace::end(trace::Ev::kBankSell, sell_trace_,
+               static_cast<std::uint16_t>(index_), 1);
+    sell_trace_ = 0;
+  }
   sellvalue_ = 0;  // already deducted at initiation (see maybe_trade_with_bank)
 }
 
@@ -567,8 +652,13 @@ void Isp::on_quiesce_timeout(sim::SimTime now) {
   // send reply(NCR(B_b, credit)) to bank
   CreditReport report{seq_, credit_};
   Outbound o{Outbound::Dest::kBank, 0, kMsgReply, {}};
+  o.trace_id = trace::next_id();
+  if (o.trace_id != 0)
+    trace::instant(trace::Ev::kCreditReport, o.trace_id,
+                   static_cast<std::uint16_t>(index_), seq_);
   seal_into(bank_pub_, report.serialize(), rng_, env_scratch_, o.payload);
   arm_retry(pending_report_, kMsgReply, o.payload, now);
+  pending_report_.trace_id = o.trace_id;
   outbox_.push_back(std::move(o));
   ++metrics_.snapshots_answered;
 
@@ -581,6 +671,9 @@ void Isp::on_quiesce_timeout(sim::SimTime now) {
   while (!buffer_.empty()) {
     BufferedSend b = std::move(buffer_.front());
     buffer_.pop_front();
+    if (b.msg.trace_id != 0)
+      trace::end(trace::Ev::kQuiesceBuffer, b.msg.trace_id,
+                 static_cast<std::uint16_t>(index_));
     if (b.paid) {
       // Payment was committed at buffer time; the credit entry and the
       // transmission happen now.
@@ -588,7 +681,7 @@ void Isp::on_quiesce_timeout(sim::SimTime now) {
       transport_paid_email(b.dest_isp, b.msg, b.sender_user);
     } else {
       outbox_.push_back(Outbound{Outbound::Dest::kIsp, b.dest_isp, kMsgEmail,
-                                 b.msg.serialize()});
+                                 b.msg.serialize(), kNoUser, b.msg.trace_id});
     }
   }
 }

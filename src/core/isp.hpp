@@ -48,6 +48,10 @@ struct Outbound {
   // The local user whose e-penny paid for this email (kNoUser when unpaid);
   // lets the harness refund the right account if the transfer is abandoned.
   std::size_t sender_user = kNoUser;
+  // Causal trace id of the message or bank exchange this record transports
+  // (zmail::trace); 0 when untracked.  The harness pins it around the
+  // network send so the datagram inherits the chain.
+  std::uint64_t trace_id = 0;
 };
 
 enum class SendResult : std::uint8_t {
@@ -257,6 +261,7 @@ class Isp {
     crypto::Bytes wire;          // cached sealed bytes: retries reuse them
     std::uint32_t attempts = 0;  // sends so far (first send included)
     sim::SimTime next_at = 0;
+    std::uint64_t trace_id = 0;  // exchange's trace id; retries re-join it
   };
 
   void deliver_locally(std::size_t r, const net::EmailMessage& msg,
@@ -312,6 +317,12 @@ class Isp {
   Misbehavior misbehavior_ = Misbehavior::kNone;
   store::WalSink* wal_ = nullptr;
   IspMetrics metrics_;
+  // Open bank-exchange trace spans (zmail::trace).  Deliberately NOT part
+  // of serialize_state: a crash orphans the open span, and the validator's
+  // crash-forgives rule accounts for it; the reply handlers skip the end
+  // emission when the id is 0 (fresh or recovered instance).
+  std::uint64_t buy_trace_ = 0;
+  std::uint64_t sell_trace_ = 0;
   // Scratch buffers for the bank-message envelope path (see
   // core::seal_into): reused across messages so steady-state traffic stops
   // reallocating.

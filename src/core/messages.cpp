@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace zmail::core {
 
 namespace {
@@ -174,12 +176,14 @@ std::optional<crypto::Bytes> unseal(const crypto::RsaKey& key,
 
 void seal_into(const crypto::RsaKey& key, const crypto::Bytes& plaintext,
                Rng& rng, crypto::Envelope& scratch, crypto::Bytes& wire) {
+  ZMAIL_PROF_SCOPE("crypto.seal");
   crypto::ncr_into(key, plaintext, rng, scratch);
   scratch.serialize_into(wire);
 }
 
 bool unseal_into(const crypto::RsaKey& key, const crypto::Bytes& wire,
                  crypto::Envelope& scratch, crypto::Bytes& plain_out) {
+  ZMAIL_PROF_SCOPE("crypto.unseal");
   if (!crypto::Envelope::deserialize_into(wire, scratch)) return false;
   return crypto::dcr_into(key, scratch, plain_out);
 }

@@ -2,10 +2,16 @@
 
 #include "core/bank.hpp"
 #include "core/isp.hpp"
+#include "trace/analyze.hpp"
+#include "trace/trace.hpp"
 
 namespace zmail::obs {
 
-json::Value to_json(const core::IspMetrics& m) {
+const char* schema_name(Schema v) noexcept {
+  return v == Schema::kV2 ? "zmail-obs-v2" : "zmail-obs-v1";
+}
+
+json::Value to_json(const core::IspMetrics& m, Schema v) {
   json::Value j = json::Value::object();
   j["emails_sent_local"] = m.emails_sent_local;
   j["emails_sent_compliant"] = m.emails_sent_compliant;
@@ -29,10 +35,19 @@ json::Value to_json(const core::IspMetrics& m) {
   j["bad_nonce_replies"] = m.bad_nonce_replies;
   j["bad_envelopes"] = m.bad_envelopes;
   j["stale_requests"] = m.stale_requests;
+  if (v == Schema::kV2) {
+    // PR3 fault-recovery counters, folded into the snapshot from v2 on.
+    j["bank_retries"] = m.bank_retries;
+    j["report_retries"] = m.report_retries;
+    j["emails_retransmitted"] = m.emails_retransmitted;
+    j["emails_refunded"] = m.emails_refunded;
+    j["emails_shed"] = m.emails_shed;
+    j["duplicate_emails_dropped"] = m.duplicate_emails_dropped;
+  }
   return j;
 }
 
-json::Value to_json(const core::BankMetrics& m) {
+json::Value to_json(const core::BankMetrics& m, Schema v) {
   json::Value j = json::Value::object();
   j["buys_received"] = m.buys_received;
   j["buys_accepted"] = m.buys_accepted;
@@ -43,6 +58,13 @@ json::Value to_json(const core::BankMetrics& m) {
   j["inconsistent_pairs_found"] = m.inconsistent_pairs_found;
   j["bad_envelopes"] = m.bad_envelopes;
   j["stale_reports"] = m.stale_reports;
+  if (v == Schema::kV2) {
+    // Bank idempotency-shield counters (duplicate/stale trade absorption).
+    j["duplicate_buys"] = m.duplicate_buys;
+    j["duplicate_sells"] = m.duplicate_sells;
+    j["stale_trades"] = m.stale_trades;
+    j["snapshot_rerequests"] = m.snapshot_rerequests;
+  }
   j["epennies_minted"] = static_cast<std::int64_t>(m.epennies_minted);
   j["epennies_burned"] = static_cast<std::int64_t>(m.epennies_burned);
   j["settlement_transfers"] = m.settlement_transfers;
@@ -97,7 +119,7 @@ json::Value to_json(const Sample& s) {
   return j;
 }
 
-json::Value snapshot(const core::ZmailSystem& sys) {
+json::Value snapshot(const core::ZmailSystem& sys, Schema v) {
   const core::ZmailParams& p = sys.params();
   json::Value j = json::Value::object();
   j["sim_time"] = static_cast<std::int64_t>(sys.now());
@@ -105,9 +127,9 @@ json::Value snapshot(const core::ZmailSystem& sys) {
   j["users_per_isp"] = static_cast<std::uint64_t>(p.users_per_isp);
   j["compliant_isps"] = static_cast<std::uint64_t>(p.compliant_count());
 
-  j["isp_totals"] = to_json(sys.total_isp_metrics());
+  j["isp_totals"] = to_json(sys.total_isp_metrics(), v);
   j["legacy_totals"] = to_json(sys.total_legacy_stats());
-  j["bank"] = to_json(sys.bank().metrics());
+  j["bank"] = to_json(sys.bank().metrics(), v);
   j["delivery_latency_seconds"] = to_json(sys.delivery_latency());
 
   json::Value& net = j["network"];
@@ -125,7 +147,7 @@ json::Value snapshot(const core::ZmailSystem& sys) {
     e["isp"] = static_cast<std::uint64_t>(i);
     e["compliant"] = p.is_compliant(i);
     if (p.is_compliant(i))
-      e["metrics"] = to_json(sys.isp(i).metrics());
+      e["metrics"] = to_json(sys.isp(i).metrics(), v);
     else
       e["legacy"] = to_json(sys.legacy_stats(i));
     per_isp.push_back(std::move(e));
@@ -136,6 +158,29 @@ json::Value snapshot(const core::ZmailSystem& sys) {
   cons["epennies_in_flight"] =
       static_cast<std::int64_t>(sys.epennies_in_flight());
   cons["holds"] = sys.conservation_holds();
+
+  if (v == Schema::kV2) {
+    const core::ZmailSystem::StoreTotals st = sys.store_totals();
+    json::Value& store = j["store"];
+    store["checkpoints"] = st.checkpoints;
+    store["snapshot_bytes"] = st.snapshot_bytes;
+    store["wal_records_appended"] = st.wal_records_appended;
+    store["wal_records_truncated"] = st.wal_records_truncated;
+    store["wal_bytes_appended"] = st.wal_bytes_appended;
+    store["wal_syncs"] = st.wal_syncs;
+    store["wal_fsyncs"] = st.wal_fsyncs;
+    store["state_recoveries"] = sys.state_recoveries();
+    store["pending_transfers"] =
+        static_cast<std::uint64_t>(sys.pending_transfers());
+
+    // Flight-recorder sections only when the recorder is live; a v2
+    // snapshot of an untraced run omits them rather than emitting zeros.
+    if (trace::enabled()) {
+      j["trace_breakdown"] =
+          trace::breakdown_to_json(trace::breakdown(trace::collect()));
+      j["profiles"] = trace::profiles_to_json();
+    }
+  }
   return j;
 }
 
@@ -145,12 +190,15 @@ void MetricsRegistry::add(std::string name, Provider provider) {
 
 void MetricsRegistry::add_system(std::string name,
                                  const core::ZmailSystem& sys) {
-  add(std::move(name), [&sys] { return zmail::obs::snapshot(sys); });
+  // Captures `this` so the schema chosen via set_schema() — possibly after
+  // registration — governs the export.
+  add(std::move(name),
+      [this, &sys] { return zmail::obs::snapshot(sys, schema_); });
 }
 
 json::Value MetricsRegistry::snapshot() const {
   json::Value j = json::Value::object();
-  j["schema"] = "zmail-obs-v1";
+  j["schema"] = schema_name(schema_);
   for (const auto& [name, provider] : providers_) j[name] = provider();
   return j;
 }

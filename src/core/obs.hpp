@@ -20,8 +20,18 @@
 
 namespace zmail::obs {
 
-json::Value to_json(const core::IspMetrics& m);
-json::Value to_json(const core::BankMetrics& m);
+// Snapshot schema version.  kV1 reproduces the original "zmail-obs-v1"
+// output byte-for-byte (the BENCH_*.json baselines diff against it); kV2
+// ("zmail-obs-v2") folds in the PR3 fault-recovery counters, the PR4 bank
+// idempotency counters, durable-store totals, and — when the flight
+// recorder is enabled — the span-derived per-stage latency breakdown.
+enum class Schema { kV1, kV2 };
+
+// "zmail-obs-v1" / "zmail-obs-v2".
+const char* schema_name(Schema v) noexcept;
+
+json::Value to_json(const core::IspMetrics& m, Schema v = Schema::kV1);
+json::Value to_json(const core::BankMetrics& m, Schema v = Schema::kV1);
 json::Value to_json(const core::LegacyHostStats& s);
 json::Value to_json(const OnlineStats& s);
 json::Value to_json(const Histogram& h);
@@ -30,8 +40,10 @@ json::Value to_json(const Histogram& h);
 json::Value to_json(const Sample& s);
 
 // Whole-system snapshot: aggregate + per-ISP metrics, bank metrics,
-// delivery latency, network totals, conservation status.
-json::Value snapshot(const core::ZmailSystem& sys);
+// delivery latency, network totals, conservation status.  kV2 appends the
+// "store", and (when tracing is on) "trace_breakdown" + "profiles"
+// sections; kV1 is the legacy layout, unchanged.
+json::Value snapshot(const core::ZmailSystem& sys, Schema v = Schema::kV1);
 
 // Named lazy metric sources.  Providers are invoked at snapshot() time, so
 // a registry built before a run observes the state at export, not at
@@ -41,18 +53,26 @@ class MetricsRegistry {
   using Provider = std::function<json::Value()>;
 
   void add(std::string name, Provider provider);
-  // Convenience: registers obs::snapshot(sys).  The system must outlive
-  // the registry's last snapshot() call.
+  // Convenience: registers obs::snapshot(sys, <registry schema>); the
+  // schema is read at snapshot() time, so set_schema() may follow.  The
+  // system must outlive the registry's last snapshot() call.
   void add_system(std::string name, const core::ZmailSystem& sys);
+
+  // Selects the export schema (default kV1, the legacy byte-stable
+  // layout).  Affects the top-level "schema" string and every provider
+  // registered via add_system().
+  void set_schema(Schema v) noexcept { schema_ = v; }
+  Schema schema() const noexcept { return schema_; }
 
   std::size_t size() const noexcept { return providers_.size(); }
 
-  // {"schema": "zmail-obs-v1", "<name>": <provider()>, ...}
+  // {"schema": "zmail-obs-v<N>", "<name>": <provider()>, ...}
   json::Value snapshot() const;
   bool write_file(const std::string& path, std::string* error = nullptr) const;
 
  private:
   std::vector<std::pair<std::string, Provider>> providers_;
+  Schema schema_ = Schema::kV1;
 };
 
 }  // namespace zmail::obs

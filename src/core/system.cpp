@@ -1,5 +1,6 @@
 #include "core/system.hpp"
 
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -177,9 +178,34 @@ SendOutcome ZmailSystem::send_email(net::EmailMessage msg) {
       "addresses must be simulated user addresses (u<k>@isp<i>.example)");
   ZMAIL_ASSERT(from_isp < params_.n_isps && to_isp < params_.n_isps);
 
+  // Root lifecycle span: minted here at submission, ended at a terminal
+  // (deliver / discard / refuse / refund), possibly on another host.  The
+  // id rides the email's optional serialized tail, so the wire bytes are
+  // unchanged whenever tracing is off (next_id() returns 0).
+  if (trace::enabled()) trace::set_sim_now(sim_.now());
+  if (msg.trace_id == 0) msg.trace_id = trace::next_id();
+  const std::uint64_t tid = msg.trace_id;
+  if (tid != 0)
+    trace::begin(trace::Ev::kMessage, tid, static_cast<std::uint16_t>(from_isp),
+                 static_cast<std::uint64_t>(to_isp));
+  trace::Scope tscope(tid);
+
   if (params_.is_compliant(from_isp)) {
     const SendResult r =
         isps_[from_isp]->user_send(from_user, to_isp, to_user, std::move(msg));
+    if (tid != 0) {
+      const auto h = static_cast<std::uint16_t>(from_isp);
+      trace::instant(trace::Ev::kSubmit, tid, h,
+                     static_cast<std::uint64_t>(r));
+      if (SendOutcome::counts_as_refused(r) || r == SendResult::kQuarantined) {
+        trace::instant(trace::Ev::kRefuse, tid, h,
+                       static_cast<std::uint64_t>(r));
+        trace::end(trace::Ev::kMessage, tid, h);
+      } else if (r == SendResult::kShed) {
+        trace::instant(trace::Ev::kShed, tid, h);
+        trace::end(trace::Ev::kMessage, tid, h);
+      }
+    }
     pump_isp(from_isp);
     return SendOutcome::from(r);
   }
@@ -190,8 +216,18 @@ SendOutcome ZmailSystem::send_email(net::EmailMessage msg) {
     ++legacy_[from_isp].stats.emails_received;
     if (msg.truth == net::MailClass::kSpam)
       ++legacy_[from_isp].stats.emails_received_spam;
+    if (tid != 0) {
+      const auto h = static_cast<std::uint16_t>(from_isp);
+      trace::instant(trace::Ev::kDeliver, tid, h, 0,
+                     msg.truth == net::MailClass::kSpam ? 1u : 0u);
+      trace::end(trace::Ev::kMessage, tid, h);
+    }
     return SendOutcome::from(SendResult::kDeliveredLocally);
   }
+  if (tid != 0)
+    trace::instant(trace::Ev::kSubmit, tid,
+                   static_cast<std::uint16_t>(from_isp),
+                   static_cast<std::uint64_t>(SendResult::kSentFree));
   net_.send(from_isp, to_isp, kMsgEmail, msg.serialize());
   return SendOutcome::from(SendResult::kSentFree);
 }
@@ -244,6 +280,7 @@ bool ZmailSystem::buy_epennies(const net::EmailAddress& user, EPenny n) {
   std::size_t i = 0, u = 0;
   if (!net::decode_user_address(user, i, u) || !params_.is_compliant(i))
     return false;
+  if (trace::enabled()) trace::set_sim_now(sim_.now());
   const bool ok = isps_[i]->user_buy(u, n);
   pump_isp(i);
   return ok;
@@ -253,6 +290,7 @@ bool ZmailSystem::sell_epennies(const net::EmailAddress& user, EPenny n) {
   std::size_t i = 0, u = 0;
   if (!net::decode_user_address(user, i, u) || !params_.is_compliant(i))
     return false;
+  if (trace::enabled()) trace::set_sim_now(sim_.now());
   const bool ok = isps_[i]->user_sell(u, n);
   pump_isp(i);
   return ok;
@@ -323,6 +361,13 @@ void ZmailSystem::start_snapshot() {
   // 00:10" — removes the skew.
   auto requests = bank_->start_snapshot();
   if (requests.empty()) return;
+  if (trace::enabled()) {
+    trace::set_sim_now(sim_.now());
+    // Host-scoped (id 0) span over the whole round: request fan-out through
+    // the last report; closed when on_datagram sees the round close.
+    trace::begin(trace::Ev::kSnapshotRound, 0,
+                 static_cast<std::uint16_t>(bank_host()), bank_->seq());
+  }
   const sim::SimTime deadline = sim_.now() + kQuiesceWindow;
   snapshot_deadline_ = deadline;
   for (auto& [isp_index, wire] : requests) {
@@ -370,6 +415,9 @@ void ZmailSystem::maybe_checkpoint(std::size_t host) {
 
 void ZmailSystem::checkpoint_host(std::size_t host) {
   if (host >= stores_.size() || !stores_[host]) return;
+  if (trace::enabled()) trace::set_sim_now(sim_.now());
+  trace::SpanScope ckpt_span(trace::Ev::kCheckpoint, 0,
+                             static_cast<std::uint16_t>(host));
   std::string err;
   const crypto::Bytes state = host == bank_host()
                                   ? bank_->serialize_state()
@@ -378,6 +426,7 @@ void ZmailSystem::checkpoint_host(std::size_t host) {
       stores_[host]->checkpoint(state, static_cast<std::uint64_t>(sim_.now()),
                                 &err),
       err.c_str());
+  ckpt_span.set_end_arg0(stores_[host]->stats().last_snapshot_bytes);
 }
 
 void ZmailSystem::checkpoint_all() {
@@ -416,6 +465,14 @@ void ZmailSystem::rebuild_from_store(std::size_t host) {
   store::RecoveryStats rs;
   std::string err;
   bool ok = false;
+  if (trace::enabled()) trace::set_sim_now(sim_.now());
+  // Span first, guard second: the guard's destructor runs before the
+  // span's, so the kRecovery end still emits.  While the guard lives, WAL
+  // replay can neither mint ids nor emit — a replayed send must not
+  // re-open spans the original execution already recorded.
+  trace::SpanScope recovery_span(trace::Ev::kRecovery, 0,
+                                 static_cast<std::uint16_t>(host));
+  trace::ReplayGuard replay_guard;
   if (host == bank_host()) {
     AuditJournal* journal = bank_->journal();
     bank_ = std::make_unique<Bank>(params_, bank_keys_, seed_ ^ 0xB0B0ULL);
@@ -440,6 +497,7 @@ void ZmailSystem::rebuild_from_store(std::size_t host) {
     if (spam_filter_) isp->set_filter(spam_filter_);
   }
   ZMAIL_ASSERT_MSG(ok, err.c_str());
+  recovery_span.set_end_arg0(rs.wal_records_replayed);
 }
 
 void ZmailSystem::run_for(sim::Duration d) { sim_.run(sim_.now() + d); }
@@ -451,6 +509,10 @@ void ZmailSystem::run_until_quiet(sim::Duration max) {
 void ZmailSystem::pump_isp(std::size_t i) {
   ZMAIL_ASSERT(isps_[i] != nullptr);
   for (Outbound& o : isps_[i]->take_outbox()) {
+    // Restore the causal context the ISP captured when it queued this
+    // outbound, so the datagram (and any ARQ transfer) inherits it even
+    // when the send happens long after submission (quiesce flush, retry).
+    trace::Scope tscope(o.trace_id);
     if (o.dest == Outbound::Dest::kBank) {
       net_.send(i, bank_host(), std::move(o.type), std::move(o.payload));
       continue;
@@ -476,6 +538,11 @@ void ZmailSystem::start_transfer(std::size_t from_isp, std::size_t to_isp,
   t.sender_user = sender_user;
   t.epoch = isps_[from_isp]->seq();
   t.payload = std::move(email);
+  t.trace_id = trace::current();
+  if (t.trace_id != 0)
+    trace::begin(trace::Ev::kTransit, t.trace_id,
+                 static_cast<std::uint16_t>(from_isp),
+                 static_cast<std::uint64_t>(to_isp));
   transfers_.emplace(id, std::move(t));
   transmit_transfer(id);
 }
@@ -486,6 +553,10 @@ void ZmailSystem::transmit_transfer(std::uint64_t id) {
   PendingTransfer& t = it->second;
   ++t.attempts;
   if (t.attempts > 1) isps_[t.from_isp]->note_retransmit();
+  trace::Scope tscope(t.trace_id);
+  if (t.trace_id != 0)
+    trace::instant(trace::Ev::kTransmit, t.trace_id,
+                   static_cast<std::uint16_t>(t.from_isp), t.attempts);
   // Frame: [id][id ^ guard][checksum(email)][email bytes].
   crypto::Bytes wire;
   wire.reserve(24 + t.payload.size());
@@ -520,6 +591,13 @@ void ZmailSystem::abandon_transfer(std::uint64_t id) {
   if (t.sender_user != kNoUser)
     sender.refund_lost_email(t.sender_user, t.to_isp,
                              t.epoch == sender.seq());
+  if (t.trace_id != 0) {
+    const auto h = static_cast<std::uint16_t>(t.from_isp);
+    trace::end(trace::Ev::kTransit, t.trace_id, h, 1);  // 1 = abandoned
+    if (t.sender_user != kNoUser)
+      trace::instant(trace::Ev::kRefund, t.trace_id, h, t.attempts);
+    trace::end(trace::Ev::kMessage, t.trace_id, h);  // lost: terminal here
+  }
   transfers_.erase(it);
 }
 
@@ -533,6 +611,9 @@ void ZmailSystem::handle_reliable_email(std::size_t host,
   if (seen_transfers_.count(id) != 0) {
     // Already delivered; the previous ack must have been lost.  Re-ack.
     if (isps_[host]) isps_[host]->note_duplicate_email();
+    if (trace::current() != 0)
+      trace::instant(trace::Ev::kDuplicateDrop, trace::current(),
+                     static_cast<std::uint16_t>(host), id);
     crypto::Bytes ack;
     crypto::put_u64(ack, id);
     crypto::put_u64(ack, id ^ kIdGuard);
@@ -561,6 +642,12 @@ void ZmailSystem::handle_email_ack(const net::Datagram& d) {
   auto it = transfers_.find(id);
   if (it == transfers_.end()) return;  // duplicate ack
   if (d.from != it->second.to_isp) return;  // not from the receiver
+  const PendingTransfer& t = it->second;
+  if (t.trace_id != 0) {
+    const auto h = static_cast<std::uint16_t>(t.from_isp);
+    trace::instant(trace::Ev::kAck, t.trace_id, h, t.attempts);
+    trace::end(trace::Ev::kTransit, t.trace_id, h, 0);  // 0 = acked
+  }
   transfers_.erase(it);
 }
 
@@ -577,6 +664,12 @@ void ZmailSystem::deliver_via_smtp(std::size_t to_isp, std::size_t from_isp,
   auto msg = net::EmailMessage::deserialize(payload);
   if (!msg) return;
 
+  trace::Scope tscope(msg->trace_id);
+  std::optional<trace::SpanScope> smtp_span;
+  if (msg->trace_id != 0)
+    smtp_span.emplace(trace::Ev::kSmtp, msg->trace_id,
+                      static_cast<std::uint16_t>(to_isp));
+
   std::optional<net::EmailMessage> received;
   net::SmtpServerSession session(
       net::isp_domain(to_isp),
@@ -585,10 +678,16 @@ void ZmailSystem::deliver_via_smtp(std::size_t to_isp, std::size_t from_isp,
       net::smtp_transfer(*msg, net::isp_domain(from_isp), session);
   smtp_bytes_in_.at(to_isp) +=
       xfer.bytes_client_to_server + xfer.bytes_server_to_client;
+  if (smtp_span)
+    smtp_span->set_end_arg0(xfer.bytes_client_to_server +
+                            xfer.bytes_server_to_client);
   if (!xfer.accepted || !received) return;
 
-  // SMTP does not carry the simulation's ground-truth label; restore it.
+  // SMTP does not carry the simulation's ground-truth label — or the trace
+  // id, which lives in the serialized tail the dialogue re-parses away;
+  // restore both.
   received->truth = msg->truth;
+  received->trace_id = msg->trace_id;
 
   if (const auto stamp = received->header("X-Zmail-Sent-At")) {
     try {
@@ -607,6 +706,12 @@ void ZmailSystem::deliver_via_smtp(std::size_t to_isp, std::size_t from_isp,
     ++legacy_[to_isp].stats.emails_received;
     if (received->truth == net::MailClass::kSpam)
       ++legacy_[to_isp].stats.emails_received_spam;
+    if (received->trace_id != 0) {
+      const auto h = static_cast<std::uint16_t>(to_isp);
+      trace::instant(trace::Ev::kDeliver, received->trace_id, h, 0,
+                     received->truth == net::MailClass::kSpam ? 1u : 0u);
+      trace::end(trace::Ev::kMessage, received->trace_id, h);
+    }
   }
 }
 
@@ -622,7 +727,13 @@ void ZmailSystem::on_datagram(std::size_t host, const net::Datagram& d) {
       if (!reply.empty())
         net_.send(bank_host(), g, kMsgSellReply, std::move(reply));
     } else if (d.type == kMsgReply) {
+      const bool was_open = bank_->round_open();
       bank_->on_reply(g, d.payload);
+      if (was_open && !bank_->round_open() && trace::enabled()) {
+        const auto bh = static_cast<std::uint16_t>(bank_host());
+        trace::instant(trace::Ev::kSettle, 0, bh, bank_->seq());
+        trace::end(trace::Ev::kSnapshotRound, 0, bh, bank_->seq());
+      }
       // A round that just closed (seq advanced, no round open) is the
       // bank's snapshot-quiesce boundary: checkpoint once per round.
       if (!stores_.empty() && params_.store.checkpoint_at_snapshot &&
@@ -664,6 +775,23 @@ void ZmailSystem::on_datagram(std::size_t host, const net::Datagram& d) {
     isp.on_request(d.payload);
   }
   pump_isp(host);
+}
+
+ZmailSystem::StoreTotals ZmailSystem::store_totals() const {
+  StoreTotals t;
+  for (const auto& cp : stores_) {
+    if (!cp) continue;
+    const store::Checkpointer::Stats& cs = cp->stats();
+    t.checkpoints += cs.checkpoints;
+    t.snapshot_bytes += cs.last_snapshot_bytes;
+    t.wal_records_truncated += cs.wal_records_truncated;
+    const store::WalWriter::Stats& ws = cp->wal().stats();
+    t.wal_records_appended += ws.records_appended;
+    t.wal_bytes_appended += ws.bytes_appended;
+    t.wal_syncs += ws.syncs;
+    t.wal_fsyncs += ws.fsyncs;
+  }
+  return t;
 }
 
 EPenny ZmailSystem::total_epennies() const {

@@ -148,6 +148,19 @@ class ZmailSystem {
   // Crash recoveries performed via the durable store.
   std::uint64_t state_recoveries() const noexcept { return state_recoveries_; }
 
+  // Field-wise sum of every open store's checkpoint + WAL counters (all
+  // zeros when the durable store is off).  Feeds the obs v2 snapshot.
+  struct StoreTotals {
+    std::uint64_t checkpoints = 0;
+    std::uint64_t snapshot_bytes = 0;  // Σ last_snapshot_bytes over stores
+    std::uint64_t wal_records_truncated = 0;
+    std::uint64_t wal_records_appended = 0;
+    std::uint64_t wal_bytes_appended = 0;
+    std::uint64_t wal_syncs = 0;
+    std::uint64_t wal_fsyncs = 0;
+  };
+  StoreTotals store_totals() const;
+
   // --- Time ----------------------------------------------------------------
   void run_for(sim::Duration d);
   void run_until_quiet(sim::Duration max = 365 * sim::kDay);
@@ -209,6 +222,7 @@ class ZmailSystem {
     std::uint64_t epoch = 0;       // sender's snapshot seq at first transmit
     std::uint32_t attempts = 0;    // transmissions so far
     crypto::Bytes payload;         // clean email bytes kept for retransmit
+    std::uint64_t trace_id = 0;    // causal id of the email riding inside
   };
 
   void on_datagram(std::size_t host, const net::Datagram& d);

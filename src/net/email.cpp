@@ -78,6 +78,9 @@ crypto::Bytes EmailMessage::serialize() const {
   }
   crypto::put_string(b, body);
   crypto::put_u8(b, static_cast<std::uint8_t>(truth));
+  // Optional tail: present only for traced messages, so that runs with
+  // tracing off serialize exactly as they did before tracing existed.
+  if (trace_id != 0) crypto::put_u64(b, trace_id);
   return b;
 }
 
@@ -105,6 +108,8 @@ std::optional<EmailMessage> EmailMessage::deserialize(
   // A flipped bit must not smuggle an out-of-range enum into the system.
   if (truth > static_cast<std::uint8_t>(MailClass::kVirus)) return std::nullopt;
   m.truth = static_cast<MailClass>(truth);
+  if (!r.ok()) return std::nullopt;
+  if (!r.at_end()) m.trace_id = r.get_u64();
   if (!r.ok()) return std::nullopt;
   return m;
 }

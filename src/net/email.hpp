@@ -41,6 +41,11 @@ struct EmailMessage {
   // Simulation ground truth; carried out-of-band, not on the wire.
   MailClass truth = MailClass::kLegitimate;
 
+  // Causal trace id (zmail::trace), minted at send_email when tracing is
+  // on; 0 otherwise.  Serialized as an optional tail that exists only when
+  // nonzero, so untraced runs produce byte-identical wires.
+  std::uint64_t trace_id = 0;
+
   // Header access (first match; header names compare case-insensitively).
   std::optional<std::string> header(std::string_view name) const;
   void set_header(std::string_view name, std::string_view value);

@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include "trace/trace.hpp"
 #include "util/assert.hpp"
 
 namespace zmail::net {
@@ -45,7 +46,12 @@ SendStatus Network::send(HostId from, HostId to, MsgType type,
   }
 
   const FaultInjector::Fate fate = faults_->on_send(sim_.now(), from, to, type);
-  if (fate.drop) return SendStatus::kFaultDropped;
+  if (fate.drop) {
+    trace::instant(trace::Ev::kNetDrop, trace::current(),
+                   static_cast<std::uint16_t>(from),
+                   static_cast<std::uint64_t>(to));
+    return SendStatus::kFaultDropped;
+  }
   if (fate.corrupt) faults_->corrupt_payload(payload);
   if (fate.truncate) faults_->truncate_payload(payload);
   for (std::uint32_t copy = 1; copy < fate.copies; ++copy) {
@@ -89,6 +95,13 @@ void Network::schedule_copy(HostId from, HostId to, MsgType type,
   d.payload = std::move(payload);
   d.from = from;
   d.to = to;
+  // schedule_copy runs synchronously inside send(), so the sender's causal
+  // context is still pinned; carry it to the delivery side.
+  d.trace = trace::current();
+  if (d.trace != 0)
+    trace::instant(trace::Ev::kNetSend, d.trace,
+                   static_cast<std::uint16_t>(from),
+                   static_cast<std::uint64_t>(to));
   sim_.schedule_at(deliver_at, [this, slot] { deliver(slot); });
 }
 
@@ -103,6 +116,9 @@ void Network::deliver(std::uint32_t slot) {
         return;
       }
       faults_->note_outage_loss();
+      trace::instant(trace::Ev::kNetDrop, pending_[slot].trace,
+                     static_cast<std::uint16_t>(pending_[slot].to),
+                     static_cast<std::uint64_t>(pending_[slot].from));
       pending_[slot].payload = crypto::Bytes{};
       free_slots_.push_back(slot);
       return;
@@ -112,6 +128,11 @@ void Network::deliver(std::uint32_t slot) {
   // may grow pending_ and would invalidate a reference into it.
   Datagram d = std::move(pending_[slot]);
   free_slots_.push_back(slot);
+  trace::Scope scope(d.trace);
+  if (d.trace != 0)
+    trace::instant(trace::Ev::kNetDeliver, d.trace,
+                   static_cast<std::uint16_t>(d.to),
+                   static_cast<std::uint64_t>(d.from));
   hosts_[d.to].handler(d);
 }
 

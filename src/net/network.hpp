@@ -45,6 +45,9 @@ struct Datagram {
   crypto::Bytes payload;
   HostId from = kNoHost;
   HostId to = kNoHost;
+  // Causal context captured at send time (zmail::trace); restored around
+  // the delivery handler so receive-side work joins the sender's chain.
+  std::uint64_t trace = 0;
 };
 
 // Latency model: base plus exponential jitter.

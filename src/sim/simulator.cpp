@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "trace/trace.hpp"
+
 namespace zmail::sim {
 
 std::string format_time(SimTime t) {
@@ -89,6 +91,7 @@ void Simulator::CalendarQueue::sort_bucket() {
 }
 
 void Simulator::CalendarQueue::rebase(SimTime t) {
+  ZMAIL_PROF_SCOPE("sim.calendar_rebase");
   // Dump the wheel's live entries into the overflow heap, re-anchor,
   // migrate eligibles.  A drained wheel (the steady state of sparse,
   // coarser-than-the-span schedules, e.g. daily resets) skips the bucket
@@ -185,7 +188,18 @@ bool Simulator::step(SimTime until) {
   Entry e = queue_.pop();
   now_ = e.at;
   ++executed_;
-  e.fn();
+  // Publish the clock for trace-event stamping before dispatch; guarded so
+  // the disabled hot path pays only the enabled() load.
+  if (trace::enabled()) trace::set_sim_now(now_);
+  // Dispatch is the tightest loop in the repo (~10ns/event in the cascade
+  // bench), so even the timer's static-init guard is kept off the
+  // profiling-disabled path.
+  if (trace::profiling_enabled()) {
+    ZMAIL_PROF_SCOPE("sim.dispatch");
+    e.fn();
+  } else {
+    e.fn();
+  }
   return true;
 }
 

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "store/crc32c.hpp"
+#include "trace/trace.hpp"
 
 namespace zmail::store {
 
@@ -226,6 +227,7 @@ Lsn WalWriter::append_record(std::uint8_t type, const crypto::Bytes& payload) {
 
 void WalWriter::sync() {
   if (fd_ < 0 || pending_.empty()) return;
+  ZMAIL_PROF_SCOPE("store.wal_sync");
   std::size_t off = 0;
   while (off < pending_.size()) {
     const ssize_t n = ::write(fd_, pending_.data() + off, pending_.size() - off);

@@ -1,0 +1,50 @@
+// Flight-recorder exporters and loaders.
+//
+// Two on-disk formats, chosen by extension in export_auto():
+//   - *.json  — Chrome trace-event format ("traceEvents" array), loadable in
+//     Perfetto / chrome://tracing.  Spans with a nonzero TraceId become
+//     async "b"/"e" events keyed by the id so one message's chain lines up
+//     on a single track; host-scoped spans (id 0) become per-pid "B"/"E";
+//     instants become "i".  Every record embeds the raw POD fields in
+//     args so the file round-trips losslessly back through load().
+//   - anything else — compact binary ("ZTRC" v1): fixed-width big-endian
+//     records plus a trailing log-mirror section.  ~6x smaller and the
+//     format tools/trace_report prefers.
+//
+// Timestamps in the chrome export are *sim-time* microseconds (the
+// deterministic clock the invariants are stated in); wall_ns rides along in
+// args for wall-clock analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace zmail::trace {
+
+bool export_chrome(const std::string& path,
+                   const std::vector<TraceEvent>& events,
+                   const std::vector<LogRecord>& logs,
+                   std::string* error = nullptr);
+
+bool export_binary(const std::string& path,
+                   const std::vector<TraceEvent>& events,
+                   const std::vector<LogRecord>& logs,
+                   std::string* error = nullptr);
+
+// .json → chrome, otherwise binary.
+bool export_auto(const std::string& path,
+                 const std::vector<TraceEvent>& events,
+                 const std::vector<LogRecord>& logs,
+                 std::string* error = nullptr);
+
+// Convenience: collect() + collect_logs() + export_auto.
+bool export_current(const std::string& path, std::string* error = nullptr);
+
+// Loads either format back (sniffs the "ZTRC" magic, else parses JSON).
+// Events are returned sorted by seq.
+bool load(const std::string& path, std::vector<TraceEvent>* events,
+          std::vector<LogRecord>* logs, std::string* error = nullptr);
+
+}  // namespace zmail::trace
