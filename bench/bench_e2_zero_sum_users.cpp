@@ -51,8 +51,8 @@ void e2a_net_drift() {
   Sample abs_drift, balanced_drift;
   bool exact_identity = true;
   for (std::size_t i = 0; i < p.n_isps; ++i) {
-    for (std::size_t u = 0; u < p.users_per_isp; ++u) {
-      const auto& acc = sys.isp(i).user(u);
+    const core::Isp& isp = sys.isp(i);
+    isp.users().for_each_active([&](core::UserId, core::ConstUserRef acc) {
       const EPenny d = acc.balance - p.initial_user_balance;
       drift.add(static_cast<double>(d));
       abs_drift.add(std::abs(static_cast<double>(d)));
@@ -66,7 +66,7 @@ void e2a_net_drift() {
           std::abs(acc.lifetime_received_paid - acc.lifetime_sent) <=
               volume / 10)
         balanced_drift.add(std::abs(static_cast<double>(d)));
-    }
+    });
   }
 
   Table t({"metric", "value"});
@@ -144,16 +144,17 @@ void e2c_spam_windfall() {
   EPenny victims_gain = 0;
   std::uint64_t victims = 0;
   for (std::size_t i = 0; i < p.n_isps; ++i) {
-    for (std::size_t u = 0; u < p.users_per_isp; ++u) {
+    // Column scan: the windfall question only touches one column.
+    const auto balances = sys.isp(i).users().balances();
+    for (std::size_t u = 0; u < balances.size(); ++u) {
       if (i == cp.spammer_isp && u == cp.spammer_user) continue;
-      const auto& acc = sys.isp(i).user(u);
-      if (acc.balance > p.initial_user_balance) {
-        victims_gain += acc.balance - p.initial_user_balance;
+      if (balances[u] > p.initial_user_balance) {
+        victims_gain += balances[u] - p.initial_user_balance;
         ++victims;
       }
     }
   }
-  const auto& spammer = sys.isp(cp.spammer_isp).user(cp.spammer_user);
+  const auto spammer = sys.isp(cp.spammer_isp).user(cp.spammer_user);
 
   Table t({"metric", "value"});
   t.add_row({"spammer net loss (e-pennies)",

@@ -34,7 +34,7 @@ int main() {
 
   Table balances({"user", "e-penny balance", "sent", "received(paid)"});
   for (std::size_t i = 0; i < 2; ++i) {
-    const core::UserAccount& u = sys.isp(i).user(0);
+    const auto u = sys.isp(i).user(0);
     balances.add_row({net::make_user_address(i, 0).str(),
                       Table::num(u.balance), Table::num(u.lifetime_sent),
                       Table::num(u.lifetime_received_paid)});

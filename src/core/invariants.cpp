@@ -47,15 +47,14 @@ void InvariantAuditor::check_now() {
     if (isp.avail() < 0) fail("negative avail pool at isp " + std::to_string(i));
     if (isp.buffered_paid() < 0)
       fail("negative buffered-paid escrow at isp " + std::to_string(i));
-    for (std::size_t u = 0; u < isp.user_count(); ++u) {
-      const UserAccount& acc = isp.user(u);
+    isp.users().for_each_active([&](UserId u, ConstUserRef acc) {
       if (acc.balance < 0)
-        fail("negative balance: user " + std::to_string(u) + " at isp " +
-             std::to_string(i));
+        fail("negative balance: user " + std::to_string(u.slot()) +
+             " at isp " + std::to_string(i));
       if (acc.sent > acc.limit)
-        fail("daily limit exceeded: user " + std::to_string(u) + " at isp " +
-             std::to_string(i));
-    }
+        fail("daily limit exceeded: user " + std::to_string(u.slot()) +
+             " at isp " + std::to_string(i));
+    });
   }
 
   // 4. nonce non-reuse: duplicates were absorbed, not re-applied.  A

@@ -36,12 +36,8 @@ Isp::Isp(std::size_t index, const ZmailParams& params,
       rng_(secret_seed ^ (0x1517ULL * (index + 1))),
       nonce_gen_(secret_seed * 0x9E3779B97F4A7C15ULL + index) {
   ZMAIL_ASSERT(index < params_.n_isps);
-  users_.resize(params_.users_per_isp);
-  for (auto& u : users_) {
-    u.account = params_.initial_user_account;
-    u.balance = params_.initial_user_balance;
-    u.limit = params_.default_daily_limit;
-  }
+  users_.reset(params_.users_per_isp, params_.initial_user_account,
+               params_.initial_user_balance, params_.default_daily_limit);
   inboxes_.resize(params_.users_per_isp);
   avail_ = params_.initial_avail;
   credit_.assign(params_.n_isps, 0);
@@ -49,12 +45,12 @@ Isp::Isp(std::size_t index, const ZmailParams& params,
 
 EPenny Isp::epennies_held() const noexcept {
   EPenny total = avail_;
-  for (const auto& u : users_) total += u.balance;
+  for (const EPenny b : users_.balances()) total += b;
   return total;
 }
 
-bool Isp::commit_paid_send(std::size_t s) {
-  UserAccount& u = users_.at(s);
+bool Isp::commit_paid_send(UserId s) {
+  const UserRef u = users_.at(s);
   // Paper guard: balance[s] >= 1 AND sent[s] < limit[s].
   if (u.balance < 1) {
     ++metrics_.refused_no_balance;
@@ -74,15 +70,15 @@ bool Isp::commit_paid_send(std::size_t s) {
   return true;
 }
 
-SendResult Isp::user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
+SendResult Isp::user_send(UserId s, std::size_t dest_isp, UserId r,
                           net::EmailMessage msg) {
-  ZMAIL_ASSERT(s < users_.size());
+  ZMAIL_ASSERT(s.slot() < users_.size());
   ZMAIL_ASSERT(dest_isp < params_.n_isps);
   if (wal_) {
     crypto::Bytes p;
-    crypto::put_u64(p, s);
+    crypto::put_u64(p, user_to_wire(s));
     crypto::put_u64(p, dest_isp);
-    crypto::put_u64(p, r);
+    crypto::put_u64(p, user_to_wire(r));
     crypto::put_bytes(p, msg.serialize());
     log_op(WalOp::kUserSend, p);
   }
@@ -92,7 +88,7 @@ SendResult Isp::user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
   if (dest_isp == index_) {
     // Local delivery: the e-penny moves from sender to receiver without
     // touching any channel or the credit array.
-    UserAccount& sender = users_.at(s);
+    const UserRef sender = users_.at(s);
     if (sender.balance < 1) {
       ++metrics_.refused_no_balance;
       return SendResult::kNoBalance;
@@ -108,9 +104,10 @@ SendResult Isp::user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
     sender.balance -= 1;
     sender.sent += 1;
     sender.lifetime_sent += 1;
-    ZMAIL_ASSERT(r < users_.size());
-    users_.at(r).balance += 1;
-    users_.at(r).lifetime_received_paid += 1;
+    ZMAIL_ASSERT(r.slot() < users_.size());
+    const UserRef rcpt = users_.at(r);
+    rcpt.balance += 1;
+    rcpt.lifetime_received_paid += 1;
     ++metrics_.emails_sent_local;
     deliver_locally(r, msg, /*paid=*/1, /*junk=*/false);
     maybe_generate_ack(r, msg);
@@ -128,13 +125,14 @@ SendResult Isp::user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
       if (msg.trace_id != 0)
         trace::begin(trace::Ev::kQuiesceBuffer, msg.trace_id,
                      static_cast<std::uint16_t>(index_));
-      buffer_.push_back(BufferedSend{dest_isp, std::move(msg), false, kNoUser});
+      buffer_.push_back(
+          BufferedSend{dest_isp, std::move(msg), false, kInvalidUser});
       ++metrics_.emails_buffered_during_quiesce;
       return SendResult::kBuffered;
     }
     ++metrics_.emails_sent_noncompliant;
     outbox_.push_back(Outbound{Outbound::Dest::kIsp, dest_isp, kMsgEmail,
-                               msg.serialize(), kNoUser, msg.trace_id});
+                               msg.serialize(), kInvalidUser, msg.trace_id});
     return SendResult::kSentFree;
   }
 
@@ -143,7 +141,7 @@ SendResult Isp::user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
     // the credit entry.  Detected by the bank's verification (Section 4.4).
     ++metrics_.emails_sent_compliant;
     outbox_.push_back(Outbound{Outbound::Dest::kIsp, dest_isp, kMsgEmail,
-                               msg.serialize(), kNoUser, msg.trace_id});
+                               msg.serialize(), kInvalidUser, msg.trace_id});
     return SendResult::kSentPaid;
   }
 
@@ -156,7 +154,7 @@ SendResult Isp::user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
     if (buffer_full()) {
       // Graceful degradation: the quiesce buffer is saturated, so the send
       // is shed and the just-committed payment undone in full.
-      UserAccount& u = users_.at(s);
+      const UserRef u = users_.at(s);
       u.balance += 1;
       u.sent -= 1;
       u.lifetime_sent -= 1;
@@ -180,24 +178,24 @@ SendResult Isp::user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
 
 void Isp::transport_paid_email(std::size_t dest_isp,
                                const net::EmailMessage& msg,
-                               std::size_t sender_user) {
+                               UserId sender_user) {
   credit_.at(dest_isp) += 1;
   ++metrics_.emails_sent_compliant;
   outbox_.push_back(Outbound{Outbound::Dest::kIsp, dest_isp, kMsgEmail,
                              msg.serialize(), sender_user, msg.trace_id});
 }
 
-void Isp::refund_lost_email(std::size_t sender_user, std::size_t dest_isp,
+void Isp::refund_lost_email(UserId sender_user, std::size_t dest_isp,
                             bool same_epoch) {
   if (wal_) {
     crypto::Bytes p;
-    crypto::put_u64(p, sender_user);
+    crypto::put_u64(p, user_to_wire(sender_user));
     crypto::put_u64(p, dest_isp);
     crypto::put_u8(p, same_epoch ? 1 : 0);
     log_op(WalOp::kRefundLost, p);
   }
-  if (sender_user < users_.size()) {
-    UserAccount& u = users_.at(sender_user);
+  if (sender_user.valid() && sender_user.slot() < users_.size()) {
+    const UserRef u = users_.at(sender_user);
     u.balance += 1;
     if (u.sent > 0) u.sent -= 1;
     if (u.lifetime_sent > 0) u.lifetime_sent -= 1;
@@ -206,9 +204,9 @@ void Isp::refund_lost_email(std::size_t sender_user, std::size_t dest_isp,
   ++metrics_.emails_refunded;
 }
 
-void Isp::deliver_locally(std::size_t r, const net::EmailMessage& msg,
+void Isp::deliver_locally(UserId r, const net::EmailMessage& msg,
                           EPenny paid, bool junk) {
-  ZMAIL_ASSERT(r < users_.size());
+  ZMAIL_ASSERT(r.slot() < users_.size());
   // Acknowledgments are "processed automatically, rather than being
   // delivered to the receiver's inbox for human attention" (Section 5).
   if (msg.header(kAckFlagHeader)) {
@@ -235,10 +233,10 @@ void Isp::deliver_locally(std::size_t r, const net::EmailMessage& msg,
                static_cast<std::uint16_t>(index_));
   }
   if (params_.record_inboxes)
-    inboxes_.at(r).push_back(Delivery{msg, junk, paid});
+    inboxes_.at(r.slot()).push_back(Delivery{msg, junk, paid});
 }
 
-void Isp::maybe_generate_ack(std::size_t recipient,
+void Isp::maybe_generate_ack(UserId recipient,
                              const net::EmailMessage& msg) {
   if (!params_.auto_acknowledge_lists) return;
   const auto ack_to = msg.header(kAckHeader);
@@ -253,11 +251,11 @@ void Isp::maybe_generate_ack(std::size_t recipient,
   // it costs the e-penny the list message just delivered, returning it to
   // the distributor.  ISP-generated acks do not count against the user's
   // daily limit (they are bounded by mail *received*, not sent).
-  UserAccount& u = users_.at(recipient);
+  const UserRef u = users_.at(recipient);
   if (u.balance < 1) return;  // cannot happen right after a paid delivery
 
   net::EmailMessage ack = net::make_email(
-      net::make_user_address(index_, recipient), *dist, "Ack",
+      net::make_user_address(index_, recipient.slot()), *dist, "Ack",
       msg.header("Message-ID").value_or(""), net::MailClass::kAcknowledgment);
   ack.set_header(kAckFlagHeader, "1");
   // The acknowledgment is a new message with its own lifecycle span; the
@@ -273,8 +271,9 @@ void Isp::maybe_generate_ack(std::size_t recipient,
   ++metrics_.acks_generated;
 
   if (dist_isp == index_) {
-    users_.at(dist_user).balance += 1;
-    users_.at(dist_user).lifetime_received_paid += 1;
+    const UserRef d = users_.at(dist_user);
+    d.balance += 1;
+    d.lifetime_received_paid += 1;
     deliver_locally(dist_user, ack, 1, false);
     return;
   }
@@ -306,24 +305,25 @@ void Isp::maybe_generate_ack(std::size_t recipient,
                              ack.serialize(), recipient, ack_trace});
 }
 
-void Isp::send_zombie_warning(std::size_t s) {
+void Isp::send_zombie_warning(UserId s) {
   // "the user is sent a warning message to check for viruses" (Section 5).
   // Generated by the ISP itself, free, delivered locally.
   net::EmailMessage warn = net::make_email(
       net::EmailAddress{"postmaster", net::isp_domain(index_)},
-      net::make_user_address(index_, s), "Daily sending limit reached",
+      net::make_user_address(index_, s.slot()), "Daily sending limit reached",
       "Your account hit its daily outgoing-mail limit. If you did not send "
       "this volume of mail, your machine may be infected; please run a "
       "virus scan.",
       net::MailClass::kLegitimate);
   ++metrics_.zombie_warnings_sent;
-  users_.at(s).warnings += 1;
+  const UserRef u = users_.at(s);
+  u.warnings += 1;
   deliver_locally(s, warn, 0, false);
   // Repeat offenders are suspended outright: the account stays blocked
   // across days until the ISP releases it (after disinfection).
   if (params_.quarantine_after_warnings > 0 &&
-      users_.at(s).warnings >= params_.quarantine_after_warnings)
-    users_.at(s).quarantined = true;
+      u.warnings >= params_.quarantine_after_warnings)
+    u.quarantined = true;
 }
 
 void Isp::on_email(std::size_t from_isp, const crypto::Bytes& payload) {
@@ -356,8 +356,9 @@ void Isp::on_email(std::size_t from_isp, const crypto::Bytes& payload) {
 
   if (params_.is_compliant(from_isp)) {
     // "compliant[g] -> balance[r] := balance[r] + 1; credit[g] -= 1".
-    users_.at(rcpt_user).balance += 1;
-    users_.at(rcpt_user).lifetime_received_paid += 1;
+    const UserRef rcpt = users_.at(rcpt_user);
+    rcpt.balance += 1;
+    rcpt.lifetime_received_paid += 1;
     credit_.at(from_isp) -= 1;
     ++metrics_.emails_received_compliant;
     deliver_locally(rcpt_user, *msg, 1, false);
@@ -369,8 +370,7 @@ void Isp::on_email(std::size_t from_isp, const crypto::Bytes& payload) {
   // (the recipient's own choice when set, the ISP default otherwise).
   ++metrics_.emails_received_noncompliant;
   const NonCompliantPolicy policy =
-      users_.at(rcpt_user).policy_override.value_or(
-          params_.noncompliant_policy);
+      users_.policy_or(rcpt_user, params_.noncompliant_policy);
   switch (policy) {
     case NonCompliantPolicy::kAccept:
       deliver_locally(rcpt_user, *msg, 0, false);
@@ -405,16 +405,16 @@ void Isp::on_email(std::size_t from_isp, const crypto::Bytes& payload) {
   }
 }
 
-bool Isp::user_buy(std::size_t t, EPenny x) {
-  ZMAIL_ASSERT(t < users_.size());
+bool Isp::user_buy(UserId t, EPenny x) {
+  ZMAIL_ASSERT(t.slot() < users_.size());
   if (wal_) {
     crypto::Bytes p;
-    crypto::put_u64(p, t);
+    crypto::put_u64(p, user_to_wire(t));
     crypto::put_i64(p, x);
     log_op(WalOp::kUserBuy, p);
   }
   if (x <= 0) return false;
-  UserAccount& u = users_.at(t);
+  const UserRef u = users_.at(t);
   const Money cost = Money::from_epennies(x);
   // Paper guard: account[t] >= x AND avail >= x.
   if (u.account < cost || avail_ < x) return false;
@@ -426,16 +426,16 @@ bool Isp::user_buy(std::size_t t, EPenny x) {
   return true;
 }
 
-bool Isp::user_sell(std::size_t t, EPenny x) {
-  ZMAIL_ASSERT(t < users_.size());
+bool Isp::user_sell(UserId t, EPenny x) {
+  ZMAIL_ASSERT(t.slot() < users_.size());
   if (wal_) {
     crypto::Bytes p;
-    crypto::put_u64(p, t);
+    crypto::put_u64(p, user_to_wire(t));
     crypto::put_i64(p, x);
     log_op(WalOp::kUserSell, p);
   }
   if (x <= 0) return false;
-  UserAccount& u = users_.at(t);
+  const UserRef u = users_.at(t);
   if (u.balance < x) return false;
   const Money value = Money::from_epennies(x);
   u.balance -= x;
@@ -475,7 +475,8 @@ void Isp::retry_wire(PendingWire& p, sim::SimTime now, std::uint64_t& counter) {
     return;
   }
   outbox_.push_back(
-      Outbound{Outbound::Dest::kBank, 0, p.type, p.wire, kNoUser, p.trace_id});
+      Outbound{Outbound::Dest::kBank, 0, p.type, p.wire, kInvalidUser,
+               p.trace_id});
   ++counter;
   ++p.attempts;
   p.next_at = now + jittered_backoff(p.attempts);
@@ -681,18 +682,19 @@ void Isp::on_quiesce_timeout(sim::SimTime now) {
       transport_paid_email(b.dest_isp, b.msg, b.sender_user);
     } else {
       outbox_.push_back(Outbound{Outbound::Dest::kIsp, b.dest_isp, kMsgEmail,
-                                 b.msg.serialize(), kNoUser, b.msg.trace_id});
+                                 b.msg.serialize(), kInvalidUser,
+                                 b.msg.trace_id});
     }
   }
 }
 
-void Isp::release_user(std::size_t u) {
+void Isp::release_user(UserId u) {
   if (wal_) {
     crypto::Bytes p;
-    crypto::put_u64(p, u);
+    crypto::put_u64(p, user_to_wire(u));
     log_op(WalOp::kReleaseUser, p);
   }
-  UserAccount& acc = users_.at(u);
+  const UserRef acc = users_.at(u);
   acc.quarantined = false;
   acc.warnings = 0;
   acc.blocked_today = false;
@@ -700,11 +702,10 @@ void Isp::release_user(std::size_t u) {
 
 void Isp::end_of_day() {
   log_op(WalOp::kEndOfDay);
-  // "At the end of every day, array sent is reset to 0."
-  for (auto& u : users_) {
-    u.sent = 0;
-    u.blocked_today = false;
-  }
+  // "At the end of every day, array sent is reset to 0."  The sent and
+  // blocked_today columns share the population's day arena, so this is one
+  // memset, not a walk over every user.
+  users_.reset_day();
 }
 
 std::vector<Outbound> Isp::take_outbox() {

@@ -25,18 +25,19 @@
 #include "core/config.hpp"
 #include "core/messages.hpp"
 #include "core/metrics.hpp"
-#include "core/user_account.hpp"
+#include "core/population.hpp"
+#include "core/user_id.hpp"
 #include "crypto/nonce.hpp"
 #include "net/email.hpp"
 
 namespace zmail::store {
 class WalSink;
+struct SnapshotSection;
+struct SnapshotData;
+class SnapshotFileView;
 }  // namespace zmail::store
 
 namespace zmail::core {
-
-// "No user" sentinel for Outbound::sender_user (free/unpaid sends).
-constexpr std::size_t kNoUser = static_cast<std::size_t>(-1);
 
 // A message the ISP wants transported; the harness owns actual delivery.
 struct Outbound {
@@ -45,9 +46,10 @@ struct Outbound {
   std::size_t isp_index = 0;  // meaningful when dest == kIsp
   net::MsgType type;
   crypto::Bytes payload;
-  // The local user whose e-penny paid for this email (kNoUser when unpaid);
-  // lets the harness refund the right account if the transfer is abandoned.
-  std::size_t sender_user = kNoUser;
+  // The local user whose e-penny paid for this email (kInvalidUser when
+  // unpaid); lets the harness refund the right account if the transfer is
+  // abandoned.
+  UserId sender_user = kInvalidUser;
   // Causal trace id of the message or bank exchange this record transports
   // (zmail::trace); 0 when untracked.  The harness pins it around the
   // network send so the datagram inherits the chain.
@@ -87,7 +89,7 @@ class Isp {
 
   // --- Section 4.1: sending (the `cansend ->` action) -------------------
   // User `s` of this ISP sends `msg` to user `r` of ISP `dest_isp`.
-  SendResult user_send(std::size_t s, std::size_t dest_isp, std::size_t r,
+  SendResult user_send(UserId s, std::size_t dest_isp, UserId r,
                        net::EmailMessage msg);
 
   // --- Section 4.1: receiving (the `rcv email` action) ------------------
@@ -96,8 +98,8 @@ class Isp {
   void on_email(std::size_t from_isp, const crypto::Bytes& payload);
 
   // --- Section 4.2: user <-> ISP e-penny trades --------------------------
-  bool user_buy(std::size_t t, EPenny x);
-  bool user_sell(std::size_t t, EPenny x);
+  bool user_buy(UserId t, EPenny x);
+  bool user_sell(UserId t, EPenny x);
 
   // --- Section 4.3: ISP <-> bank trades ----------------------------------
   // The two `canbuy ->` / `cansell ->` actions; call periodically.  `now`
@@ -132,14 +134,14 @@ class Isp {
   // the live array and reversed here.  (Abandoning across a snapshot
   // boundary is indistinguishable from ISP misbehaviour to the bank; the
   // default retry-forever transport never abandons.)
-  void refund_lost_email(std::size_t sender_user, std::size_t dest_isp,
+  void refund_lost_email(UserId sender_user, std::size_t dest_isp,
                          bool same_epoch);
 
   // --- Section 5: daily reset + zombie guard -----------------------------
   void end_of_day();
   // Lifts a quarantine (the user cleaned their machine) and resets the
   // warning counter.
-  void release_user(std::size_t u);
+  void release_user(UserId u);
 
   // --- Harness interface --------------------------------------------------
   std::vector<Outbound> take_outbox();
@@ -148,18 +150,30 @@ class Isp {
   // --- Introspection -------------------------------------------------------
   const ZmailParams& params() const noexcept { return params_; }
   std::size_t user_count() const noexcept { return users_.size(); }
-  UserAccount& user(std::size_t u) { return users_.at(u); }
-  const UserAccount& user(std::size_t u) const { return users_.at(u); }
+  // Typed row access.  UserId converts implicitly from an index (like
+  // IspId), so `isp.user(3)` still reads naturally; the returned proxy's
+  // members alias the population's columns, so field reads and writes
+  // (`user(u).balance -= 1`) compile unchanged from the UserAccount days.
+  // The old `UserAccount&`-returning size_t accessor is gone — holding a
+  // row reference across a restore was never safe, and the proxy makes the
+  // column-backed lifetime explicit.
+  UserRef user(UserId u) { return users_.at(u); }
+  ConstUserRef user(UserId u) const { return users_.at(u); }
+  // The whole population: visitation (for_each_active) and column spans
+  // for audit/invariants and benches; per-user policy overrides live here
+  // too (set_policy_override / policy_override).
+  Population& users() noexcept { return users_; }
+  const Population& users() const noexcept { return users_; }
   EPenny avail() const noexcept { return avail_; }
   const std::vector<EPenny>& credit() const noexcept { return credit_; }
   bool cansend() const noexcept { return cansend_; }
   Money till() const noexcept { return till_; }
   std::uint64_t seq() const noexcept { return seq_; }
   const IspMetrics& metrics() const noexcept { return metrics_; }
-  const std::vector<Delivery>& inbox(std::size_t u) const {
-    return inboxes_.at(u);
+  const std::vector<Delivery>& inbox(UserId u) const {
+    return inboxes_.at(u.slot());
   }
-  void clear_inbox(std::size_t u) { inboxes_.at(u).clear(); }
+  void clear_inbox(UserId u) { inboxes_.at(u.slot()).clear(); }
   // E-pennies committed by buffered (not yet transported) sends; free sends
   // to non-compliant destinations buffer without committing an e-penny.
   EPenny buffered_paid() const noexcept { return buffered_paid_; }
@@ -175,7 +189,7 @@ class Isp {
   // an inbox); the mailing-list distributor uses this to track which
   // subscribers acknowledged (Section 5).
   void set_ack_sink(
-      std::function<void(std::size_t user, const net::EmailMessage&)> sink) {
+      std::function<void(UserId user, const net::EmailMessage&)> sink) {
     ack_sink_ = std::move(sink);
   }
   // Sum of user balances + avail pool (for conservation checks).
@@ -228,6 +242,26 @@ class Isp {
   bool restore_state(const crypto::Bytes& state);
   void apply_wal_record(std::uint8_t op, const crypto::Bytes& payload);
 
+  // Columnar ("ZSNP" v2) snapshot rendition: one scalar-state section plus
+  // one raw little-endian section per user column, each with its own CRC.
+  // serialize_state()/restore_state() remain the v1 single-blob rendition
+  // (WAL-era snapshots, tests, and the row-serialization baseline);
+  // checkpoints write sections, and recovery restores them column-direct
+  // from a read-only mapping of the snapshot file.
+  void serialize_sections(std::vector<store::SnapshotSection>& out) const;
+  // A borrowed snapshot section (mmap view or decoded buffer).
+  struct RawSection {
+    std::uint32_t id = 0;
+    const std::uint8_t* data = nullptr;
+    std::size_t size = 0;
+  };
+  bool restore_columnar(const std::vector<RawSection>& sections);
+  // Restores from a whole snapshot of either version: v1 state blobs go
+  // through restore_state(), v2 columnar sections through
+  // restore_columnar() (bulk column copies out of the mapping).
+  bool restore_snapshot(const store::SnapshotFileView& view);
+  bool restore_snapshot(const store::SnapshotData& snap);
+
   // Testing hooks.
   void set_avail(EPenny v) noexcept { avail_ = v; }
   void force_cansend(bool v) noexcept { cansend_ = v; }
@@ -251,7 +285,7 @@ class Isp {
     std::size_t dest_isp;
     net::EmailMessage msg;
     bool paid = false;  // carries a committed e-penny
-    std::size_t sender_user = kNoUser;
+    UserId sender_user = kInvalidUser;
   };
 
   // An ISP->bank wire kept around for retransmission (retry.enabled only).
@@ -264,13 +298,13 @@ class Isp {
     std::uint64_t trace_id = 0;  // exchange's trace id; retries re-join it
   };
 
-  void deliver_locally(std::size_t r, const net::EmailMessage& msg,
+  void deliver_locally(UserId r, const net::EmailMessage& msg,
                        EPenny paid, bool junk);
   void transport_paid_email(std::size_t dest_isp, const net::EmailMessage& msg,
-                            std::size_t sender_user);
-  void maybe_generate_ack(std::size_t recipient, const net::EmailMessage& msg);
-  void send_zombie_warning(std::size_t s);
-  bool commit_paid_send(std::size_t s);  // balance/limit check + decrement
+                            UserId sender_user);
+  void maybe_generate_ack(UserId recipient, const net::EmailMessage& msg);
+  void send_zombie_warning(UserId s);
+  bool commit_paid_send(UserId s);  // balance/limit check + decrement
   bool buffer_full() const noexcept {
     return params_.max_buffered_sends > 0 &&
            buffer_.size() >= params_.max_buffered_sends;
@@ -283,6 +317,11 @@ class Isp {
   void log_op(WalOp op);
   void log_op(WalOp op, const crypto::Bytes& payload);
   void log_misbehavior(Misbehavior m);
+  // Shared tail of both snapshot renditions: everything after the per-user
+  // state (avail/till/credit, protocol flags, buffers, wires, metrics,
+  // RNG/nonce streams).
+  void serialize_scalar_tail(crypto::Bytes& b) const;
+  bool restore_scalar_tail(crypto::ByteReader& r);
 
   std::size_t index_;
   const ZmailParams& params_;
@@ -290,7 +329,7 @@ class Isp {
   Rng rng_;
   crypto::NonceGenerator nonce_gen_;
 
-  std::vector<UserAccount> users_;
+  Population users_;
   std::vector<std::vector<Delivery>> inboxes_;
   EPenny avail_ = 0;
   Money till_;  // real money received from users buying e-pennies
@@ -313,7 +352,7 @@ class Isp {
   PendingWire pending_report_;
   std::vector<Outbound> outbox_;
   std::function<bool(const net::EmailMessage&)> filter_;
-  std::function<void(std::size_t, const net::EmailMessage&)> ack_sink_;
+  std::function<void(UserId, const net::EmailMessage&)> ack_sink_;
   Misbehavior misbehavior_ = Misbehavior::kNone;
   store::WalSink* wal_ = nullptr;
   IspMetrics metrics_;

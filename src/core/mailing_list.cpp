@@ -23,8 +23,8 @@ MailingList::MailingList(ZmailSystem& system, net::EmailAddress distributor,
 
   // Watch the distributor's incoming acknowledgments.
   system_.isp(dist_isp_).set_ack_sink(
-      [this](std::size_t user, const net::EmailMessage& ack) {
-        if (user != dist_user_) return;
+      [this](UserId user, const net::EmailMessage& ack) {
+        if (user != UserId(dist_user_)) return;
         for (auto& sub : subscribers_) {
           if (sub.address == ack.from) {
             ++sub.acks_received;

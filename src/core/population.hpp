@@ -1,0 +1,271 @@
+// Columnar per-user state (struct-of-arrays).
+//
+// Each ISP used to hold a std::vector<UserAccount> of ~100-byte records;
+// the per-message hot path touches only two or three fields of two users,
+// so at realistic populations (10^6..10^7 accounts) every send was a cache
+// miss into a fat row, end-of-day reset walked every record, and snapshots
+// re-serialized twelve fields per user.  Population stores each field as
+// its own dense column indexed by UserId slot:
+//
+//   persistent columns   account[] balance[] limit[] warnings[]
+//                        quarantined[] lifetime_sent[]
+//                        lifetime_received_paid[] lifetime_bought[]
+//                        lifetime_sold[]
+//   day arena            sent[] blocked_today[]   (one allocation; the
+//                        end-of-day reset is a single memset)
+//   sparse side table    policy_override          (std::map keyed by slot:
+//                        rare, and map order keeps serialization
+//                        deterministic)
+//
+// Rows are exposed through UserRef/ConstUserRef proxies whose members are
+// references into the columns, so `isp.user(u).balance -= 1` reads exactly
+// as it did with UserAccount.  The boolean-ish columns are std::uint8_t,
+// not bool: proxies need addressable storage (vector<bool> has none) and
+// raw column snapshots must be able to memcpy bytes back in without
+// manufacturing invalid `bool` object representations.
+//
+// Columns are trivially-copyable arrays on purpose: the "ZSNP" v2 snapshot
+// writes each one as a single raw section (column_data()/column_bytes())
+// and restore bulk-copies them straight out of an mmap'd file
+// (load_column()).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/user_id.hpp"
+#include "util/assert.hpp"
+#include "util/money.hpp"
+
+namespace zmail::core {
+
+// Mutable view of one user's row; members alias the population's columns.
+// Valid while the Population is alive and not reset.
+struct UserRef {
+  Money& account;            // real-money balance with the ISP
+  EPenny& balance;           // e-penny balance
+  std::int64_t& sent;        // paid emails sent today (day arena)
+  std::int64_t& limit;       // max paid emails per day (zombie guard)
+  std::uint8_t& blocked_today;  // 0/1: hit the limit today (day arena)
+  std::int64_t& warnings;    // "check for viruses" warnings sent
+  std::uint8_t& quarantined;  // 0/1: suspended after repeated warnings
+  std::int64_t& lifetime_sent;
+  std::int64_t& lifetime_received_paid;
+  EPenny& lifetime_epennies_bought;
+  EPenny& lifetime_epennies_sold;
+};
+
+struct ConstUserRef {
+  constexpr ConstUserRef(const Money& account_, const EPenny& balance_,
+                         const std::int64_t& sent_, const std::int64_t& limit_,
+                         const std::uint8_t& blocked_today_,
+                         const std::int64_t& warnings_,
+                         const std::uint8_t& quarantined_,
+                         const std::int64_t& lifetime_sent_,
+                         const std::int64_t& lifetime_received_paid_,
+                         const EPenny& lifetime_epennies_bought_,
+                         const EPenny& lifetime_epennies_sold_)
+      : account(account_), balance(balance_), sent(sent_), limit(limit_),
+        blocked_today(blocked_today_), warnings(warnings_),
+        quarantined(quarantined_), lifetime_sent(lifetime_sent_),
+        lifetime_received_paid(lifetime_received_paid_),
+        lifetime_epennies_bought(lifetime_epennies_bought_),
+        lifetime_epennies_sold(lifetime_epennies_sold_) {}
+  // A mutable row view narrows to a const one implicitly, so visitors
+  // written against ConstUserRef also accept rows from a mutable
+  // Population.
+  constexpr ConstUserRef(const UserRef& u)
+      : ConstUserRef(u.account, u.balance, u.sent, u.limit, u.blocked_today,
+                     u.warnings, u.quarantined, u.lifetime_sent,
+                     u.lifetime_received_paid, u.lifetime_epennies_bought,
+                     u.lifetime_epennies_sold) {}
+
+  const Money& account;
+  const EPenny& balance;
+  const std::int64_t& sent;
+  const std::int64_t& limit;
+  const std::uint8_t& blocked_today;
+  const std::int64_t& warnings;
+  const std::uint8_t& quarantined;
+  const std::int64_t& lifetime_sent;
+  const std::int64_t& lifetime_received_paid;
+  const EPenny& lifetime_epennies_bought;
+  const EPenny& lifetime_epennies_sold;
+};
+
+class Population {
+ public:
+  // Column identifiers, in the canonical (snapshot section) order.
+  enum class Column : std::uint8_t {
+    kAccount = 0,
+    kBalance,
+    kSent,
+    kLimit,
+    kBlockedToday,
+    kWarnings,
+    kQuarantined,
+    kLifetimeSent,
+    kLifetimeReceivedPaid,
+    kLifetimeEpenniesBought,
+    kLifetimeEpenniesSold,
+  };
+  static constexpr std::size_t kColumnCount = 11;
+
+  static constexpr std::size_t column_width(Column c) noexcept {
+    return (c == Column::kBlockedToday || c == Column::kQuarantined)
+               ? sizeof(std::uint8_t)
+               : sizeof(std::int64_t);
+  }
+  static const char* column_name(Column c) noexcept;
+
+  Population() = default;
+  Population(const Population&) = delete;
+  Population& operator=(const Population&) = delete;
+  Population(Population&&) noexcept = default;
+  Population& operator=(Population&&) noexcept = default;
+
+  // Re-initializes to `n` users with the given starting row (everything
+  // else zero) and an empty policy side table.
+  void reset(std::size_t n, Money account, EPenny balance, std::int64_t limit);
+
+  std::size_t size() const noexcept { return n_; }
+
+  UserRef at(UserId u) {
+    ZMAIL_ASSERT(u.slot() < n_);
+    const std::size_t i = u.slot();
+    return UserRef{account_[i],       balance_[i],      sent_[i],
+                   limit_[i],         blocked_[i],      warnings_[i],
+                   quarantined_[i],   lifetime_sent_[i],
+                   lifetime_received_paid_[i], lifetime_bought_[i],
+                   lifetime_sold_[i]};
+  }
+  ConstUserRef at(UserId u) const {
+    ZMAIL_ASSERT(u.slot() < n_);
+    const std::size_t i = u.slot();
+    return ConstUserRef{account_[i],       balance_[i],      sent_[i],
+                        limit_[i],         blocked_[i],      warnings_[i],
+                        quarantined_[i],   lifetime_sent_[i],
+                        lifetime_received_paid_[i], lifetime_bought_[i],
+                        lifetime_sold_[i]};
+  }
+
+  // End-of-day reset: zeroes the whole day arena (sent + blocked_today) in
+  // one memset instead of walking a million rows.
+  void reset_day() noexcept {
+    if (day_arena_bytes_ != 0)
+      std::memset(day_arena_.get(), 0, day_arena_bytes_);
+  }
+
+  // --- Sparse per-user policy override (Section 5) ------------------------
+  std::optional<NonCompliantPolicy> policy_override(UserId u) const {
+    const auto it = policy_.find(u.slot());
+    return it == policy_.end() ? std::nullopt
+                               : std::optional<NonCompliantPolicy>(it->second);
+  }
+  // The override when set, `fallback` (the ISP-wide default) otherwise —
+  // the hot-path form: one map lookup, no optional.
+  NonCompliantPolicy policy_or(UserId u, NonCompliantPolicy fallback) const {
+    if (policy_.empty()) return fallback;
+    const auto it = policy_.find(u.slot());
+    return it == policy_.end() ? fallback : it->second;
+  }
+  void set_policy_override(UserId u, std::optional<NonCompliantPolicy> p) {
+    ZMAIL_ASSERT(u.slot() < n_);
+    if (p)
+      policy_[u.slot()] = *p;
+    else
+      policy_.erase(u.slot());
+  }
+  // Slot-ordered (std::map) — serialization iterates this directly.
+  const std::map<std::uint32_t, NonCompliantPolicy>& policy_overrides()
+      const noexcept {
+    return policy_;
+  }
+
+  // --- Visitation ----------------------------------------------------------
+  // Visits every allocated user in slot order as (UserId, ConstUserRef).
+  // "Active" = allocated: populations are dense today; the name reserves
+  // room for tombstoned slots without another audit-layer migration.
+  template <typename Fn>
+  void for_each_active(Fn&& fn) const {
+    for (std::size_t i = 0; i < n_; ++i) fn(UserId(i), at(UserId(i)));
+  }
+  template <typename Fn>
+  void for_each_active(Fn&& fn) {
+    for (std::size_t i = 0; i < n_; ++i) fn(UserId(i), at(UserId(i)));
+  }
+
+  // --- Typed column spans (read-only) --------------------------------------
+  std::span<const Money> accounts() const noexcept { return {account_.data(), n_}; }
+  std::span<const EPenny> balances() const noexcept { return {balance_.data(), n_}; }
+  std::span<const std::int64_t> sent_today() const noexcept { return {sent_, n_}; }
+  std::span<const std::int64_t> limits() const noexcept { return {limit_.data(), n_}; }
+  std::span<const std::uint8_t> blocked_today() const noexcept { return {blocked_, n_}; }
+  std::span<const std::int64_t> warnings() const noexcept { return {warnings_.data(), n_}; }
+  std::span<const std::uint8_t> quarantined() const noexcept { return {quarantined_.data(), n_}; }
+
+  // Generic typed accessor: T must match the column's element type
+  // (Money for kAccount, std::uint8_t for the flag columns, std::int64_t
+  // for everything else).  Asserts on mismatch.
+  template <typename T>
+  std::span<const T> column_span(Column c) const;
+
+  // --- Raw column bytes (snapshot layer) ------------------------------------
+  // Columns are stored little-endian in "ZSNP" v2 sections; on the (LE)
+  // targets this builds for, that is the in-memory representation, so
+  // serialize is one big copy out and restore one big copy in.
+  const std::uint8_t* column_data(Column c) const noexcept;
+  std::size_t column_bytes(Column c) const noexcept {
+    return n_ * column_width(c);
+  }
+  // Bulk restore of one column; `len` must equal column_bytes(c).
+  bool load_column(Column c, const std::uint8_t* data, std::size_t len);
+
+ private:
+  std::uint8_t* mutable_column_data(Column c) noexcept {
+    return const_cast<std::uint8_t*>(column_data(c));
+  }
+
+  std::size_t n_ = 0;
+  std::vector<Money> account_;
+  std::vector<EPenny> balance_;
+  std::vector<std::int64_t> limit_;
+  std::vector<std::int64_t> warnings_;
+  std::vector<std::uint8_t> quarantined_;
+  std::vector<std::int64_t> lifetime_sent_;
+  std::vector<std::int64_t> lifetime_received_paid_;
+  std::vector<EPenny> lifetime_bought_;
+  std::vector<EPenny> lifetime_sold_;
+  // Day arena: sent[n] (i64, 8-aligned at offset 0) then blocked_today[n]
+  // (u8).  reset_day() clears the whole block at once.
+  std::unique_ptr<std::uint8_t[]> day_arena_;
+  std::size_t day_arena_bytes_ = 0;
+  std::int64_t* sent_ = nullptr;
+  std::uint8_t* blocked_ = nullptr;
+  std::map<std::uint32_t, NonCompliantPolicy> policy_;
+};
+
+template <typename T>
+std::span<const T> Population::column_span(Column c) const {
+  static_assert(std::is_same_v<T, Money> || std::is_same_v<T, EPenny> ||
+                    std::is_same_v<T, std::uint8_t>,
+                "columns hold Money, std::int64_t, or std::uint8_t");
+  ZMAIL_ASSERT(column_width(c) == sizeof(T));
+  if constexpr (std::is_same_v<T, Money>) {
+    ZMAIL_ASSERT(c == Column::kAccount);
+    return accounts();
+  } else if constexpr (std::is_same_v<T, std::uint8_t>) {
+    return c == Column::kBlockedToday ? blocked_today() : quarantined();
+  } else {
+    ZMAIL_ASSERT(c != Column::kAccount);
+    return {reinterpret_cast<const EPenny*>(column_data(c)), n_};
+  }
+}
+
+}  // namespace zmail::core

@@ -284,7 +284,7 @@ ScenarioResult ScenarioRunner::run() {
       }
       Isp& isp = system_->isp(static_cast<std::size_t>(*i));
       for (std::size_t u = 0; u < system_->params().users_per_isp; ++u)
-        isp.user(u).policy_override = *policy;
+        isp.users().set_policy_override(UserId(u), *policy);
     } else if (cmd.verb == "expect") {
       if (a.empty()) {
         fail(cmd.line, "empty expect");

@@ -419,13 +419,20 @@ void ZmailSystem::checkpoint_host(std::size_t host) {
   trace::SpanScope ckpt_span(trace::Ev::kCheckpoint, 0,
                              static_cast<std::uint16_t>(host));
   std::string err;
-  const crypto::Bytes state = host == bank_host()
-                                  ? bank_->serialize_state()
-                                  : isps_[host]->serialize_state();
-  ZMAIL_ASSERT_MSG(
-      stores_[host]->checkpoint(state, static_cast<std::uint64_t>(sim_.now()),
-                                &err),
-      err.c_str());
+  const auto sim_us = static_cast<std::uint64_t>(sim_.now());
+  if (host == bank_host()) {
+    ZMAIL_ASSERT_MSG(
+        stores_[host]->checkpoint(bank_->serialize_state(), sim_us, &err),
+        err.c_str());
+  } else {
+    // ISPs checkpoint in the v2 columnar layout: a scalar section plus one
+    // raw section per Population column, each a single sequential write.
+    std::vector<store::SnapshotSection> sections;
+    isps_[host]->serialize_sections(sections);
+    ZMAIL_ASSERT_MSG(
+        stores_[host]->checkpoint_sections(std::move(sections), sim_us, &err),
+        err.c_str());
+  }
   ckpt_span.set_end_arg0(stores_[host]->stats().last_snapshot_bytes);
 }
 
@@ -487,8 +494,12 @@ void ZmailSystem::rebuild_from_store(std::size_t host) {
     isps_[host] = std::make_unique<Isp>(host, params_, bank_keys_.pub,
                                         isp_ctor_seed_[host]);
     Isp* isp = isps_[host].get();
-    ok = cp->recover(
-        [isp](const crypto::Bytes& s) { ZMAIL_ASSERT(isp->restore_state(s)); },
+    // recover_view maps the snapshot read-only; restore_snapshot handles
+    // both v2 (bulk column copies from the mapping) and legacy v1 files.
+    ok = cp->recover_view(
+        [isp](const store::SnapshotFileView& v) {
+          return isp->restore_snapshot(v);
+        },
         [isp](std::uint8_t t, const crypto::Bytes& p) {
           isp->apply_wal_record(t, p);
         },
@@ -529,8 +540,7 @@ void ZmailSystem::pump_isp(std::size_t i) {
 }
 
 void ZmailSystem::start_transfer(std::size_t from_isp, std::size_t to_isp,
-                                 crypto::Bytes&& email,
-                                 std::size_t sender_user) {
+                                 crypto::Bytes&& email, UserId sender_user) {
   const std::uint64_t id = next_transfer_id_++;
   PendingTransfer t;
   t.from_isp = from_isp;
@@ -588,13 +598,13 @@ void ZmailSystem::abandon_transfer(std::uint64_t id) {
   // (misbehaving) send carries no payment, so there is nothing to refund.
   in_flight_paid_ -= 1;
   Isp& sender = *isps_[t.from_isp];
-  if (t.sender_user != kNoUser)
+  if (t.sender_user.valid())
     sender.refund_lost_email(t.sender_user, t.to_isp,
                              t.epoch == sender.seq());
   if (t.trace_id != 0) {
     const auto h = static_cast<std::uint16_t>(t.from_isp);
     trace::end(trace::Ev::kTransit, t.trace_id, h, 1);  // 1 = abandoned
-    if (t.sender_user != kNoUser)
+    if (t.sender_user.valid())
       trace::instant(trace::Ev::kRefund, t.trace_id, h, t.attempts);
     trace::end(trace::Ev::kMessage, t.trace_id, h);  // lost: terminal here
   }
@@ -807,8 +817,7 @@ Money ZmailSystem::total_real_money() const {
     total += bank_->account(i);
     if (!isps_[i]) continue;
     total += isps_[i]->till();
-    for (std::size_t u = 0; u < isps_[i]->user_count(); ++u)
-      total += isps_[i]->user(u).account;
+    for (const Money a : isps_[i]->users().accounts()) total += a;
   }
   return total;
 }

@@ -172,6 +172,10 @@ class ZmailSystem {
   bool is_compliant(IspId i) const { return params_.is_compliant(i.index()); }
   Isp& isp(IspId i);
   const Isp& isp(IspId i) const;
+  // Typed row view of one user at one compliant ISP — shorthand for
+  // isp(i).user(u); both ids convert implicitly from indices.
+  UserRef user(IspId i, UserId u) { return isp(i).user(u); }
+  ConstUserRef user(IspId i, UserId u) const { return isp(i).user(u); }
   Bank& bank() noexcept { return *bank_; }
   const Bank& bank() const noexcept { return *bank_; }
   net::Network& network() noexcept { return net_; }
@@ -218,7 +222,7 @@ class ZmailSystem {
   struct PendingTransfer {
     std::size_t from_isp = 0;
     std::size_t to_isp = 0;
-    std::size_t sender_user = kNoUser;
+    UserId sender_user = kInvalidUser;
     std::uint64_t epoch = 0;       // sender's snapshot seq at first transmit
     std::uint32_t attempts = 0;    // transmissions so far
     crypto::Bytes payload;         // clean email bytes kept for retransmit
@@ -239,7 +243,7 @@ class ZmailSystem {
 
   // Reliable email transport (ARQ): framing, retransmit timer, dedupe.
   void start_transfer(std::size_t from_isp, std::size_t to_isp,
-                      crypto::Bytes&& email, std::size_t sender_user);
+                      crypto::Bytes&& email, UserId sender_user);
   void transmit_transfer(std::uint64_t id);
   void on_retransmit_timer(std::uint64_t id);
   void abandon_transfer(std::uint64_t id);

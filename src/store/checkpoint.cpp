@@ -36,14 +36,13 @@ bool Checkpointer::open(const StoreConfig& cfg, const std::string& party,
   return wal_.open(wal_path_, cfg.group_commit_records, cfg.fsync_data, error);
 }
 
-bool Checkpointer::checkpoint(const crypto::Bytes& state,
-                              std::uint64_t sim_time_us, std::string* error) {
-  SnapshotData snap;
+bool Checkpointer::write_checkpoint(SnapshotData& snap,
+                                    std::uint64_t sim_time_us,
+                                    std::string* error) {
   // next_lsn() (not durable_lsn()) — commands still in the group-commit
-  // buffer are already reflected in `state`, so the snapshot covers them.
+  // buffer are already reflected in the state, so the snapshot covers them.
   snap.meta.next_lsn = wal_.next_lsn();
   snap.meta.sim_time_us = sim_time_us;
-  snap.sections.push_back(SnapshotSection{kStateSection, state});
   const StoreStatus ws =
       write_snapshot_file(snap_path_, snap, cfg_.fsync_data, error);
   if (ws != StoreStatus::kOk) return false;
@@ -54,6 +53,23 @@ bool Checkpointer::checkpoint(const crypto::Bytes& state,
       wal_.stats().records_appended - records_at_last_ckpt_;
   records_at_last_ckpt_ = wal_.stats().records_appended;
   return true;
+}
+
+bool Checkpointer::checkpoint(const crypto::Bytes& state,
+                              std::uint64_t sim_time_us, std::string* error) {
+  SnapshotData snap;
+  snap.sections.push_back(SnapshotSection{kStateSection, state});
+  return write_checkpoint(snap, sim_time_us, error);
+}
+
+bool Checkpointer::checkpoint_sections(std::vector<SnapshotSection> sections,
+                                       std::uint64_t sim_time_us,
+                                       std::string* error) {
+  SnapshotData snap;
+  snap.meta.version = kSnapshotVersionColumnar;
+  snap.meta.features = kFeatureColumnarUserState;
+  snap.sections = std::move(sections);
+  return write_checkpoint(snap, sim_time_us, error);
 }
 
 bool Checkpointer::recover(
@@ -87,6 +103,44 @@ bool Checkpointer::recover(
     return false;
   }
 
+  return replay_wal_tail(replay_from, replay, st, error);
+}
+
+bool Checkpointer::recover_view(
+    const std::function<bool(const SnapshotFileView&)>& restore,
+    const std::function<void(std::uint8_t, const crypto::Bytes&)>& replay,
+    RecoveryStats* stats, std::string* error) {
+  RecoveryStats local;
+  RecoveryStats& st = stats ? *stats : local;
+  st = RecoveryStats{};
+
+  Lsn replay_from = 1;
+  SnapshotFileView view;
+  st.snapshot_status = view.open(snap_path_);
+  if (st.snapshot_status == StoreStatus::kOk) {
+    if (!restore(view)) {
+      if (error) *error = "recover: snapshot sections failed to restore";
+      return false;
+    }
+    st.snapshot_loaded = true;
+    st.snapshot_bytes = view.file_size();
+    st.recovered_lsn = view.meta().next_lsn - 1;
+    replay_from = view.meta().next_lsn;
+  } else if (st.snapshot_status != StoreStatus::kNotFound) {
+    if (error)
+      *error = std::string("recover: snapshot unreadable: ") +
+               store_status_name(st.snapshot_status);
+    return false;
+  }
+  view.close();  // unmap before replay; the restored state owns its copies
+
+  return replay_wal_tail(replay_from, replay, st, error);
+}
+
+bool Checkpointer::replay_wal_tail(
+    Lsn replay_from,
+    const std::function<void(std::uint8_t, const crypto::Bytes&)>& replay,
+    RecoveryStats& st, std::string* error) {
   crypto::Bytes wal_image;
   st.wal_status = read_file(wal_path_, wal_image);
   if (st.wal_status == StoreStatus::kNotFound) return true;  // fresh party

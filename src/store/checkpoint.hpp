@@ -74,12 +74,20 @@ class Checkpointer {
   WalWriter& wal() { return wal_; }
   const WalWriter& wal() const { return wal_; }
 
-  // Writes a snapshot of `state` (one kStateSection blob) covering every
-  // command logged so far, then truncates the WAL behind it.  Single-
-  // threaded simulation makes snapshot+truncate atomic: both happen within
-  // one event, and a modeled crash can only land between events.
+  // Writes a snapshot of `state` (one kStateSection blob, v1 layout)
+  // covering every command logged so far, then truncates the WAL behind
+  // it.  Single-threaded simulation makes snapshot+truncate atomic: both
+  // happen within one event, and a modeled crash can only land between
+  // events.
   bool checkpoint(const crypto::Bytes& state, std::uint64_t sim_time_us,
                   std::string* error = nullptr);
+
+  // Same, but writes the party-provided section list as a v2 columnar
+  // snapshot (kFeatureColumnarUserState set).  Used by ISPs, whose state
+  // serializes as a scalar section plus whole Population columns.
+  bool checkpoint_sections(std::vector<SnapshotSection> sections,
+                           std::uint64_t sim_time_us,
+                           std::string* error = nullptr);
 
   // Models process death: the un-synced WAL tail vanishes.
   void simulate_crash() { wal_.simulate_crash(); }
@@ -95,11 +103,32 @@ class Checkpointer {
                const std::function<void(std::uint8_t, const crypto::Bytes&)>& replay,
                RecoveryStats* stats = nullptr, std::string* error = nullptr);
 
+  // Like recover(), but hands the restore callback a read-only mmap view
+  // of the snapshot file instead of a copied state blob, so columnar
+  // restores bulk-copy sections straight from the mapping.  `restore`
+  // returns false if the snapshot contents are unusable (missing
+  // sections, decode failure), which recover_view treats as fatal.
+  bool recover_view(const std::function<bool(const SnapshotFileView&)>& restore,
+                    const std::function<void(std::uint8_t, const crypto::Bytes&)>& replay,
+                    RecoveryStats* stats = nullptr,
+                    std::string* error = nullptr);
+
   const Stats& stats() const { return stats_; }
   const std::string& wal_path() const { return wal_path_; }
   const std::string& snapshot_path() const { return snap_path_; }
 
  private:
+  // Stamps LSN coverage, writes the snapshot atomically, truncates the
+  // WAL, and updates stats — shared by both checkpoint flavors.
+  bool write_checkpoint(SnapshotData& snap, std::uint64_t sim_time_us,
+                        std::string* error);
+  // Replays the WAL tail from `replay_from` into `replay`; shared by both
+  // recovery flavors.  Updates `st` and tolerates a torn tail.
+  bool replay_wal_tail(
+      Lsn replay_from,
+      const std::function<void(std::uint8_t, const crypto::Bytes&)>& replay,
+      RecoveryStats& st, std::string* error);
+
   StoreConfig cfg_;
   std::string wal_path_;
   std::string snap_path_;

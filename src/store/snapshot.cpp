@@ -1,6 +1,8 @@
 #include "store/snapshot.hpp"
 
 #include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -49,40 +51,60 @@ crypto::Bytes encode_snapshot(const SnapshotData& snap) {
   return out;
 }
 
-StoreStatus decode_snapshot(const crypto::Bytes& file, SnapshotData& out) {
-  out = SnapshotData{};
-  out.sections.clear();
-  if (file.size() < kHeaderSize)
-    return file.empty() ? StoreStatus::kNotFound : StoreStatus::kTruncated;
-  if (std::memcmp(file.data(), kMagic, 4) != 0) return StoreStatus::kBadMagic;
-  if (read_u32(file.data() + 32) != crc32c(file.data(), 32))
-    return StoreStatus::kCorrupt;
-  out.meta.version = read_u32(file.data() + 4);
-  if (out.meta.version != kSnapshotVersion) return StoreStatus::kUnknownVersion;
-  out.meta.features = read_u32(file.data() + 8);
-  if ((out.meta.features & ~kSupportedFeatures) != 0)
+namespace {
+
+// Shared validation walk over a raw snapshot image: header checks, then
+// CRC-verify each section and hand (id, payload ptr, len) to `emit`.  Both
+// the copying decoder and the mmap view are thin wrappers over this.
+template <typename Emit>
+StoreStatus parse_snapshot(const std::uint8_t* data, std::size_t size,
+                           SnapshotMeta& meta, Emit&& emit) {
+  if (size < kHeaderSize)
+    return size == 0 ? StoreStatus::kNotFound : StoreStatus::kTruncated;
+  if (std::memcmp(data, kMagic, 4) != 0) return StoreStatus::kBadMagic;
+  if (read_u32(data + 32) != crc32c(data, 32)) return StoreStatus::kCorrupt;
+  meta.version = read_u32(data + 4);
+  if (meta.version < kSnapshotVersion || meta.version > kMaxSnapshotVersion)
+    return StoreStatus::kUnknownVersion;
+  meta.features = read_u32(data + 8);
+  // Feature acceptance is version-gated: a v1 file may not carry bits that
+  // only v2 defines, even if this build would understand them.
+  if ((meta.features & ~supported_features_for(meta.version)) != 0)
     return StoreStatus::kUnknownFeature;
-  out.meta.next_lsn = read_u64(file.data() + 12);
-  out.meta.sim_time_us = read_u64(file.data() + 20);
-  const std::uint32_t count = read_u32(file.data() + 28);
+  meta.next_lsn = read_u64(data + 12);
+  meta.sim_time_us = read_u64(data + 20);
+  const std::uint32_t count = read_u32(data + 28);
 
   std::size_t pos = kHeaderSize;
-  out.sections.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    if (file.size() - pos < kSectionOverhead) return StoreStatus::kTruncated;
-    SnapshotSection s;
-    s.id = read_u32(file.data() + pos);
-    const std::uint64_t len = read_u64(file.data() + pos + 4);
+    if (size - pos < kSectionOverhead) return StoreStatus::kTruncated;
+    const std::uint32_t id = read_u32(data + pos);
+    const std::uint64_t len = read_u64(data + pos + 4);
     if (len > kMaxSection) return StoreStatus::kCorrupt;
-    if (file.size() - pos - kSectionOverhead < len) return StoreStatus::kTruncated;
-    const std::uint8_t* payload = file.data() + pos + 12;
+    if (size - pos - kSectionOverhead < len) return StoreStatus::kTruncated;
+    const std::uint8_t* payload = data + pos + 12;
     if (read_u32(payload + len) != crc32c(payload, len))
       return StoreStatus::kCorrupt;
-    s.payload.assign(payload, payload + len);
-    out.sections.push_back(std::move(s));
+    emit(id, payload, len);
     pos += kSectionOverhead + len;
   }
   return StoreStatus::kOk;
+}
+
+}  // namespace
+
+StoreStatus decode_snapshot(const crypto::Bytes& file, SnapshotData& out) {
+  out = SnapshotData{};
+  out.sections.clear();
+  return parse_snapshot(
+      file.data(), file.size(), out.meta,
+      [&out](std::uint32_t id, const std::uint8_t* payload,
+             std::uint64_t len) {
+        SnapshotSection s;
+        s.id = id;
+        s.payload.assign(payload, payload + len);
+        out.sections.push_back(std::move(s));
+      });
 }
 
 StoreStatus write_snapshot_file(const std::string& path,
@@ -122,6 +144,55 @@ StoreStatus read_snapshot_file(const std::string& path, SnapshotData& out) {
   const StoreStatus rs = read_file(path, file);
   if (rs != StoreStatus::kOk) return rs;
   return decode_snapshot(file, out);
+}
+
+StoreStatus SnapshotFileView::open(const std::string& path) {
+  close();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0)
+    return errno == ENOENT ? StoreStatus::kNotFound : StoreStatus::kIoError;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return StoreStatus::kIoError;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return StoreStatus::kNotFound;
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) return StoreStatus::kIoError;
+  map_ = static_cast<const std::uint8_t*>(map);
+  map_size_ = size;
+
+  // CRC-verify everything once up front; afterwards section views are
+  // trusted pointers into the mapping.
+  const StoreStatus rs = parse_snapshot(
+      map_, map_size_, meta_,
+      [this](std::uint32_t id, const std::uint8_t* payload,
+             std::uint64_t len) {
+        sections_.push_back(SectionView{id, payload, len});
+      });
+  if (rs != StoreStatus::kOk) close();
+  return rs;
+}
+
+void SnapshotFileView::close() {
+  if (map_ != nullptr)
+    ::munmap(const_cast<std::uint8_t*>(map_), map_size_);
+  map_ = nullptr;
+  map_size_ = 0;
+  sections_.clear();
+  meta_ = SnapshotMeta{};
+}
+
+const SnapshotFileView::SectionView* SnapshotFileView::find(
+    std::uint32_t id) const noexcept {
+  for (const SectionView& s : sections_)
+    if (s.id == id) return &s;
+  return nullptr;
 }
 
 }  // namespace zmail::store

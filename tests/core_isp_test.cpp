@@ -171,7 +171,7 @@ TEST_F(IspTest, PerUserPolicyOverridesIspDefault) {
   params_.noncompliant_policy = NonCompliantPolicy::kAccept;
   Isp isp(0, params_, keys_.pub, 42);
   // User 1 opts into discarding legacy mail; user 2 keeps the default.
-  isp.user(1).policy_override = NonCompliantPolicy::kDiscard;
+  isp.users().set_policy_override(1, NonCompliantPolicy::kDiscard);
   isp.on_email(2, mail(2, 0, 0, 1).serialize());
   isp.on_email(2, mail(2, 0, 0, 2).serialize());
   EXPECT_TRUE(isp.inbox(1).empty());
@@ -184,7 +184,7 @@ TEST_F(IspTest, PerUserSegregationOverride) {
   params_.noncompliant_policy = NonCompliantPolicy::kDiscard;
   Isp isp(0, params_, keys_.pub, 42);
   // User 3 is more permissive than the ISP default.
-  isp.user(3).policy_override = NonCompliantPolicy::kSegregate;
+  isp.users().set_policy_override(3, NonCompliantPolicy::kSegregate);
   isp.on_email(2, mail(2, 0, 0, 3).serialize());
   ASSERT_EQ(isp.inbox(3).size(), 1u);
   EXPECT_TRUE(isp.inbox(3)[0].junk);
@@ -479,14 +479,14 @@ TEST_F(IspTest, IncomingAckIsAbsorbedNotDelivered) {
 }
 
 TEST_F(IspTest, AckSinkObservesAcks) {
-  std::size_t observed_user = 99;
-  isp_.set_ack_sink([&](std::size_t u, const net::EmailMessage&) {
+  UserId observed_user = kInvalidUser;
+  isp_.set_ack_sink([&](UserId u, const net::EmailMessage&) {
     observed_user = u;
   });
   net::EmailMessage ack = mail(1, 3, 0, 1, net::MailClass::kAcknowledgment);
   ack.set_header("X-Zmail-Acknowledgment", "1");
   isp_.on_email(1, ack.serialize());
-  EXPECT_EQ(observed_user, 1u);
+  EXPECT_EQ(observed_user, UserId(1));
 }
 
 TEST_F(IspTest, LocalListDeliveryAlsoAcks) {

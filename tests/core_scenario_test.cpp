@@ -164,7 +164,7 @@ TEST(ScenarioRun, SpamBuySellDayFlip) {
   EXPECT_TRUE(runner.system().is_compliant(2));
   // 30 initial + 20 bought - 5 sold, plus any spam windfall that happened
   // to land on this user.
-  const UserAccount& u = runner.system().isp(1).user(1);
+  const auto u = runner.system().isp(1).user(1);
   EXPECT_EQ(u.balance, 45 + u.lifetime_received_paid);
 }
 

@@ -116,7 +116,7 @@ TEST(Integration, SpammerDrainsOwnBalanceIntoVictims) {
 
   // The spammer paid for every accepted message (some of the random
   // recipients are the spammer itself, which pays that e-penny right back).
-  const UserAccount& spammer = sys.isp(0).user(0);
+  const auto spammer = sys.isp(0).user(0);
   EXPECT_EQ(spammer.balance, p.initial_user_balance - spammer.lifetime_sent +
                                  spammer.lifetime_received_paid);
   EXPECT_EQ(spammer.lifetime_sent, static_cast<std::int64_t>(result.sent));

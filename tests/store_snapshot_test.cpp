@@ -1,6 +1,6 @@
-// Snapshot format: the v1 byte layout is pinned by a golden file, unknown
-// versions/features are rejected with typed errors, and the file writer is
-// atomic (temp + rename).
+// Snapshot format: the v1 and v2 byte layouts are pinned by golden files,
+// unknown versions/features are rejected with typed errors (feature bits
+// version-gated), and the file writer is atomic (temp + rename).
 #include "store/snapshot.hpp"
 
 #include <gtest/gtest.h>
@@ -21,6 +21,25 @@ SnapshotData golden_snapshot() {
   sec.id = kStateSection;
   sec.payload = {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x42};
   s.sections.push_back(sec);
+  return s;
+}
+
+// A v2 columnar snapshot: one scalar section plus one raw column section
+// (payload little-endian, unlike the big-endian container framing).
+SnapshotData golden_columnar_snapshot() {
+  SnapshotData s;
+  s.meta.version = kSnapshotVersionColumnar;
+  s.meta.features = kFeatureColumnarUserState;
+  s.meta.next_lsn = 0x0102030405060708ull;
+  s.meta.sim_time_us = 1234567890;
+  SnapshotSection scalars;
+  scalars.id = kIspScalarsSection;
+  scalars.payload = {0xAA, 0xBB, 0xCC};
+  s.sections.push_back(scalars);
+  SnapshotSection column;
+  column.id = kUserColumnBase;  // column 0 (account)
+  column.payload = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  s.sections.push_back(column);
   return s;
 }
 
@@ -70,10 +89,52 @@ TEST(SnapshotCodecTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(out.sections[0].payload, in.sections[0].payload);
 }
 
+// The v2 columnar layout, also pinned: same container grammar, new
+// version/features words and section ids.  Bump to v3 rather than edit.
+TEST(SnapshotGoldenTest, V2ColumnarByteLayoutIsPinned) {
+  const crypto::Bytes encoded = encode_snapshot(golden_columnar_snapshot());
+  EXPECT_EQ(to_hex(encoded),
+            // magic  version  features next_lsn
+            "5a534e50"
+            "00000002"
+            "00000001"
+            "0102030405060708"
+            // sim_time_us      sections header-crc
+            "00000000499602d2"
+            "00000002"
+            "a2b81f22"
+            // scalar section: id len    payload  crc
+            "00000002"
+            "0000000000000003"
+            "aabbcc"
+            "e18929aa"
+            // column section: id len    payload (LE i64)  crc
+            "00000010"
+            "0000000000000008"
+            "0102030405060708"
+            "46891f81");
+}
+
+TEST(SnapshotCodecTest, ColumnarRoundTrip) {
+  const SnapshotData in = golden_columnar_snapshot();
+  SnapshotData out;
+  ASSERT_EQ(decode_snapshot(encode_snapshot(in), out), StoreStatus::kOk);
+  EXPECT_EQ(out.meta.version, kSnapshotVersionColumnar);
+  EXPECT_EQ(out.meta.features, kFeatureColumnarUserState);
+  ASSERT_EQ(out.sections.size(), 2u);
+  EXPECT_EQ(out.sections[0].id, kIspScalarsSection);
+  EXPECT_EQ(out.sections[1].id, kUserColumnBase);
+  EXPECT_EQ(out.sections[1].payload, in.sections[1].payload);
+}
+
 TEST(SnapshotCodecTest, UnknownVersionIsATypedError) {
   SnapshotData s = golden_snapshot();
-  s.meta.version = kSnapshotVersion + 1;  // a future format
+  s.meta.version = kMaxSnapshotVersion + 1;  // a future format
   SnapshotData out;
+  EXPECT_EQ(decode_snapshot(encode_snapshot(s), out),
+            StoreStatus::kUnknownVersion);
+
+  s.meta.version = 0;  // below the floor is just as unknown
   EXPECT_EQ(decode_snapshot(encode_snapshot(s), out),
             StoreStatus::kUnknownVersion);
 }
@@ -81,6 +142,22 @@ TEST(SnapshotCodecTest, UnknownVersionIsATypedError) {
 TEST(SnapshotCodecTest, UnknownFeatureBitIsATypedError) {
   SnapshotData s = golden_snapshot();
   s.meta.features = 0x80000000u;  // a feature flag this build predates
+  SnapshotData out;
+  EXPECT_EQ(decode_snapshot(encode_snapshot(s), out),
+            StoreStatus::kUnknownFeature);
+
+  SnapshotData v2 = golden_columnar_snapshot();
+  v2.meta.features |= 0x80000000u;
+  EXPECT_EQ(decode_snapshot(encode_snapshot(v2), out),
+            StoreStatus::kUnknownFeature);
+}
+
+// Feature acceptance is gated by version: the columnar bit only exists
+// from v2 on, so a v1 file claiming it is refused even though this build
+// understands the feature.
+TEST(SnapshotCodecTest, FeatureBitsAreVersionGated) {
+  SnapshotData s = golden_snapshot();
+  s.meta.features = kFeatureColumnarUserState;  // bit on a v1 header
   SnapshotData out;
   EXPECT_EQ(decode_snapshot(encode_snapshot(s), out),
             StoreStatus::kUnknownFeature);
@@ -132,6 +209,45 @@ TEST(SnapshotFileTest, WriteReadRoundTripAndMissingFile) {
   FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
   EXPECT_EQ(tmp, nullptr);
   if (tmp) std::fclose(tmp);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileViewTest, MapsSectionsAndValidatesOnOpen) {
+  const std::string path = "store_snapshot_view_test.zsnap";
+  std::remove(path.c_str());
+
+  SnapshotFileView missing;
+  EXPECT_EQ(missing.open(path), StoreStatus::kNotFound);
+
+  const SnapshotData snap = golden_columnar_snapshot();
+  std::string err;
+  ASSERT_EQ(write_snapshot_file(path, snap, true, &err), StoreStatus::kOk)
+      << err;
+
+  SnapshotFileView view;
+  ASSERT_EQ(view.open(path), StoreStatus::kOk);
+  EXPECT_EQ(view.meta().version, kSnapshotVersionColumnar);
+  EXPECT_EQ(view.meta().next_lsn, snap.meta.next_lsn);
+  ASSERT_EQ(view.sections().size(), 2u);
+  const auto* col = view.find(kUserColumnBase);
+  ASSERT_NE(col, nullptr);
+  ASSERT_EQ(col->size, snap.sections[1].payload.size());
+  EXPECT_EQ(crypto::Bytes(col->data, col->data + col->size),
+            snap.sections[1].payload);
+  EXPECT_EQ(view.find(kUserColumnBase + 7), nullptr);
+  view.close();
+
+  // Flip one payload byte on disk: open() must catch it via the section
+  // CRC, not hand out a corrupt mapping.
+  crypto::Bytes raw;
+  ASSERT_EQ(read_file(path, raw), StoreStatus::kOk);
+  raw[raw.size() - 5] ^= 0x01;
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(raw.data(), 1, raw.size(), f), raw.size());
+  std::fclose(f);
+  EXPECT_EQ(view.open(path), StoreStatus::kCorrupt);
+  EXPECT_TRUE(view.sections().empty());
   std::remove(path.c_str());
 }
 
