@@ -72,6 +72,7 @@ struct Args {
   std::string script;  // empty = demo, "-" = stdin
   std::size_t replicas = 1;
   std::size_t threads = 1;
+  std::size_t shards = 1;  // >1 = partition the world on the sharded engine
   std::uint64_t seed = 0;
   bool seed_given = false;
   std::string json_path;
@@ -84,8 +85,14 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [script.zs|-] [--replicas N] [--threads N]"
                " [--seed S] [--json PATH]\n"
-               "       [--store-dir DIR] [--checkpoint-interval DUR]"
-               " [--trace PATH]\n"
+               "       [--shards N] [--store-dir DIR]"
+               " [--checkpoint-interval DUR] [--trace PATH]\n"
+               "  --shards N                partition the world into N shards\n"
+               "                            driven in parallel by the\n"
+               "                            conservative sharded engine; the\n"
+               "                            merged results are bit-identical\n"
+               "                            at any N >= 2 (N = 1 is the exact\n"
+               "                            legacy single-threaded path)\n"
                "  --store-dir DIR           enable the durable store (WAL +\n"
                "                            snapshots) under DIR; replica k\n"
                "                            writes to DIR/r<k>.  Unlocks the\n"
@@ -119,6 +126,10 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v) return usage(argv[0]);
       args.threads = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--shards") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      args.shards = std::max<std::size_t>(1, std::strtoull(v, nullptr, 10));
     } else if (std::strcmp(a, "--seed") == 0) {
       const char* v = value();
       if (!v) return usage(argv[0]);
@@ -216,13 +227,15 @@ int main(int argc, char** argv) {
           st.dir = args.store_dir + "/r" + std::to_string(replica);
           st.checkpoint_interval_us = args.checkpoint_interval;
         }
-        core::ScenarioRunner runner(copy);
+        core::ShardOptions shard_opts;
+        shard_opts.shards = args.shards;
+        core::ScenarioRunner runner(copy, shard_opts);
         const core::ScenarioResult r = runner.run();
         sweep::MetricBag bag;
         bag.count("commands_executed", static_cast<double>(r.commands_executed));
         bag.count("failures", static_cast<double>(r.failures.size()));
         bag.count("replicas_ok", r.ok() ? 1.0 : 0.0);
-        const core::IspMetrics m = runner.system().total_isp_metrics();
+        const core::IspMetrics m = runner.world().total_isp_metrics();
         bag.count("emails_delivered", static_cast<double>(m.emails_delivered));
         bag.count("refused_no_balance",
                   static_cast<double>(m.refused_no_balance));

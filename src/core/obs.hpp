@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "core/sharded_system.hpp"
 #include "core/system.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
@@ -44,6 +45,15 @@ json::Value to_json(const Sample& s);
 // "store", and (when tracing is on) "trace_breakdown" + "profiles"
 // sections; kV1 is the legacy layout, unchanged.
 json::Value snapshot(const core::ZmailSystem& sys, Schema v = Schema::kV1);
+
+// Snapshot of a (possibly sharded) world.  Every exported value is merged
+// partition-independently (summed counters, ISP-index-ordered per-ISP
+// sections, the delivery-latency sample sorted before reduction), so in
+// deterministic mode the emitted JSON is bit-identical at any shard or
+// thread count >= 2; with shards == 1 it matches the whole-system snapshot
+// byte for byte.  kV2 appends an "engine" section (windows, cross-shard
+// messages, barrier audits) when the sharded engine is live.
+json::Value snapshot(const core::ShardedSystem& sys, Schema v = Schema::kV1);
 
 // Named lazy metric sources.  Providers are invoked at snapshot() time, so
 // a registry built before a run observes the state at export, not at

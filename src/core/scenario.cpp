@@ -150,10 +150,10 @@ std::string ScenarioResult::output_text() const {
   return out;
 }
 
-ScenarioRunner::ScenarioRunner(const Scenario& scenario)
+ScenarioRunner::ScenarioRunner(const Scenario& scenario, ShardOptions shards)
     : scenario_(scenario),
-      system_(std::make_unique<ZmailSystem>(scenario.params_,
-                                            scenario.seed_)) {}
+      world_(std::make_unique<ShardedSystem>(scenario.params_, scenario.seed_,
+                                             shards)) {}
 
 ScenarioResult ScenarioRunner::run() {
   ScenarioResult result;
@@ -164,8 +164,8 @@ ScenarioResult ScenarioRunner::run() {
     return net::make_user_address(isp, user);
   };
   auto in_range = [&](const std::pair<std::size_t, std::size_t>& who) {
-    return who.first < system_->params().n_isps &&
-           who.second < system_->params().users_per_isp;
+    return who.first < world_->params().n_isps &&
+           who.second < world_->params().users_per_isp;
   };
 
   for (const auto& cmd : scenario_.commands_) {
@@ -187,7 +187,7 @@ ScenarioResult ScenarioRunner::run() {
       for (std::size_t i = 3; i < a.size(); ++i) subject += " " + a[i];
       if (a.size() > 2 && a[2] == "subject" && a.size() > 3)
         subject = a[3];
-      system_->send_email(addr(from->first, from->second),
+      world_->send_email(addr(from->first, from->second),
                           addr(to->first, to->second), subject, "body");
     } else if (cmd.verb == "spam") {
       const auto from = a.empty() ? std::nullopt : parse_user_ref(a[0]);
@@ -199,9 +199,9 @@ ScenarioResult ScenarioRunner::run() {
       const auto n = to_int(*count);
       Rng rng(cmd.line * 7919 + 13);
       for (std::int64_t k = 0; n && k < *n; ++k) {
-        const auto ti = rng.next_below(system_->params().n_isps);
-        const auto tu = rng.next_below(system_->params().users_per_isp);
-        system_->send_email(addr(from->first, from->second), addr(ti, tu),
+        const auto ti = rng.next_below(world_->params().n_isps);
+        const auto tu = rng.next_below(world_->params().users_per_isp);
+        world_->send_email(addr(from->first, from->second), addr(ti, tu),
                             "zxoffer", "zxbuy zxnow",
                             net::MailClass::kSpam);
       }
@@ -217,8 +217,8 @@ ScenarioResult ScenarioRunner::run() {
         continue;
       }
       const auto address = addr(who->first, who->second);
-      const bool ok = cmd.verb == "buy" ? system_->buy_epennies(address, *n)
-                                        : system_->sell_epennies(address, *n);
+      const bool ok = cmd.verb == "buy" ? world_->buy_epennies(address, *n)
+                                        : world_->sell_epennies(address, *n);
       if (!ok) fail(cmd.line, cmd.verb + " refused");
     } else if (cmd.verb == "run") {
       const auto d = a.empty() ? std::nullopt : parse_duration(a[0]);
@@ -226,45 +226,45 @@ ScenarioResult ScenarioRunner::run() {
         fail(cmd.line, "run needs a duration like 10m");
         continue;
       }
-      system_->run_for(*d);
+      world_->run_for(*d);
     } else if (cmd.verb == "day") {
-      for (std::size_t i = 0; i < system_->params().n_isps; ++i)
-        if (system_->is_compliant(i)) system_->isp(i).end_of_day();
+      for (std::size_t i = 0; i < world_->params().n_isps; ++i)
+        if (world_->is_compliant(i)) world_->isp(i).end_of_day();
     } else if (cmd.verb == "flip") {
       const auto i = a.empty() ? std::nullopt : to_int(a[0]);
       if (!i || *i < 0 ||
-          static_cast<std::size_t>(*i) >= system_->params().n_isps) {
+          static_cast<std::size_t>(*i) >= world_->params().n_isps) {
         fail(cmd.line, "flip needs a valid isp index");
         continue;
       }
-      system_->make_compliant(static_cast<std::size_t>(*i));
+      world_->make_compliant(static_cast<std::size_t>(*i));
     } else if (cmd.verb == "snapshot") {
-      system_->start_snapshot();
+      world_->start_snapshot();
     } else if (cmd.verb == "crash") {
       // crash <isp-index|bank> <duration>: wipe the host's in-memory state
       // and recover it from snapshot + WAL replay after <duration>.  Only
       // meaningful with the durable store (there is nothing to recover from
       // otherwise), so it refuses on store-off worlds.
-      if (!system_->params().store.enabled) {
+      if (!world_->params().store.enabled) {
         fail(cmd.line, "crash requires the durable store (--store-dir)");
         continue;
       }
       const auto d = a.size() == 2 ? parse_duration(a[1]) : std::nullopt;
       std::optional<std::size_t> host;
       if (a.size() == 2 && a[0] == "bank") {
-        host = system_->bank_index();
+        host = world_->bank_index();
       } else if (a.size() == 2) {
         const auto i = to_int(a[0]);
         if (i && *i >= 0 &&
-            static_cast<std::size_t>(*i) < system_->params().n_isps &&
-            system_->is_compliant(static_cast<std::size_t>(*i)))
+            static_cast<std::size_t>(*i) < world_->params().n_isps &&
+            world_->is_compliant(static_cast<std::size_t>(*i)))
           host = static_cast<std::size_t>(*i);
       }
       if (!host || !d) {
         fail(cmd.line, "crash needs <compliant-isp|bank> <duration>");
         continue;
       }
-      system_->crash_host(*host, *d);
+      world_->crash_host(*host, *d);
     } else if (cmd.verb == "policy") {
       // policy <isp> <accept|segregate|discard|filter>: how this ISP's
       // users treat mail from non-compliant senders (per-user overrides).
@@ -277,13 +277,13 @@ ScenarioResult ScenarioRunner::run() {
         else if (a[1] == "filter") policy = NonCompliantPolicy::kFilter;
       }
       if (!i || *i < 0 ||
-          static_cast<std::size_t>(*i) >= system_->params().n_isps ||
-          !system_->is_compliant(static_cast<std::size_t>(*i)) || !policy) {
+          static_cast<std::size_t>(*i) >= world_->params().n_isps ||
+          !world_->is_compliant(static_cast<std::size_t>(*i)) || !policy) {
         fail(cmd.line, "policy needs a compliant isp and a policy name");
         continue;
       }
-      Isp& isp = system_->isp(static_cast<std::size_t>(*i));
-      for (std::size_t u = 0; u < system_->params().users_per_isp; ++u)
+      Isp& isp = world_->isp(static_cast<std::size_t>(*i));
+      for (std::size_t u = 0; u < world_->params().users_per_isp; ++u)
         isp.users().set_policy_override(UserId(u), *policy);
     } else if (cmd.verb == "expect") {
       if (a.empty()) {
@@ -294,12 +294,12 @@ ScenarioResult ScenarioRunner::run() {
         const auto who = parse_user_ref(a[1]);
         const auto want = to_int(a[2]);
         if (!who || !want || !in_range(*who) ||
-            !system_->is_compliant(who->first)) {
+            !world_->is_compliant(who->first)) {
           fail(cmd.line, "expect balance <user> <n>");
           continue;
         }
         const EPenny got =
-            system_->isp(who->first).user(who->second).balance;
+            world_->isp(who->first).user(who->second).balance;
         if (got != *want) {
           fail(cmd.line, "expect balance " + a[1] + ": got " +
                              std::to_string(got) + ", want " + a[2]);
@@ -307,33 +307,33 @@ ScenarioResult ScenarioRunner::run() {
       } else if (a[0] == "violations" && a.size() == 2) {
         const auto want = to_int(a[1]);
         const auto got = static_cast<std::int64_t>(
-            system_->bank().last_violations().size());
+            world_->bank().last_violations().size());
         if (!want || got != *want)
           fail(cmd.line,
                "expect violations: got " + std::to_string(got));
       } else if (a[0] == "conservation") {
-        if (!system_->conservation_holds())
+        if (!world_->conservation_holds())
           fail(cmd.line, "conservation violated");
       } else {
         fail(cmd.line, "unknown expectation: " + a[0]);
       }
     } else if (cmd.verb == "print") {
       if (!a.empty() && a[0] == "balances") {
-        for (std::size_t i = 0; i < system_->params().n_isps; ++i) {
-          if (!system_->is_compliant(i)) continue;
-          for (std::size_t u = 0; u < system_->params().users_per_isp; ++u) {
+        for (std::size_t i = 0; i < world_->params().n_isps; ++i) {
+          if (!world_->is_compliant(i)) continue;
+          for (std::size_t u = 0; u < world_->params().users_per_isp; ++u) {
             char line[96];
             std::snprintf(line, sizeof line, "%s balance=%lld",
                           net::make_user_address(i, u).str().c_str(),
                           static_cast<long long>(
-                              system_->isp(i).user(u).balance));
+                              world_->isp(i).user(u).balance));
             result.output.emplace_back(line);
           }
         }
       } else {
         char line[64];
         std::snprintf(line, sizeof line, "t=%s",
-                      sim::format_time(system_->now()).c_str());
+                      sim::format_time(world_->now()).c_str());
         result.output.emplace_back(line);
       }
     }

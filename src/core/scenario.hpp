@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/sharded_system.hpp"
 #include "core/system.hpp"
 
 namespace zmail::core {
@@ -83,19 +84,24 @@ struct ScenarioResult {
   std::string output_text() const;
 };
 
-// Executes a parsed scenario against a fresh ZmailSystem.
+// Executes a parsed scenario against a fresh world.  By default the world
+// is a single whole ZmailSystem (byte-identical to the pre-sharding
+// runner); pass ShardOptions{.shards = N} to run the same script against an
+// N-way partitioned world on the sharded engine.
 class ScenarioRunner {
  public:
-  explicit ScenarioRunner(const Scenario& scenario);
+  explicit ScenarioRunner(const Scenario& scenario, ShardOptions shards = {});
 
   ScenarioResult run();
 
-  // The system outlives run() so tests can inspect final state.
-  ZmailSystem& system() noexcept { return *system_; }
+  // The world outlives run() so tests can inspect final state.
+  ShardedSystem& world() noexcept { return *world_; }
+  // Legacy accessor: the whole world when unsharded, shard 0 otherwise.
+  ZmailSystem& system() noexcept { return world_->shard(0); }
 
  private:
   const Scenario& scenario_;
-  std::unique_ptr<ZmailSystem> system_;
+  std::unique_ptr<ShardedSystem> world_;
 };
 
 // --- Parsing helpers exposed for reuse and direct testing -----------------

@@ -53,37 +53,73 @@ std::uint64_t frame_checksum(const std::uint8_t* p, std::size_t n) {
 }  // namespace
 
 ZmailSystem::ZmailSystem(ZmailParams params, std::uint64_t seed)
+    : ZmailSystem(std::move(params), seed, std::optional<ShardSlice>{}) {}
+
+ZmailSystem::ZmailSystem(ZmailParams params, std::uint64_t seed,
+                         const ShardSlice& slice)
+    : ZmailSystem(std::move(params), seed, std::optional<ShardSlice>{slice}) {}
+
+ZmailSystem::ZmailSystem(ZmailParams params, std::uint64_t seed,
+                         std::optional<ShardSlice> slice)
     : params_(std::move(params)),
       rng_(seed),
       seed_(seed),
       sim_(),
-      net_(sim_, Rng(seed ^ 0x4E455455ULL), net::LatencyModel{}) {
+      net_(sim_, Rng(seed ^ 0x4E455455ULL), net::LatencyModel{}),
+      slice_(std::move(slice)) {
   const auto problems = params_.validate();
   ZMAIL_ASSERT_MSG(problems.empty(),
                    problems.empty() ? "" : problems.front().c_str());
+  if (slice_) ZMAIL_ASSERT(slice_->shards > 0 && slice_->shard < slice_->shards);
 
+  // Every shard draws the bank keys from the same stream so the key
+  // material (and thus every sealed wire) is identical world-wide; only the
+  // bank-owning shard instantiates the Bank itself.
   bank_keys_ = crypto::generate_keypair(rng_);
-  bank_ = std::make_unique<Bank>(params_, bank_keys_, seed ^ 0xB0B0ULL);
+  if (owns_host(bank_host()))
+    bank_ = std::make_unique<Bank>(params_, bank_keys_, seed ^ 0xB0B0ULL);
 
   legacy_.resize(params_.n_isps);
   smtp_bytes_in_.assign(params_.n_isps, 0);
   isps_.resize(params_.n_isps);
   isp_ctor_seed_.assign(params_.n_isps, 0);
   for (std::size_t i = 0; i < params_.n_isps; ++i) {
+    // Partition-independent per-ISP seed: a function of (seed, i) only, so
+    // ISP i starts identically whichever shard constructs it.
     isp_ctor_seed_[i] = seed * 0x5851F42D4C957F2DULL + i;
-    if (params_.is_compliant(i))
-      isps_[i] = std::make_unique<Isp>(i, params_, bank_keys_.pub,
-                                       isp_ctor_seed_[i]);
-    const net::HostId h = net_.add_host(
-        net::isp_domain(i),
-        [this, i](const net::Datagram& d) { on_datagram(i, d); });
+    net::HostId h;
+    if (owns_host(i)) {
+      if (params_.is_compliant(i))
+        isps_[i] = std::make_unique<Isp>(i, params_, bank_keys_.pub,
+                                         isp_ctor_seed_[i]);
+      h = net_.add_host(net::isp_domain(i), [this, i](const net::Datagram& d) {
+        on_datagram(i, d);
+      });
+    } else {
+      h = net_.add_remote_host(net::isp_domain(i));
+    }
     ZMAIL_ASSERT(h == i);
     net_.bind_domain(net::isp_domain(i), h);
   }
-  const net::HostId bh = net_.add_host(
-      "bank.example",
-      [this](const net::Datagram& d) { on_datagram(bank_host(), d); });
+  const net::HostId bh =
+      owns_host(bank_host())
+          ? net_.add_host("bank.example",
+                          [this](const net::Datagram& d) {
+                            on_datagram(bank_host(), d);
+                          })
+          : net_.add_remote_host("bank.example");
   ZMAIL_ASSERT(bh == bank_host());
+
+  if (slice_) {
+    // Keyed draws make every latency sample and fault fate a pure function
+    // of (seed, from, to, k) — the property that lets any shard count
+    // replay the same world.  Whole (non-sliced) worlds keep the legacy
+    // shared stream, preserving their byte-stable output.
+    net_.enable_keyed_latency(seed ^ 0x5ABDED5ABDED5ABDULL);
+    // Disjoint ARQ id space per shard: receiver-side dedupe is keyed by
+    // transfer id alone, and two shards must never mint the same id.
+    next_transfer_id_ = (static_cast<std::uint64_t>(slice_->shard) << 48) + 1;
+  }
 
   if (params_.store.enabled) {
     std::string err;
@@ -91,7 +127,7 @@ ZmailSystem::ZmailSystem(ZmailParams params, std::uint64_t seed)
     stores_.resize(params_.n_isps + 1);
     for (std::size_t i = 0; i < params_.n_isps; ++i)
       if (isps_[i]) open_store(i);
-    open_store(bank_host());
+    if (bank_) open_store(bank_host());
     if (params_.store.checkpoint_interval_us > 0) {
       sim_.schedule_every(
           static_cast<sim::Duration>(params_.store.checkpoint_interval_us),
@@ -252,16 +288,30 @@ SendOutcome ZmailSystem::send_email_multi(const net::EmailMessage& msg) {
 }
 
 void ZmailSystem::make_compliant(IspId isp) {
+  ZMAIL_ASSERT_MSG(!sliced(),
+                   "use ShardedSystem::make_compliant on a sliced world");
   const std::size_t isp_index = isp.index();
   ZMAIL_ASSERT(isp_index < params_.n_isps);
   if (params_.is_compliant(isp_index)) return;
   ZMAIL_ASSERT_MSG(in_flight_paid_ == 0,
                    "flip compliance only while no paid mail is in flight");
-  // The bank flips compliant[j] and broadcasts; our shared params object
-  // makes the new array visible to every party at once.
+  make_compliant_owned(isp, bank_->seq());
+}
+
+void ZmailSystem::adopt_compliance(IspId isp) {
+  // The bank flips compliant[j] and broadcasts; in a whole world the shared
+  // params object makes the new array visible to every party at once, and
+  // in a sliced world the facade calls this on every shard so each copy of
+  // the array agrees.
   if (params_.compliant.empty())
     params_.compliant.assign(params_.n_isps, true);
-  params_.compliant[isp_index] = true;
+  params_.compliant[isp.index()] = true;
+}
+
+void ZmailSystem::make_compliant_owned(IspId isp, std::uint64_t bank_seq) {
+  const std::size_t isp_index = isp.index();
+  ZMAIL_ASSERT(isp_index < params_.n_isps && owns_host(isp_index));
+  adopt_compliance(isp);
   isp_ctor_seed_[isp_index] =
       seed_ * 0x5851F42D4C957F2DULL + isp_index + 0x9E37ULL;
   isps_[isp_index] = std::make_unique<Isp>(isp_index, params_, bank_keys_.pub,
@@ -269,7 +319,7 @@ void ZmailSystem::make_compliant(IspId isp) {
   if (spam_filter_) isps_[isp_index]->set_filter(spam_filter_);
   if (params_.store.enabled) open_store(isp_index);
   // Join the bank's current billing period.
-  isps_[isp_index]->set_seq(bank_->seq());
+  isps_[isp_index]->set_seq(bank_seq);
   // set_seq is a harness-side fixup, not a logged command; baseline the
   // flipped ISP with an immediate checkpoint so recovery starts from a
   // snapshot that already carries the adopted seq.
@@ -325,21 +375,36 @@ void ZmailSystem::poll_fault_recovery() {
   // lost requests or reports in transit.  Re-request every silent ISP and
   // push the deadline out a full window, so re-requests back off instead
   // of flooding.  (ISPs that reported already advanced their seq and see a
-  // re-request as stale; ISPs mid-quiesce just re-confirm.)
-  if (!bank_->round_open() || sim_.now() < snapshot_deadline_) return;
+  // re-request as stale; ISPs mid-quiesce just re-confirm.)  Only the
+  // bank-owning shard runs this half.
+  if (!bank_ || !bank_->round_open() || sim_.now() < snapshot_deadline_)
+    return;
   auto requests = bank_->resend_requests();
   if (requests.empty()) return;
   const sim::SimTime deadline = sim_.now() + kQuiesceWindow;
   snapshot_deadline_ = deadline;
   for (auto& [isp_index, wire] : requests) {
     net_.send(bank_host(), isp_index, kMsgRequest, std::move(wire));
-    sim_.schedule_at(deadline, [this, i = isp_index] {
-      if (isps_[i] && isps_[i]->in_quiesce()) {
-        isps_[i]->on_quiesce_timeout(sim_.now());
-        pump_isp(i);
-        maybe_checkpoint(i);
-      }
-    });
+    schedule_quiesce_timeout(isp_index, deadline);
+  }
+}
+
+void ZmailSystem::quiesce_timeout(std::size_t i) {
+  if (isps_[i] && isps_[i]->in_quiesce()) {
+    isps_[i]->on_quiesce_timeout(sim_.now());
+    pump_isp(i);
+    maybe_checkpoint(i);
+  }
+}
+
+void ZmailSystem::schedule_quiesce_timeout(std::size_t isp_index,
+                                           sim::SimTime deadline) {
+  if (owns_host(isp_index)) {
+    sim_.schedule_at(deadline, [this, i = isp_index] { quiesce_timeout(i); });
+  } else if (remote_quiesce_) {
+    // The ISP lives on another shard: the facade carries (isp, deadline)
+    // across via the engine mailbox so the timeout fires on its owner.
+    remote_quiesce_(isp_index, deadline);
   }
 }
 
@@ -359,6 +424,8 @@ void ZmailSystem::start_snapshot() {
   // still-open period (the timed twin of the AP resume barrier; the fuzz
   // suite caught exactly this).  A common deadline — "everyone reports at
   // 00:10" — removes the skew.
+  ZMAIL_ASSERT_MSG(bank_ != nullptr,
+                   "snapshots start on the bank-owning shard");
   auto requests = bank_->start_snapshot();
   if (requests.empty()) return;
   if (trace::enabled()) {
@@ -372,13 +439,7 @@ void ZmailSystem::start_snapshot() {
   snapshot_deadline_ = deadline;
   for (auto& [isp_index, wire] : requests) {
     net_.send(bank_host(), isp_index, kMsgRequest, std::move(wire));
-    sim_.schedule_at(deadline, [this, i = isp_index] {
-      if (isps_[i] && isps_[i]->in_quiesce()) {
-        isps_[i]->on_quiesce_timeout(sim_.now());
-        pump_isp(i);
-        maybe_checkpoint(i);
-      }
-    });
+    schedule_quiesce_timeout(isp_index, deadline);
   }
 }
 
@@ -814,7 +875,7 @@ EPenny ZmailSystem::total_epennies() const {
 Money ZmailSystem::total_real_money() const {
   Money total = Money::zero();
   for (std::size_t i = 0; i < params_.n_isps; ++i) {
-    total += bank_->account(i);
+    if (bank_) total += bank_->account(i);
     if (!isps_[i]) continue;
     total += isps_[i]->till();
     for (const Money a : isps_[i]->users().accounts()) total += a;
@@ -822,16 +883,22 @@ Money ZmailSystem::total_real_money() const {
   return total;
 }
 
-bool ZmailSystem::conservation_holds() const {
-  // Initial endowment + net minted must equal current holdings.
+EPenny ZmailSystem::initial_endowment_owned() const {
   EPenny initial = 0;
   for (std::size_t i = 0; i < params_.n_isps; ++i) {
-    if (!params_.is_compliant(i)) continue;
+    if (!params_.is_compliant(i) || !isps_[i]) continue;
     initial += params_.initial_avail +
                static_cast<EPenny>(params_.users_per_isp) *
                    params_.initial_user_balance;
   }
-  return total_epennies() == initial + bank_->epennies_outstanding();
+  return initial;
+}
+
+bool ZmailSystem::conservation_holds() const {
+  // Initial endowment + net minted must equal current holdings.
+  return total_epennies() ==
+         initial_endowment_owned() +
+             (bank_ ? bank_->epennies_outstanding() : 0);
 }
 
 }  // namespace zmail::core

@@ -1,0 +1,114 @@
+// Lock-light SPSC mailbox for cross-shard events.
+//
+// ShardedSimulator keeps one mailbox per (src, dst) shard pair.  Within a
+// barrier window exactly one worker thread pumps shard `src`, so each
+// mailbox has a single producer; the drain at the barrier runs on whichever
+// thread owns `dst` for the next window, so it has a single consumer at a
+// time (the barrier itself sequences producer hand-offs).  The common path
+// is a fixed-capacity ring with acquire/release indices — no locks, no
+// allocation; when a window bursts past the ring capacity the overflow
+// spills into a mutex-guarded vector (rare, counted).
+//
+// Messages are time-stamped events.  `seq` is assigned by the producer in
+// push order, so the consumer can rebuild the canonical
+// (at, src_shard, seq) merge order the determinism mode requires.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "sim/inline_event.hpp"
+#include "sim/time.hpp"
+
+namespace zmail::sim {
+
+// One cross-shard message: run `fn` at absolute time `at` in the
+// destination shard.  (src_shard, seq) break merge-order ties.
+struct ShardMsg {
+  SimTime at = 0;
+  std::uint32_t src_shard = 0;
+  std::uint64_t seq = 0;
+  InlineEvent fn;
+};
+
+class SpscMailbox {
+ public:
+  // `capacity` is rounded up to a power of two (minimum 8).
+  explicit SpscMailbox(std::size_t capacity = 1024) {
+    std::size_t cap = 8;
+    while (cap < capacity) cap <<= 1;
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  // Producer side.  Never blocks: a full ring spills to the overflow list.
+  void push(SimTime at, std::uint32_t src_shard, InlineEvent&& fn) {
+    ShardMsg m;
+    m.at = at;
+    m.src_shard = src_shard;
+    m.seq = next_seq_++;
+    m.fn = std::move(fn);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head <= mask_) {
+      ring_[tail & mask_] = std::move(m);
+      tail_.store(tail + 1, std::memory_order_release);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(overflow_mutex_);
+    ++overflowed_;
+    overflow_.push_back(std::move(m));
+  }
+
+  // Consumer side: moves every pending message into `out` (appended).
+  // Returns the number of messages drained.
+  std::size_t drain(std::vector<ShardMsg>& out) {
+    std::size_t n = 0;
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    while (head != tail) {
+      out.push_back(std::move(ring_[head & mask_]));
+      ++head;
+      ++n;
+    }
+    head_.store(head, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(overflow_mutex_);
+      for (auto& m : overflow_) {
+        out.push_back(std::move(m));
+        ++n;
+      }
+      overflow_.clear();
+    }
+    return n;
+  }
+
+  // Exact only while both sides are quiescent (i.e. at a barrier).
+  bool empty() const {
+    if (head_.load(std::memory_order_acquire) !=
+        tail_.load(std::memory_order_acquire))
+      return false;
+    std::lock_guard<std::mutex> lock(overflow_mutex_);
+    return overflow_.empty();
+  }
+
+  std::uint64_t overflowed() const noexcept { return overflowed_; }
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  std::vector<ShardMsg> ring_;
+  std::size_t mask_ = 0;
+  std::uint64_t next_seq_ = 0;  // producer-only
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+  mutable std::mutex overflow_mutex_;
+  std::vector<ShardMsg> overflow_;
+  std::uint64_t overflowed_ = 0;  // guarded by overflow_mutex_
+};
+
+}  // namespace zmail::sim

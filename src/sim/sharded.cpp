@@ -1,0 +1,145 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace zmail::sim {
+
+ShardedSimulator::ShardedSimulator(ShardedOptions opts, util::ThreadPool& pool)
+    : opts_(opts), pool_(pool) {
+  ZMAIL_ASSERT_MSG(opts_.shards > 0, "need at least one shard");
+  ZMAIL_ASSERT_MSG(opts_.lookahead > 0,
+                   "conservative lookahead must be strictly positive");
+  sims_.assign(opts_.shards, nullptr);
+  boxes_.reserve(opts_.shards * opts_.shards);
+  for (std::size_t i = 0; i < opts_.shards * opts_.shards; ++i)
+    boxes_.push_back(std::make_unique<SpscMailbox>());
+}
+
+void ShardedSimulator::attach(std::size_t s, Simulator* simulator) {
+  ZMAIL_ASSERT(s < sims_.size());
+  ZMAIL_ASSERT(simulator != nullptr);
+  ZMAIL_ASSERT_MSG(simulator->now() == 0,
+                   "shards must share a common time origin");
+  sims_[s] = simulator;
+}
+
+void ShardedSimulator::post(std::size_t src, std::size_t dst, SimTime at,
+                            InlineEvent fn) {
+  ZMAIL_ASSERT(src < sims_.size() && dst < sims_.size());
+  if (src == dst) {
+    // Same shard: no barrier needed, schedule directly (this is the path a
+    // misrouted "remote" host would take; keep it correct, not fast).
+    sims_[src]->schedule_at(at, std::move(fn));
+    return;
+  }
+  box(src, dst).push(at, static_cast<std::uint32_t>(src), std::move(fn));
+}
+
+std::uint64_t ShardedSimulator::drain_mailboxes(SimTime window_end) {
+  const std::size_t n = sims_.size();
+  std::uint64_t total = 0;
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    drain_buf_.clear();
+    for (std::size_t src = 0; src < n; ++src) {
+      if (src == dst) continue;
+      box(src, dst).drain(drain_buf_);
+    }
+    if (drain_buf_.empty()) continue;
+    total += drain_buf_.size();
+    if (opts_.deterministic) {
+      // Canonical merge order: (at, src_shard, seq).  Per-mailbox messages
+      // arrive already seq-ordered, so this sort pins only the cross-source
+      // interleaving — the one thing the partition would otherwise decide.
+      std::sort(drain_buf_.begin(), drain_buf_.end(),
+                [](const ShardMsg& a, const ShardMsg& b) noexcept {
+                  if (a.at != b.at) return a.at < b.at;
+                  if (a.src_shard != b.src_shard)
+                    return a.src_shard < b.src_shard;
+                  return a.seq < b.seq;
+                });
+    }
+    Simulator& sim = *sims_[dst];
+    for (auto& m : drain_buf_) {
+      SimTime at = m.at;
+      if (at <= window_end) {
+        // Lookahead violation upstream (a poster ignored the min-latency
+        // bound).  Clamp just past the barrier so causality holds, and
+        // count it — deterministic runs assert this stays zero.
+        ++stats_.horizon_clamps;
+        at = window_end + 1;
+      }
+      sim.schedule_at(at, std::move(m.fn));
+    }
+  }
+  return total;
+}
+
+std::uint64_t ShardedSimulator::run(SimTime until) {
+  const std::size_t n = sims_.size();
+  for (auto* s : sims_)
+    ZMAIL_ASSERT_MSG(s != nullptr, "every shard needs an attached Simulator");
+  const Duration lookahead = opts_.lookahead;
+  std::uint64_t executed = 0;
+  std::vector<std::uint64_t> before(n, 0);
+
+  // Messages posted outside a window (harness verbs like send_email run
+  // between engine runs and route straight into the mailboxes) are not
+  // visible to the shard queues yet, and the window scan below only looks
+  // at those queues.  Drain first so pre-run traffic both schedules and is
+  // counted in the earliest-event scan.  All shards are parked at one
+  // barrier time here; an event at exactly that time is still schedulable
+  // (the clocks sit at it, nothing beyond has run), so the clamp horizon is
+  // one tick before it.
+  SimTime parked = 0;
+  for (auto* s : sims_) parked = std::max(parked, s->now());
+  stats_.cross_shard_msgs += drain_mailboxes(parked - 1);
+
+  for (;;) {
+    // Earliest pending event across the world.  In deterministic mode the
+    // window start is that time rounded down to a lookahead boundary — a
+    // pure function of world state, so every shard/thread count computes
+    // the same barrier schedule (idle gaps jump instead of ticking).
+    SimTime earliest = INT64_MAX;
+    for (auto* s : sims_) earliest = std::min(earliest, s->next_event_at());
+    if (earliest == INT64_MAX || earliest > until) break;
+    const SimTime ws =
+        opts_.deterministic ? earliest - (earliest % lookahead) : earliest;
+    const SimTime we = std::min(ws + lookahead - 1, until);
+    ++stats_.windows;
+
+    // Pump every shard through [ws, we] in parallel.  No shard can affect
+    // another inside the window: anything it emits is timestamped at least
+    // one lookahead later, past the barrier.
+    pool_.parallel_for(n, [&](std::size_t i) {
+      before[i] = sims_[i]->events_executed();
+      sims_[i]->run(we);  // advances the clock to `we` even when idle
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t d = sims_[i]->events_executed() - before[i];
+      executed += d;
+      stats_.max_window_events = std::max(stats_.max_window_events, d);
+    }
+
+    stats_.cross_shard_msgs += drain_mailboxes(we);
+    // All shards are parked at `we` and the mailboxes are empty: a globally
+    // consistent cut.  Invariant audits (zero-sum conservation across
+    // shards) run here, mid-flight, not just at the end of the run.
+    if (barrier_hook_) barrier_hook_(we);
+  }
+
+  // Bring idle shards up to the horizon so a finite run leaves one global
+  // clock, matching Simulator::run's drained-early behaviour.
+  if (until != INT64_MAX)
+    for (auto* s : sims_)
+      if (s->now() < until) s->run(until);
+
+  std::uint64_t spills = 0;
+  for (const auto& b : boxes_) spills += b->overflowed();
+  stats_.mailbox_overflows = spills;
+  stats_.events_executed += executed;
+  return executed;
+}
+
+}  // namespace zmail::sim

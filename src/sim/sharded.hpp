@@ -1,0 +1,117 @@
+// Conservative parallel discrete-event engine: one world, many shards.
+//
+// The world is partitioned into shards, each owning one `Simulator` (its own
+// two-level calendar queue, clock, and event arena).  Execution proceeds in
+// lookahead windows of length L = the network's minimum host-to-host latency:
+// within a window every shard pumps its own queue on a `ThreadPool` worker
+// with no locks and no sharing, because any message it emits cannot arrive
+// before the next window starts (send at t in [w, w+L) delivers at
+// >= t + L >= w + L; FIFO clamps and fault delay spikes only push later).
+// Cross-shard messages ride a lock-light SPSC mailbox per (src,dst) shard
+// pair and are drained at the barrier between windows.
+//
+// Two modes:
+//   - deterministic: window starts are aligned to multiples of L and idle
+//     gaps jump to floor(next_event/L)*L — a pure function of world state,
+//     so the barrier schedule is identical at any shard/thread count — and
+//     drained messages are merged in canonical (at, src_shard, seq) order
+//     before being scheduled, pinning tie-breaks.  Combined with pair-keyed
+//     latency/fault draws (util/rng.hpp pair_keyed_rng) the merged run is
+//     bit-identical across shard and thread counts.
+//   - free-running: windows start at the earliest pending event (no
+//     alignment) and drains skip the canonical sort.  Slightly less barrier
+//     overhead, no cross-run identity promise.
+//
+// The engine owns no world state: shards attach their Simulators, the
+// network layer routes remote sends into `post()`, and an optional barrier
+// hook (single-threaded, between windows) lets auditors check global
+// invariants mid-run — conservation must hold at every barrier, not just at
+// the end.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/mailbox.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "util/thread_pool.hpp"
+
+namespace zmail::sim {
+
+struct ShardedOptions {
+  std::size_t shards = 1;
+  // Conservative lookahead; must equal (or understate) the smallest
+  // cross-shard delivery delay.  Derive from LatencyModel::min_latency().
+  Duration lookahead = 0;
+  bool deterministic = true;
+};
+
+// Engine-level counters.  These describe the *execution*, not the world, so
+// they are reported separately from world stats: windows/barriers depend on
+// the barrier schedule (identical across runs only in deterministic mode)
+// and cross_shard_msgs depends on the partition.
+struct ShardedStats {
+  std::uint64_t windows = 0;
+  std::uint64_t cross_shard_msgs = 0;
+  std::uint64_t mailbox_overflows = 0;  // ring spills (perf signal only)
+  std::uint64_t horizon_clamps = 0;     // lookahead violations (must stay 0)
+  std::uint64_t events_executed = 0;
+  std::uint64_t max_window_events = 0;  // busiest single (window, shard)
+};
+
+class ShardedSimulator {
+ public:
+  // `pool` drives the windows; it must outlive the engine.  Pass the same
+  // pool the sweep uses — with one worker parallel_for degrades to the
+  // inline reference path, which is the threads=1 determinism anchor.
+  ShardedSimulator(ShardedOptions opts, util::ThreadPool& pool);
+
+  // Wire shard `s` to its Simulator (not owned; one per shard, all before
+  // run()).  Shards must share a common time origin (now() == 0).
+  void attach(std::size_t s, Simulator* simulator);
+
+  // Cross-shard send: run `fn` on shard `dst` at absolute time `at`.
+  // Must be called from shard `src`'s window execution (that thread is the
+  // mailbox's single producer).  `at` must honour the lookahead bound; the
+  // drain asserts it lands at or after the next window start.
+  void post(std::size_t src, std::size_t dst, SimTime at, InlineEvent fn);
+
+  // Runs between windows on the coordinating thread, after mailboxes have
+  // drained, with every shard quiescent at the barrier time — safe to read
+  // any shard's state (global invariant audits hook in here).
+  void set_barrier_hook(std::function<void(SimTime)> hook) {
+    barrier_hook_ = std::move(hook);
+  }
+
+  // Run the world until `until` (inclusive), like Simulator::run.  Returns
+  // events executed across all shards during this call.
+  std::uint64_t run(SimTime until);
+
+  const ShardedStats& stats() const noexcept { return stats_; }
+  const ShardedOptions& options() const noexcept { return opts_; }
+  std::size_t shard_count() const noexcept { return sims_.size(); }
+
+ private:
+  SpscMailbox& box(std::size_t src, std::size_t dst) {
+    return *boxes_[src * sims_.size() + dst];
+  }
+  // Drain every mailbox into its destination shard's queue; returns the
+  // number of messages moved.  `window_end` is the barrier time: no message
+  // may be timestamped at or before it.
+  std::uint64_t drain_mailboxes(SimTime window_end);
+
+  ShardedOptions opts_;
+  util::ThreadPool& pool_;
+  std::vector<Simulator*> sims_;
+  // Dense (src,dst) mailbox matrix; unique_ptr keeps addresses stable and
+  // avoids false sharing between adjacent mailboxes' atomics.
+  std::vector<std::unique_ptr<SpscMailbox>> boxes_;
+  std::function<void(SimTime)> barrier_hook_;
+  std::vector<ShardMsg> drain_buf_;
+  ShardedStats stats_;
+};
+
+}  // namespace zmail::sim

@@ -92,6 +92,16 @@ void Simulator::CalendarQueue::sort_bucket() {
 
 void Simulator::CalendarQueue::rebase(SimTime t) {
   ZMAIL_PROF_SCOPE("sim.calendar_rebase");
+  ++rebases_;
+  // A rebase must never move the anchor backwards past live entries: every
+  // event still pending sits at or beyond the rebase target (the caller
+  // passes either the earliest overflow timestamp or a fresh push earlier
+  // than the current base).  If this fires, some schedule produced a
+  // timestamp before an already-drained instant — the silent-reordering bug
+  // the monotonicity assert in step() exists to catch.
+  ZMAIL_ASSERT_MSG(overflow_.empty() || overflow_.front().at >= t ||
+                       t <= base_,
+                   "calendar rebase would skip pending overflow events");
   // Dump the wheel's live entries into the overflow heap, re-anchor,
   // migrate eligibles.  A drained wheel (the steady state of sparse,
   // coarser-than-the-span schedules, e.g. daily resets) skips the bucket
@@ -186,6 +196,10 @@ bool Simulator::step(SimTime until) {
   const Entry* top = queue_.peek();
   if (top == nullptr || top->at > until) return false;
   Entry e = queue_.pop();
+  // Monotonicity: the calendar queue must hand events back in global
+  // (at, seq) order.  A violation here means a rebase or bucket-cursor bug
+  // reordered the timeline — fail loudly instead of corrupting causality.
+  ZMAIL_ASSERT_MSG(e.at >= now_, "calendar queue returned a past event");
   now_ = e.at;
   ++executed_;
   // Publish the clock for trace-event stamping before dispatch; guarded so

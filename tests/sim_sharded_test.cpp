@@ -1,0 +1,309 @@
+// Sharded engine end to end: the merged observable state of a partitioned
+// world must be bit-identical at any shard or thread count (fault-free and
+// under an adversarial FaultPlan), the single-shard facade must be
+// byte-equivalent to the plain whole-world system, cross-shard ARQ
+// retransmit and refund chains must validate, an ISP living on a non-zero
+// shard must crash and recover from its durable store, and the barrier
+// audits must stay green throughout.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "core/obs.hpp"
+#include "core/sharded_system.hpp"
+#include "core/system.hpp"
+#include "net/address.hpp"
+#include "net/faults.hpp"
+#include "trace/analyze.hpp"
+#include "trace/trace.hpp"
+#include "util/json.hpp"
+
+namespace zmail::core {
+namespace {
+
+ZmailParams world_params() {
+  ZmailParams p;
+  p.n_isps = 8;
+  p.users_per_isp = 3;
+  p.initial_user_balance = 200;
+  p.default_daily_limit = 1'000;
+  p.initial_avail = 300;
+  p.minavail = 100;
+  p.maxavail = 600;
+  p.record_inboxes = false;
+  return p;
+}
+
+// One fixed verb stream, replayed identically against any world (plain
+// ZmailSystem or ShardedSystem at any shard count).  The draws depend only
+// on the seed, never on world state, so every run issues the same verbs.
+template <typename World>
+void drive_mixed_traffic(World& w, std::uint64_t seed, int rounds) {
+  Rng rng(seed);
+  const std::size_t n = w.params().n_isps;
+  const std::size_t u = w.params().users_per_isp;
+  for (int i = 0; i < rounds; ++i) {
+    const std::size_t src = rng.next_below(n);
+    const std::size_t dst = (src + 1 + rng.next_below(n - 1)) % n;
+    w.send_email(net::make_user_address(src, rng.next_below(u)),
+                 net::make_user_address(dst, rng.next_below(u)), "t",
+                 "b" + std::to_string(i));
+    if (i % 7 == 3)
+      w.buy_epennies(net::make_user_address(src, 0),
+                     static_cast<EPenny>(1 + rng.next_below(5)));
+    if (i % 11 == 6)
+      w.sell_epennies(net::make_user_address(dst, 0),
+                      static_cast<EPenny>(1 + rng.next_below(3)));
+    w.run_for(sim::kMinute);
+  }
+  w.run_for(sim::kHour);
+}
+
+// The kV1 snapshot carries only merged, partition-independent values (the
+// kV2 "engine" section reports windows/messages, which legitimately vary
+// with the partition), so it is the right artifact for bit-identity.
+std::string run_and_snapshot(std::size_t shards, std::size_t threads,
+                             std::uint64_t seed) {
+  ShardOptions o;
+  o.shards = shards;
+  o.threads = threads;
+  ShardedSystem w(world_params(), seed, o);
+  drive_mixed_traffic(w, seed + 1, 40);
+  w.end_of_day();
+  w.run_for(sim::kHour);
+  EXPECT_EQ(w.horizon_clamps(), 0u) << "lookahead bound violated somewhere";
+  EXPECT_TRUE(w.barrier_audit().ok())
+      << (w.barrier_audit().messages.empty()
+              ? ""
+              : w.barrier_audit().messages.front());
+  EXPECT_TRUE(w.conservation_holds());
+  return obs::snapshot(w, obs::Schema::kV1).dump();
+}
+
+TEST(ShardedDeterminismTest, MergedSnapshotBitIdenticalAcrossShardCounts) {
+  const std::string s2 = run_and_snapshot(2, 0, 505);
+  const std::string s4 = run_and_snapshot(4, 0, 505);
+  const std::string s8 = run_and_snapshot(8, 0, 505);
+  EXPECT_EQ(s2, s4);
+  EXPECT_EQ(s4, s8);
+}
+
+TEST(ShardedDeterminismTest, MergedSnapshotIndependentOfThreadCount) {
+  const std::string t1 = run_and_snapshot(4, 1, 606);
+  const std::string t2 = run_and_snapshot(4, 2, 606);
+  const std::string t4 = run_and_snapshot(4, 4, 606);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t2, t4);
+}
+
+TEST(ShardedDeterminismTest, SingleShardMatchesWholeSystemByteForByte) {
+  ZmailSystem plain(world_params(), 707);
+  drive_mixed_traffic(plain, 708, 40);
+
+  ShardOptions o;  // shards == 1: facade holds one whole-world system
+  ShardedSystem facade(world_params(), 707, o);
+  EXPECT_FALSE(facade.sharded());
+  EXPECT_EQ(facade.engine_stats(), nullptr);
+  drive_mixed_traffic(facade, 708, 40);
+
+  EXPECT_EQ(obs::snapshot(plain, obs::Schema::kV2).dump(),
+            obs::snapshot(facade, obs::Schema::kV2).dump());
+}
+
+TEST(ShardedDeterminismTest, BitIdenticalUnderFaultPlan) {
+  net::FaultPlan plan;
+  plan.rates.drop = 0.10;
+  plan.rates.duplicate = 0.05;
+  plan.rates.delay_spike = 0.05;
+
+  const auto run = [&](std::size_t shards) {
+    ZmailParams p = world_params();
+    p.retry.enabled = true;
+    p.reliable_email_transport = true;
+    ShardOptions o;
+    o.shards = shards;
+    ShardedSystem w(p, 909, o);
+    w.attach_faults(plan, 910);
+    drive_mixed_traffic(w, 911, 40);
+    // Bounded drain: the retry poller never lets the queue empty, so a
+    // "run until quiet" would walk its entire 365-day horizon.
+    w.run_for(4 * sim::kHour);
+    EXPECT_EQ(w.pending_transfers(), 0u);
+    // Delay spikes only ever push arrivals later than the latency floor, so
+    // the conservative lookahead bound still holds under faults.
+    EXPECT_EQ(w.horizon_clamps(), 0u);
+    EXPECT_TRUE(w.barrier_audit().ok())
+        << (w.barrier_audit().messages.empty()
+                ? ""
+                : w.barrier_audit().messages.front());
+    EXPECT_TRUE(w.conservation_holds());
+    EXPECT_GT(w.total_isp_metrics().emails_retransmitted, 0u);
+    return obs::snapshot(w, obs::Schema::kV1).dump();
+  };
+
+  const std::string s2 = run(2);
+  const std::string s4 = run(4);
+  const std::string s8 = run(8);
+  EXPECT_EQ(s2, s4);
+  EXPECT_EQ(s4, s8);
+}
+
+class ShardedTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::set_enabled(false);
+    trace::clear();
+    trace::set_enabled(true);
+  }
+  void TearDown() override {
+    trace::set_enabled(false);
+    trace::clear();
+  }
+};
+
+TEST_F(ShardedTraceTest, CrossShardRetransmitChainValidates) {
+  ZmailParams p = world_params();
+  p.n_isps = 2;  // ISP 0 on shard 0, ISP 1 on shard 1: every email crosses
+  p.reliable_email_transport = true;
+  ShardOptions o;
+  o.shards = 2;
+  o.threads = 1;  // trace recorder sees one worker thread
+  ShardedSystem w(p, 21, o);
+
+  net::FaultPlan plan;
+  plan.rates.drop = 0.30;
+  w.attach_faults(plan, 22);
+
+  for (int i = 0; i < 25; ++i) {
+    w.send_email(net::make_user_address(0, i % 3),
+                 net::make_user_address(1, (i + 1) % 3), "lossy",
+                 "m" + std::to_string(i));
+    w.run_for(30 * sim::kSecond);
+  }
+  w.run_for(2 * sim::kHour);
+
+  const IspMetrics m = w.total_isp_metrics();
+  EXPECT_EQ(m.emails_sent_compliant, 25u);
+  EXPECT_EQ(m.emails_received_compliant, 25u);
+  EXPECT_GT(m.emails_retransmitted, 0u);
+  EXPECT_EQ(w.pending_transfers(), 0u);
+  EXPECT_TRUE(w.conservation_holds());
+
+  const trace::ValidationResult v = trace::validate(trace::collect());
+  EXPECT_TRUE(v.ok) << (v.problems.empty() ? "" : v.problems.front());
+  EXPECT_GT(v.chains_total, 0u);
+}
+
+TEST_F(ShardedTraceTest, CrossShardRefundChainValidates) {
+  ZmailParams p = world_params();
+  p.n_isps = 2;
+  p.reliable_email_transport = true;
+  p.email_max_retransmits = 2;  // abandon quickly -> refund path
+  ShardOptions o;
+  o.shards = 2;
+  o.threads = 1;
+  ShardedSystem w(p, 31, o);
+
+  net::FaultPlan plan;
+  plan.rates.drop = 1.0;  // total loss: retransmit to cap, abandon, refund
+  w.attach_faults(plan, 32);
+
+  ASSERT_EQ(w.send_email(net::make_user_address(0, 0),
+                         net::make_user_address(1, 0), "doomed", "body"),
+            SendResult::kSentPaid);
+  w.run_for(sim::kHour);
+  EXPECT_EQ(w.pending_transfers(), 0u);
+  EXPECT_EQ(w.total_isp_metrics().emails_refunded, 1u);
+  EXPECT_TRUE(w.conservation_holds());
+
+  const auto events = trace::collect();
+  bool refund_terminal = false;
+  for (const auto& [id, c] : trace::build_chains(events))
+    if (c.terminal == trace::Ev::kRefund) refund_terminal = true;
+  EXPECT_TRUE(refund_terminal);
+  const trace::ValidationResult v = trace::validate(events);
+  EXPECT_TRUE(v.ok) << (v.problems.empty() ? "" : v.problems.front());
+}
+
+TEST(ShardedRecoveryTest, CrashAndRecoverIspOnNonZeroShard) {
+  const std::string dir = "sim_sharded_test_store";
+  std::filesystem::remove_all(dir);
+  ZmailParams p = world_params();
+  p.n_isps = 4;
+  p.store.enabled = true;
+  p.store.dir = dir;
+  ShardOptions o;
+  o.shards = 4;
+  o.threads = 1;
+  ShardedSystem w(p, 41, o);
+  drive_mixed_traffic(w, 42, 15);
+
+  // ISP 1 lives on shard 1: the crash wipes its in-memory state there and
+  // the restart rebuilds it from that shard's snapshot + WAL tail.
+  ASSERT_EQ(w.owner_shard(1), 1u);
+  w.crash_host(1, 2 * sim::kMinute);
+  w.run_for(10 * sim::kMinute);
+  drive_mixed_traffic(w, 43, 10);
+  w.run_for(2 * sim::kHour);
+
+  EXPECT_EQ(w.state_recoveries(), 1u);
+  EXPECT_EQ(w.pending_transfers(), 0u);
+  EXPECT_TRUE(w.conservation_holds());
+  EXPECT_TRUE(w.barrier_audit().ok())
+      << (w.barrier_audit().messages.empty()
+              ? ""
+              : w.barrier_audit().messages.front());
+  EXPECT_EQ(w.horizon_clamps(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardedEngineTest, V2SnapshotExportsEngineSection) {
+  ShardOptions o;
+  o.shards = 4;
+  ShardedSystem w(world_params(), 51, o);
+  drive_mixed_traffic(w, 52, 10);
+
+  const sim::ShardedStats* st = w.engine_stats();
+  ASSERT_NE(st, nullptr);
+  EXPECT_GT(st->windows, 0u);
+  EXPECT_GT(st->cross_shard_msgs, 0u);
+  EXPECT_EQ(st->mailbox_overflows, 0u);
+  EXPECT_GT(w.barrier_audit().checks, 0u);
+
+  const json::Value j = obs::snapshot(w, obs::Schema::kV2);
+  const std::string s = j.dump();
+  EXPECT_NE(s.find("\"engine\""), std::string::npos);
+  EXPECT_NE(s.find("\"cross_shard_msgs\""), std::string::npos);
+  EXPECT_NE(s.find("\"barrier_audit_failures\""), std::string::npos);
+  EXPECT_NE(s.find("\"calendar_rebase_count\""), std::string::npos);
+}
+
+TEST(ShardedEngineTest, ComplianceFlipRoutesAcrossShards) {
+  ZmailParams p = world_params();
+  p.n_isps = 4;
+  p.compliant = {true, true, false, true};  // ISP 2 starts legacy
+  ShardOptions o;
+  o.shards = 2;
+  ShardedSystem w(p, 61, o);
+
+  // Legacy mail is free; after the flip the same sender pays.
+  w.send_email(net::make_user_address(2, 0), net::make_user_address(0, 0),
+               "free", "b");
+  w.run_for(sim::kMinute);
+  EXPECT_FALSE(w.is_compliant(2));
+
+  w.make_compliant(2);
+  EXPECT_TRUE(w.is_compliant(2));
+  // The flip publishes on every shard, not just the owner.
+  for (std::size_t s = 0; s < w.shard_count(); ++s)
+    EXPECT_TRUE(w.shard(s).params().is_compliant(2));
+
+  drive_mixed_traffic(w, 62, 10);
+  w.run_for(sim::kHour);
+  EXPECT_TRUE(w.conservation_holds());
+  EXPECT_TRUE(w.barrier_audit().ok());
+}
+
+}  // namespace
+}  // namespace zmail::core
