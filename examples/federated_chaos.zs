@@ -1,0 +1,48 @@
+# Federated-bank crash smoke: a member bank dies mid-settlement-round and
+# rebuilds from its durable store (snapshot + WAL replay) while its peers'
+# column and clearing wires retransmit.  Run with
+#
+#   ./scenario_runner examples/federated_chaos.zs --banks 4 --audit \
+#       --store-dir /tmp/zmail_fed_chaos
+#
+# retry=1: the inter-bank plane travels as real datagrams and unacked
+# wires back off and retransmit, so a crashed bank's round completes
+# instead of wedging.
+world isps=8 users=4 balance=100 limit=200 seed=4242 retry=1
+
+# Cross-bank mail in both directions (home banks are round-robin, so
+# 0->1, 1->2, ... all cross bank boundaries at 4 banks).
+send 0.0 1.1 subject hello
+send 1.1 2.2 subject hola
+send 2.3 3.2 subject hi
+send 3.0 4.1 subject hey
+send 4.2 5.3 subject yo
+send 5.1 6.0 subject hej
+send 6.2 7.1 subject ola
+send 7.3 0.1 subject re:hello
+run 30m
+buy 0.2 25
+day
+run 30m
+
+# First settlement round: verification, column exchange, netted clearing.
+snapshot
+run 30m
+expect violations 0
+expect conservation
+
+# Kill member bank 1 for 15 minutes spanning the next round's opening;
+# its members sit the round out until it recovers and rejoins.
+crash bank1 15m
+send 0.0 1.1 subject while-you-were-out
+send 5.1 1.2 subject missed-you
+snapshot
+run 2h
+expect conservation
+
+# One more quiet round to show the recovered bank settles cleanly.
+snapshot
+run 2h
+expect violations 0
+expect conservation
+print balances

@@ -25,6 +25,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "core/invariants.hpp"
 #include "core/obs.hpp"
 #include "core/scenario.hpp"
 #include "sim/sweep.hpp"
@@ -73,6 +74,8 @@ struct Args {
   std::size_t replicas = 1;
   std::size_t threads = 1;
   std::size_t shards = 1;  // >1 = partition the world on the sharded engine
+  std::size_t banks = 0;   // >0 = run against a FederatedZmailSystem
+  bool audit = false;      // federated runs: continuous FederationAuditor
   std::uint64_t seed = 0;
   bool seed_given = false;
   std::string json_path;
@@ -85,8 +88,16 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [script.zs|-] [--replicas N] [--threads N]"
                " [--seed S] [--json PATH]\n"
-               "       [--shards N] [--store-dir DIR]"
+               "       [--shards N] [--banks N] [--audit] [--store-dir DIR]"
                " [--checkpoint-interval DUR] [--trace PATH]\n"
+               "  --banks N                 run the script against a\n"
+               "                            FederatedZmailSystem with N\n"
+               "                            member banks (all-compliant\n"
+               "                            world; `crash bank<k> DUR`\n"
+               "                            crashes member bank k)\n"
+               "  --audit                   federated runs only: run the\n"
+               "                            FederationAuditor continuously\n"
+               "                            and fail on any violation\n"
                "  --shards N                partition the world into N shards\n"
                "                            driven in parallel by the\n"
                "                            conservative sharded engine; the\n"
@@ -130,6 +141,12 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v) return usage(argv[0]);
       args.shards = std::max<std::size_t>(1, std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(a, "--banks") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      args.banks = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(a, "--audit") == 0) {
+      args.audit = true;
     } else if (std::strcmp(a, "--seed") == 0) {
       const char* v = value();
       if (!v) return usage(argv[0]);
@@ -199,6 +216,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (args.banks > 0 && args.shards > 1) {
+    std::fprintf(stderr, "--banks and --shards are mutually exclusive\n");
+    return 2;
+  }
+  if (args.audit && args.banks == 0) {
+    std::fprintf(stderr, "--audit requires --banks\n");
+    return 2;
+  }
+  if (args.banks > 0 && !scenario->params().compliant.empty()) {
+    std::fprintf(stderr,
+                 "--banks needs an all-compliant world (drop the script's"
+                 " compliant= mask)\n");
+    return 2;
+  }
+
   // Replica runs go through the sweep harness; the default invocation is a
   // 1-replica sweep with the script's own seed, which reproduces the
   // historical behaviour exactly.
@@ -227,20 +259,48 @@ int main(int argc, char** argv) {
           st.dir = args.store_dir + "/r" + std::to_string(replica);
           st.checkpoint_interval_us = args.checkpoint_interval;
         }
-        core::ShardOptions shard_opts;
-        shard_opts.shards = args.shards;
-        core::ScenarioRunner runner(copy, shard_opts);
-        const core::ScenarioResult r = runner.run();
         sweep::MetricBag bag;
+        core::ScenarioResult r;
+        if (args.banks > 0) {
+          core::FederatedScenarioRunner runner(copy, args.banks);
+          core::FederationAuditor auditor(runner.world());
+          if (args.audit) auditor.run_continuously(10 * sim::kMinute);
+          r = runner.run();
+          auditor.check_now();
+          if (args.audit && !auditor.report().ok())
+            for (const auto& msg : auditor.report().messages)
+              r.failures.push_back(core::ScenarioError{0, "audit: " + msg});
+          const core::FederationMetrics fm =
+              runner.world().federation().metrics();
+          bag.count("fed_rounds", static_cast<double>(fm.rounds_completed));
+          bag.count("fed_interbank_messages",
+                    static_cast<double>(fm.interbank_messages));
+          bag.count("fed_clearing_transfers",
+                    static_cast<double>(fm.clearing_transfers));
+          bag.count("fed_violations",
+                    static_cast<double>(fm.violations_found));
+          bag.count("audit_violations",
+                    static_cast<double>(auditor.report().violations));
+          bag.count("state_recoveries",
+                    static_cast<double>(runner.world().state_recoveries()));
+          const core::IspMetrics m = runner.world().total_isp_metrics();
+          bag.count("emails_delivered",
+                    static_cast<double>(m.emails_delivered));
+        } else {
+          core::ShardOptions shard_opts;
+          shard_opts.shards = args.shards;
+          core::ScenarioRunner runner(copy, shard_opts);
+          r = runner.run();
+          const core::IspMetrics m = runner.world().total_isp_metrics();
+          bag.count("emails_delivered", static_cast<double>(m.emails_delivered));
+          bag.count("refused_no_balance",
+                    static_cast<double>(m.refused_no_balance));
+          bag.count("refused_daily_limit",
+                    static_cast<double>(m.refused_daily_limit));
+        }
         bag.count("commands_executed", static_cast<double>(r.commands_executed));
         bag.count("failures", static_cast<double>(r.failures.size()));
         bag.count("replicas_ok", r.ok() ? 1.0 : 0.0);
-        const core::IspMetrics m = runner.world().total_isp_metrics();
-        bag.count("emails_delivered", static_cast<double>(m.emails_delivered));
-        bag.count("refused_no_balance",
-                  static_cast<double>(m.refused_no_balance));
-        bag.count("refused_daily_limit",
-                  static_cast<double>(m.refused_daily_limit));
         if (replica == 0) {
           std::lock_guard<std::mutex> lock(first_mutex);
           first_output = r.output;

@@ -1,8 +1,23 @@
 #include "core/federation.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace zmail::core {
+
+namespace {
+
+// Wire header shared by every inter-bank payload (inside the seal):
+//   u8 kind | u64 from_bank | u64 round
+void put_header(crypto::Bytes& b, BankFederation::FedMsg kind,
+                std::size_t from, std::uint64_t round) {
+  crypto::put_u8(b, static_cast<std::uint8_t>(kind));
+  crypto::put_u64(b, from);
+  crypto::put_u64(b, round);
+}
+
+}  // namespace
 
 BankFederation::BankFederation(const ZmailParams& params, std::size_t n_banks,
                                std::uint64_t seed)
@@ -12,10 +27,40 @@ BankFederation::BankFederation(const ZmailParams& params, std::size_t n_banks,
   for (std::size_t b = 0; b < n_banks_; ++b)
     keys_.push_back(crypto::generate_keypair(rng_));
   accounts_.assign(params_.n_isps, params_.initial_isp_bank_account);
-  clearing_.assign(n_banks_, Money::zero());
-  verify_.assign(params_.n_isps,
-                 std::vector<EPenny>(params_.n_isps, 0));
-  reported_.assign(params_.n_isps, false);
+  seed_ = seed;
+  banks_.resize(n_banks_);
+  for (std::size_t b = 0; b < n_banks_; ++b) init_bank(b);
+}
+
+void BankFederation::init_bank(std::size_t bank) {
+  MemberBank& mb = banks_.at(bank);
+  mb = MemberBank{};
+  // Each shard gets its own splitmix-derived stream so sealing draws stay
+  // deterministic per bank regardless of peer activity (and serialize).
+  mb.rng = Rng(seed_ * 0x9E3779B97F4A7C15ULL + 0xB4A9ULL + bank);
+  mb.reported.assign(params_.n_isps, false);
+  mb.verify.assign(params_.n_isps, std::vector<EPenny>(params_.n_isps, 0));
+  mb.colset_from.assign(n_banks_, false);
+  mb.partial_net.assign(n_banks_, Money::zero());
+  mb.peer_partial.assign(n_banks_, Money::zero());
+  mb.transfer_from.assign(n_banks_, false);
+  mb.pair_netted.assign(n_banks_, false);
+  mb.clearing_pair.assign(n_banks_, Money::zero());
+  mb.col_ledger.assign(n_banks_, PeerLedger{});
+  mb.clr_ledger.assign(n_banks_, PeerLedger{});
+  mb.buy_ledger.assign(params_.n_isps, TradeLedger{});
+  mb.sell_ledger.assign(params_.n_isps, TradeLedger{});
+  mb.pending.assign(2 * n_banks_, PendingWire{});
+}
+
+void BankFederation::reset_bank(std::size_t bank) {
+  // Fresh-construct semantics ahead of recover(): wiped shard state and
+  // member accounts back at their endowment, exactly what replaying the
+  // command log from LSN 0 (or a snapshot) expects to build on.
+  init_bank(bank);
+  for (std::size_t i = 0; i < params_.n_isps; ++i)
+    if (home_bank(i) == bank)
+      accounts_.at(i) = params_.initial_isp_bank_account;
 }
 
 std::size_t BankFederation::home_bank(std::size_t isp) const {
@@ -27,6 +72,13 @@ const crypto::RsaKey& BankFederation::public_key_for(std::size_t isp) const {
   return keys_.at(home_bank(isp)).pub;
 }
 
+std::size_t BankFederation::compliant_members(std::size_t bank) const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < params_.n_isps; ++i)
+    if (home_bank(i) == bank && params_.is_compliant(i)) ++n;
+  return n;
+}
+
 Money BankFederation::isp_account(std::size_t isp) const {
   return accounts_.at(isp);
 }
@@ -35,140 +87,684 @@ void BankFederation::set_isp_account(std::size_t isp, Money v) {
   accounts_.at(isp) = v;
 }
 
+Money BankFederation::clearing_position(std::size_t bank) const {
+  return banks_.at(bank).clearing_pos;
+}
+
+Money BankFederation::clearing_pair(std::size_t bank, std::size_t peer) const {
+  return banks_.at(bank).clearing_pair.at(peer);
+}
+
+bool BankFederation::round_open() const noexcept {
+  for (const MemberBank& mb : banks_)
+    if (!mb.canrequest) return true;
+  return false;
+}
+
+bool BankFederation::round_open(std::size_t bank) const {
+  return !banks_.at(bank).canrequest;
+}
+
+std::uint64_t BankFederation::seq() const noexcept {
+  std::uint64_t s = banks_.front().seq;
+  for (const MemberBank& mb : banks_) s = std::min(s, mb.seq);
+  return s;
+}
+
+std::uint64_t BankFederation::seq(std::size_t bank) const {
+  return banks_.at(bank).seq;
+}
+
+bool BankFederation::idle() const {
+  for (const MemberBank& mb : banks_) {
+    if (!mb.canrequest) return false;
+    for (const PendingWire& pw : mb.pending)
+      if (pw.active) return false;
+  }
+  return true;
+}
+
+FederationMetrics BankFederation::metrics() const {
+  FederationMetrics t;
+  t.rounds_completed = banks_.front().metrics.rounds_completed;
+  for (const MemberBank& mb : banks_) {
+    const FederationMetrics& m = mb.metrics;
+    t.rounds_completed = std::min(t.rounds_completed, m.rounds_completed);
+    t.requests_sent += m.requests_sent;
+    t.reports_received += m.reports_received;
+    t.interbank_messages += m.interbank_messages;
+    t.interbank_bytes += m.interbank_bytes;
+    t.settlements_intra_bank += m.settlements_intra_bank;
+    t.settlements_cross_bank += m.settlements_cross_bank;
+    t.clearing_transfers += m.clearing_transfers;
+    t.violations_found += m.violations_found;
+    t.epennies_minted += m.epennies_minted;
+    t.epennies_burned += m.epennies_burned;
+    t.clearing_messages += m.clearing_messages;
+    t.interbank_acks += m.interbank_acks;
+    t.interbank_retries += m.interbank_retries;
+    t.duplicate_trades += m.duplicate_trades;
+    t.stale_trades += m.stale_trades;
+    t.duplicate_interbank += m.duplicate_interbank;
+    t.stale_interbank += m.stale_interbank;
+    t.bad_envelopes += m.bad_envelopes;
+    t.snapshot_rerequests += m.snapshot_rerequests;
+  }
+  return t;
+}
+
+const FederationMetrics& BankFederation::metrics(std::size_t bank) const {
+  return banks_.at(bank).metrics;
+}
+
+void BankFederation::attach_wal(std::size_t bank, store::WalSink* wal) {
+  banks_.at(bank).wal = wal;
+}
+
+store::WalSink* BankFederation::wal(std::size_t bank) const {
+  return banks_.at(bank).wal;
+}
+
+void BankFederation::log_op(std::size_t bank, WalOp op,
+                            const crypto::Bytes& payload) {
+  MemberBank& mb = banks_.at(bank);
+  if (mb.wal) mb.wal->append(static_cast<std::uint8_t>(op), payload);
+}
+
+// --- Section 4.3 trade (idempotent, mirrors Bank::on_buy/on_sell) ----------
+
 crypto::Bytes BankFederation::on_buy(std::size_t isp,
                                      const crypto::Bytes& wire) {
-  const crypto::KeyPair& keys = keys_.at(home_bank(isp));
+  const std::size_t b = home_bank(isp);
+  MemberBank& mb = banks_.at(b);
+  if (mb.wal) {
+    crypto::Bytes p;
+    crypto::put_u64(p, isp);
+    crypto::put_bytes(p, wire);
+    log_op(b, WalOp::kOnBuy, p);
+  }
+  const crypto::KeyPair& keys = keys_.at(b);
   const auto plain = unseal(keys.priv, wire);
-  if (!plain) return {};
+  if (!plain) {
+    ++mb.metrics.bad_envelopes;
+    return {};
+  }
   const auto req = BuyRequest::deserialize(*plain);
-  if (!req || req->buyvalue <= 0) return {};
+  if (!req || req->buyvalue <= 0) {
+    ++mb.metrics.bad_envelopes;
+    return {};
+  }
+
+  // Idempotency shield: never mint twice for one nonce.
+  TradeLedger& led = mb.buy_ledger.at(isp);
+  if (led.any_applied && req->nonce.counter <= led.applied_hi) {
+    if (req->nonce == led.last_nonce) {
+      ++mb.metrics.duplicate_trades;
+      return led.last_reply;  // re-send the cached reply, no re-mint
+    }
+    ++mb.metrics.stale_trades;
+    return {};
+  }
 
   const Money cost = Money::from_epennies(req->buyvalue);
   BuyReply reply;
   reply.nonce = req->nonce;
   if (accounts_.at(isp) >= cost) {
     accounts_.at(isp) -= cost;
-    metrics_.epennies_minted += req->buyvalue;
+    mb.metrics.epennies_minted += req->buyvalue;
     reply.accepted = true;
   }
-  return seal(keys.priv, reply.serialize(), rng_);
+  crypto::Bytes out = seal(keys.priv, reply.serialize(), mb.rng);
+  led.any_applied = true;
+  led.applied_hi = req->nonce.counter;
+  led.last_nonce = req->nonce;
+  led.last_reply = out;
+  return out;
 }
 
 crypto::Bytes BankFederation::on_sell(std::size_t isp,
                                       const crypto::Bytes& wire) {
-  const crypto::KeyPair& keys = keys_.at(home_bank(isp));
+  const std::size_t b = home_bank(isp);
+  MemberBank& mb = banks_.at(b);
+  if (mb.wal) {
+    crypto::Bytes p;
+    crypto::put_u64(p, isp);
+    crypto::put_bytes(p, wire);
+    log_op(b, WalOp::kOnSell, p);
+  }
+  const crypto::KeyPair& keys = keys_.at(b);
   const auto plain = unseal(keys.priv, wire);
-  if (!plain) return {};
+  if (!plain) {
+    ++mb.metrics.bad_envelopes;
+    return {};
+  }
   const auto req = SellRequest::deserialize(*plain);
-  if (!req || req->sellvalue <= 0) return {};
+  if (!req || req->sellvalue <= 0) {
+    ++mb.metrics.bad_envelopes;
+    return {};
+  }
+  TradeLedger& led = mb.sell_ledger.at(isp);
+  if (led.any_applied && req->nonce.counter <= led.applied_hi) {
+    if (req->nonce == led.last_nonce) {
+      ++mb.metrics.duplicate_trades;
+      return led.last_reply;
+    }
+    ++mb.metrics.stale_trades;
+    return {};
+  }
   accounts_.at(isp) += Money::from_epennies(req->sellvalue);
-  metrics_.epennies_burned += req->sellvalue;
-  return seal(keys.priv, SellReply{req->nonce}.serialize(), rng_);
+  mb.metrics.epennies_burned += req->sellvalue;
+  crypto::Bytes out = seal(keys.priv, SellReply{req->nonce}.serialize(), mb.rng);
+  led.any_applied = true;
+  led.applied_hi = req->nonce.counter;
+  led.last_nonce = req->nonce;
+  led.last_reply = out;
+  return out;
+}
+
+// --- Snapshot round ---------------------------------------------------------
+
+void BankFederation::open_round(std::size_t bank) {
+  MemberBank& mb = banks_.at(bank);
+  ZMAIL_ASSERT(mb.canrequest);
+  log_op(bank, WalOp::kStartRound, crypto::Bytes{});
+  mb.canrequest = false;
+  mb.outstanding = 0;
+  mb.reported.assign(params_.n_isps, false);
+  for (auto& row : mb.verify)
+    for (auto& cell : row) cell = 0;
+  mb.colset_from.assign(n_banks_, false);
+  mb.verified = false;
+  mb.partial_net.assign(n_banks_, Money::zero());
+  mb.peer_partial.assign(n_banks_, Money::zero());
+  mb.transfer_from.assign(n_banks_, false);
+  mb.pair_netted.assign(n_banks_, false);
 }
 
 std::vector<std::pair<std::size_t, crypto::Bytes>>
 BankFederation::start_snapshot() {
-  if (!canrequest_) return {};
-  canrequest_ = false;
-  outstanding_ = 0;
-  reported_.assign(params_.n_isps, false);
+  if (round_open()) return {};
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < params_.n_isps; ++i)
+    if (params_.is_compliant(i)) ++total;
+  if (total == 0) return {};
+
+  for (std::size_t b = 0; b < n_banks_; ++b) open_round(b);
+  // Requests go out in global ISP order (the legacy facade send order);
+  // each bank's sealing draws form the same per-bank subsequence the WAL
+  // replay of its kStartRound record regenerates.
   std::vector<std::pair<std::size_t, crypto::Bytes>> out;
-  SnapshotRequest req{seq_};
   for (std::size_t i = 0; i < params_.n_isps; ++i) {
     if (!params_.is_compliant(i)) continue;
-    ++outstanding_;
-    ++metrics_.requests_sent;
+    MemberBank& mb = banks_.at(home_bank(i));
+    ++mb.outstanding;
+    ++mb.metrics.requests_sent;
+    SnapshotRequest req{mb.seq};
     out.emplace_back(
-        i, seal(keys_.at(home_bank(i)).priv, req.serialize(), rng_));
+        i, seal(keys_.at(home_bank(i)).priv, req.serialize(), mb.rng));
   }
-  if (outstanding_ == 0) canrequest_ = true;
+  for (std::size_t b = 0; b < n_banks_; ++b)
+    if (banks_[b].outstanding == 0) gather_complete(b);
+  return out;
+}
+
+std::vector<std::pair<std::size_t, crypto::Bytes>>
+BankFederation::start_snapshot_for(std::size_t bank) {
+  MemberBank& mb = banks_.at(bank);
+  if (!mb.canrequest) return {};
+  open_round(bank);
+  std::vector<std::pair<std::size_t, crypto::Bytes>> out;
+  SnapshotRequest req{mb.seq};
+  for (std::size_t i = 0; i < params_.n_isps; ++i) {
+    if (home_bank(i) != bank || !params_.is_compliant(i)) continue;
+    ++mb.outstanding;
+    ++mb.metrics.requests_sent;
+    out.emplace_back(i, seal(keys_.at(bank).priv, req.serialize(), mb.rng));
+  }
+  if (mb.outstanding == 0) gather_complete(bank);
+  return out;
+}
+
+std::vector<std::pair<std::size_t, crypto::Bytes>>
+BankFederation::resend_requests(std::size_t bank) {
+  MemberBank& mb = banks_.at(bank);
+  if (mb.canrequest) return {};
+  log_op(bank, WalOp::kResendRequests, crypto::Bytes{});
+  std::vector<std::pair<std::size_t, crypto::Bytes>> out;
+  SnapshotRequest req{mb.seq};
+  for (std::size_t i = 0; i < params_.n_isps; ++i) {
+    if (home_bank(i) != bank || !params_.is_compliant(i)) continue;
+    if (mb.reported.at(i)) continue;
+    ++mb.metrics.snapshot_rerequests;
+    out.emplace_back(i, seal(keys_.at(bank).priv, req.serialize(), mb.rng));
+  }
   return out;
 }
 
 void BankFederation::on_reply(std::size_t isp, const crypto::Bytes& wire) {
   if (!params_.is_compliant(isp)) return;
-  const auto plain = unseal(keys_.at(home_bank(isp)).priv, wire);
-  if (!plain) return;
+  const std::size_t b = home_bank(isp);
+  MemberBank& mb = banks_.at(b);
+  if (mb.wal) {
+    crypto::Bytes p;
+    crypto::put_u64(p, isp);
+    crypto::put_bytes(p, wire);
+    log_op(b, WalOp::kOnReply, p);
+  }
+  const auto plain = unseal(keys_.at(b).priv, wire);
+  if (!plain) {
+    ++mb.metrics.bad_envelopes;
+    return;
+  }
   const auto report = CreditReport::deserialize(*plain);
   if (!report || report->credit.size() != params_.n_isps) return;
-  if (canrequest_ || report->seq != seq_ || reported_.at(isp)) return;
-  reported_.at(isp) = true;
-  ++metrics_.reports_received;
+  if (mb.canrequest || report->seq != mb.seq || mb.reported.at(isp)) return;
+  mb.reported.at(isp) = true;
+  ++mb.metrics.reports_received;
   for (std::size_t i = 0; i < params_.n_isps; ++i)
-    verify_[i][isp] = report->credit[i];
-  ZMAIL_ASSERT(outstanding_ > 0);
-  if (--outstanding_ == 0) verify_round();
+    mb.verify[i][isp] = report->credit[i];
+  ZMAIL_ASSERT(mb.outstanding > 0);
+  if (--mb.outstanding == 0) gather_complete(b);
 }
 
-void BankFederation::verify_round() {
-  // Phase 1 — column exchange: each bank forwards the columns it gathered
-  // to every other bank.  One message per (bank, bank) ordered pair, each
-  // carrying that bank's members' columns.
-  if (n_banks_ > 1) {
-    std::vector<std::size_t> members(n_banks_, 0);
-    for (std::size_t i = 0; i < params_.n_isps; ++i)
-      if (params_.is_compliant(i)) ++members[home_bank(i)];
-    for (std::size_t from = 0; from < n_banks_; ++from) {
-      const std::uint64_t column_bytes =
-          members[from] * (params_.n_isps * sizeof(EPenny) + 32);
-      metrics_.interbank_messages += n_banks_ - 1;
-      metrics_.interbank_bytes +=
-          static_cast<std::uint64_t>(n_banks_ - 1) * column_bytes;
+void BankFederation::gather_complete(std::size_t bank) {
+  MemberBank& mb = banks_.at(bank);
+  mb.colset_from.at(bank) = true;
+  // Broadcast the gathered member columns to every peer (the inter-bank
+  // traffic E12 measures), as acknowledged, retryable wires.
+  for (std::size_t p = 0; p < n_banks_; ++p) {
+    if (p == bank) continue;
+    crypto::Bytes plain;
+    put_header(plain, FedMsg::kColumns, bank, mb.seq);
+    std::uint32_t members = 0;
+    for (std::size_t g = 0; g < params_.n_isps; ++g)
+      if (home_bank(g) == bank && params_.is_compliant(g)) ++members;
+    crypto::put_u32(plain, members);
+    for (std::size_t g = 0; g < params_.n_isps; ++g) {
+      if (home_bank(g) != bank || !params_.is_compliant(g)) continue;
+      crypto::put_u64(plain, g);
+      crypto::put_u32(plain, static_cast<std::uint32_t>(params_.n_isps));
+      for (std::size_t i = 0; i < params_.n_isps; ++i)
+        crypto::put_i64(plain, mb.verify[i][g]);
     }
+    emit(bank, p, FedMsg::kColumns, mb.seq, plain, /*track=*/true);
   }
+  maybe_verify(bank);
+}
 
-  // Phase 2 — partitioned verification and settlement: pair (i, j) is
-  // checked by min(i, j)'s home bank.
-  last_violations_.clear();
-  // Net clearing movement per (payer bank, payee bank), netted per round.
-  std::vector<std::vector<Money>> interbank(
-      n_banks_, std::vector<Money>(n_banks_, Money::zero()));
+void BankFederation::maybe_verify(std::size_t bank) {
+  MemberBank& mb = banks_.at(bank);
+  if (mb.canrequest || mb.verified) return;
+  for (std::size_t p = 0; p < n_banks_; ++p)
+    if (!mb.colset_from[p]) return;
+  verify_owned_pairs(bank);
+}
 
+void BankFederation::verify_owned_pairs(std::size_t bank) {
+  MemberBank& mb = banks_.at(bank);
+  mb.violations.clear();
+  // Foreign account deltas this bank's verified pairs produce, grouped by
+  // the member's home bank (shipped inside the clearing transfer).
+  std::vector<std::vector<std::pair<std::uint64_t, std::int64_t>>> items(
+      n_banks_);
+
+  // Pair (i, j) is owned by home(min(i, j)) == home(i).
   for (std::size_t i = 0; i < params_.n_isps; ++i) {
-    if (!params_.is_compliant(i)) continue;
+    if (home_bank(i) != bank || !params_.is_compliant(i)) continue;
     for (std::size_t j = i + 1; j < params_.n_isps; ++j) {
       if (!params_.is_compliant(j)) continue;
-      const EPenny d = verify_[j][i] + verify_[i][j];
+      const EPenny d = mb.verify[j][i] + mb.verify[i][j];
       if (d != 0) {
-        last_violations_.push_back(CreditViolation{i, j, d});
-        ++metrics_.violations_found;
-        continue;
+        mb.violations.push_back(CreditViolation{i, j, d});
+        ++mb.metrics.violations_found;
+        continue;  // disputed pair stays unsettled
       }
-      const EPenny net = verify_[j][i];  // flow i -> j
+      const EPenny net = mb.verify[j][i];  // flow i -> j
       if (net == 0) continue;
       const Money amount = Money::from_epennies(net > 0 ? net : -net);
       const std::size_t payer = net > 0 ? i : j;
       const std::size_t payee = net > 0 ? j : i;
-      accounts_.at(payer) -= amount;
-      accounts_.at(payee) += amount;
       const std::size_t payer_bank = home_bank(payer);
       const std::size_t payee_bank = home_bank(payee);
       if (payer_bank == payee_bank) {
-        ++metrics_.settlements_intra_bank;
+        // Both members of this bank: settle in place.
+        accounts_.at(payer) -= amount;
+        accounts_.at(payee) += amount;
+        ++mb.metrics.settlements_intra_bank;
+        continue;
+      }
+      ++mb.metrics.settlements_cross_bank;
+      if (payer_bank == bank) {
+        accounts_.at(payer) -= amount;
+        items[payee_bank].emplace_back(payee, amount.micros());
+        mb.partial_net[payee_bank] += amount;
       } else {
-        ++metrics_.settlements_cross_bank;
-        interbank[payer_bank][payee_bank] += amount;
+        accounts_.at(payee) += amount;
+        items[payer_bank].emplace_back(payer, -amount.micros());
+        mb.partial_net[payer_bank] -= amount;
       }
     }
   }
+  mb.verified = true;
+  rebuild_violations();
 
-  // Phase 3 — inter-bank clearing: the cross-bank settlements are netted
-  // into at most one transfer per bank pair per round.
-  for (std::size_t a = 0; a < n_banks_; ++a) {
-    for (std::size_t b = a + 1; b < n_banks_; ++b) {
-      const Money net = interbank[a][b] - interbank[b][a];
-      if (net.is_zero()) continue;
-      clearing_[a] -= net;
-      clearing_[b] += net;
-      ++metrics_.clearing_transfers;
+  // Ship one clearing transfer per peer per round — even an empty one is
+  // the peer's signal that this bank's side of the round is final.
+  for (std::size_t p = 0; p < n_banks_; ++p) {
+    if (p == bank) continue;
+    crypto::Bytes plain;
+    put_header(plain, FedMsg::kClearing, bank, mb.seq);
+    crypto::put_i64(plain, mb.partial_net[p].micros());
+    crypto::put_u32(plain, static_cast<std::uint32_t>(items[p].size()));
+    for (const auto& [g, micros] : items[p]) {
+      crypto::put_u64(plain, g);
+      crypto::put_i64(plain, micros);
+    }
+    emit(bank, p, FedMsg::kClearing, mb.seq, plain, /*track=*/true);
+  }
+  for (std::size_t p = 0; p < n_banks_; ++p) {
+    if (p == bank) continue;
+    if (mb.transfer_from[p] && !mb.pair_netted[p]) combine_pair(bank, p);
+  }
+  try_close_round(bank);
+}
+
+void BankFederation::combine_pair(std::size_t bank, std::size_t peer) {
+  MemberBank& mb = banks_.at(bank);
+  // Net flow bank -> peer across every pair between the two banks: my
+  // verified pairs contribute partial_net, the peer's contribute (negated)
+  // the partial it shipped with its transfer.
+  const Money total = mb.partial_net[peer] - mb.peer_partial[peer];
+  if (!total.is_zero()) {
+    mb.clearing_pos -= total;
+    mb.clearing_pair[peer] -= total;
+    // Count the netted movement once per unordered bank pair.
+    if (bank < peer) ++mb.metrics.clearing_transfers;
+  }
+  mb.pair_netted[peer] = true;
+}
+
+void BankFederation::try_close_round(std::size_t bank) {
+  MemberBank& mb = banks_.at(bank);
+  if (mb.canrequest || !mb.verified) return;
+  for (std::size_t p = 0; p < n_banks_; ++p) {
+    if (p == bank) continue;
+    if (!mb.transfer_from[p] || !mb.pair_netted[p]) return;
+  }
+  for (auto& row : mb.verify)
+    for (auto& cell : row) cell = 0;
+  mb.seq += 1;
+  mb.canrequest = true;
+  ++mb.metrics.rounds_completed;
+}
+
+// --- Inter-bank plane -------------------------------------------------------
+
+void BankFederation::emit(std::size_t from, std::size_t to, FedMsg kind,
+                          std::uint64_t round, const crypto::Bytes& plain,
+                          bool track) {
+  MemberBank& mb = banks_.at(from);
+  crypto::Bytes wire = seal(keys_.at(to).pub, plain, mb.rng);
+  switch (kind) {
+    case FedMsg::kColumns:
+      ++mb.metrics.interbank_messages;
+      // Loopback keeps the legacy synthetic accounting (the E12/A1.d
+      // observable); the networked plane counts real sealed wire bytes.
+      mb.metrics.interbank_bytes +=
+          sink_ ? wire.size()
+                : compliant_members(from) *
+                      (params_.n_isps * sizeof(EPenny) + 32);
+      break;
+    case FedMsg::kClearing:
+      ++mb.metrics.clearing_messages;
+      break;
+    case FedMsg::kColumnsAck:
+    case FedMsg::kClearingAck:
+      ++mb.metrics.interbank_acks;
+      break;
+  }
+  if (track) {
+    PendingWire& pw =
+        mb.pending.at(2 * to + (kind == FedMsg::kClearing ? 1 : 0));
+    pw.active = true;
+    pw.kind = static_cast<std::uint8_t>(kind);
+    pw.round = round;
+    pw.attempts = 1;
+    pw.next_at = 0;
+    pw.wire = wire;
+  }
+  if (replaying_) return;  // replayed output already left pre-crash
+  if (sink_) {
+    sink_(from, to, static_cast<std::uint8_t>(kind), std::move(wire));
+  } else {
+    loopback_.emplace_back(from, to, static_cast<std::uint8_t>(kind),
+                           std::move(wire));
+    drain_loopback();
+  }
+}
+
+void BankFederation::drain_loopback() {
+  if (draining_) return;
+  draining_ = true;
+  while (!loopback_.empty()) {
+    auto [from, to, kind, wire] = std::move(loopback_.front());
+    loopback_.pop_front();
+    on_interbank(to, from, kind, wire);
+  }
+  draining_ = false;
+}
+
+void BankFederation::send_ack(std::size_t from, std::size_t to, FedMsg acked,
+                              std::uint64_t round) {
+  crypto::Bytes plain;
+  const FedMsg kind = acked == FedMsg::kColumns ? FedMsg::kColumnsAck
+                                                : FedMsg::kClearingAck;
+  put_header(plain, kind, from, round);
+  emit(from, to, kind, round, plain, /*track=*/false);
+}
+
+void BankFederation::on_interbank(std::size_t bank, std::size_t from_bank,
+                                  std::uint8_t kind,
+                                  const crypto::Bytes& wire) {
+  MemberBank& mb = banks_.at(bank);
+  if (mb.wal) {
+    crypto::Bytes p;
+    crypto::put_u64(p, from_bank);
+    crypto::put_u8(p, kind);
+    crypto::put_bytes(p, wire);
+    log_op(bank, WalOp::kOnInterbank, p);
+  }
+  const auto plain = unseal(keys_.at(bank).priv, wire);
+  if (!plain) {
+    ++mb.metrics.bad_envelopes;
+    return;
+  }
+  crypto::ByteReader r(*plain);
+  const std::uint8_t inner = r.get_u8();
+  const std::uint64_t from = r.get_u64();
+  const std::uint64_t round = r.get_u64();
+  if (!r.ok() || inner != kind || from != from_bank || from >= n_banks_ ||
+      from == bank) {
+    ++mb.metrics.bad_envelopes;
+    return;
+  }
+  switch (static_cast<FedMsg>(kind)) {
+    case FedMsg::kColumns:
+      handle_columns(bank, from, r, round);
+      break;
+    case FedMsg::kClearing:
+      handle_clearing(bank, from, r, round);
+      break;
+    case FedMsg::kColumnsAck:
+      handle_ack(bank, from, FedMsg::kColumns, round);
+      break;
+    case FedMsg::kClearingAck:
+      handle_ack(bank, from, FedMsg::kClearing, round);
+      break;
+    default:
+      ++mb.metrics.bad_envelopes;
+      break;
+  }
+}
+
+void BankFederation::handle_columns(std::size_t bank, std::size_t from,
+                                    crypto::ByteReader& r,
+                                    std::uint64_t round) {
+  MemberBank& mb = banks_.at(bank);
+  PeerLedger& led = mb.col_ledger.at(from);
+  if (led.any_applied && round <= led.applied_hi) {
+    // Duplicate delivery (retransmit or replay): re-ack, never re-apply.
+    ++mb.metrics.duplicate_interbank;
+    send_ack(bank, from, FedMsg::kColumns, round);
+    return;
+  }
+  if (mb.canrequest || round != mb.seq) {
+    if (round < mb.seq) {
+      // A closed round: the peer missed our ack — stop its retransmits.
+      ++mb.metrics.stale_interbank;
+      send_ack(bank, from, FedMsg::kColumns, round);
+    }
+    // A future round (we crashed past the start): stay silent; the peer
+    // retries until our round is re-opened by the recovery poll.
+    return;
+  }
+  const std::uint32_t members = r.get_u32();
+  if (!r.ok() || members > params_.n_isps) {
+    ++mb.metrics.bad_envelopes;
+    return;
+  }
+  for (std::uint32_t m = 0; m < members; ++m) {
+    const std::uint64_t g = r.get_u64();
+    const std::uint32_t len = r.get_u32();
+    if (!r.ok() || g >= params_.n_isps || home_bank(g) != from ||
+        len != params_.n_isps) {
+      ++mb.metrics.bad_envelopes;
+      return;
+    }
+    for (std::size_t i = 0; i < params_.n_isps; ++i)
+      mb.verify[i][g] = r.get_i64();
+  }
+  if (!r.ok()) {
+    ++mb.metrics.bad_envelopes;
+    return;
+  }
+  mb.colset_from.at(from) = true;
+  led.any_applied = true;
+  led.applied_hi = round;
+  send_ack(bank, from, FedMsg::kColumns, round);
+  maybe_verify(bank);
+  try_close_round(bank);
+}
+
+void BankFederation::handle_clearing(std::size_t bank, std::size_t from,
+                                     crypto::ByteReader& r,
+                                     std::uint64_t round) {
+  MemberBank& mb = banks_.at(bank);
+  PeerLedger& led = mb.clr_ledger.at(from);
+  if (led.any_applied && round <= led.applied_hi) {
+    ++mb.metrics.duplicate_interbank;
+    send_ack(bank, from, FedMsg::kClearing, round);
+    return;
+  }
+  if (mb.canrequest || round != mb.seq) {
+    if (round < mb.seq) {
+      ++mb.metrics.stale_interbank;
+      send_ack(bank, from, FedMsg::kClearing, round);
+    }
+    return;
+  }
+  const std::int64_t peer_net = r.get_i64();
+  const std::uint32_t n_items = r.get_u32();
+  if (!r.ok() || n_items > params_.n_isps * params_.n_isps) {
+    ++mb.metrics.bad_envelopes;
+    return;
+  }
+  // Two-phase apply: validate the whole wire before touching accounts, so
+  // a malformed transfer can't half-apply.
+  std::vector<std::pair<std::uint64_t, std::int64_t>> items;
+  items.reserve(n_items);
+  for (std::uint32_t k = 0; k < n_items; ++k) {
+    const std::uint64_t g = r.get_u64();
+    const std::int64_t micros = r.get_i64();
+    if (!r.ok() || g >= params_.n_isps || home_bank(g) != bank) {
+      ++mb.metrics.bad_envelopes;
+      return;
+    }
+    items.emplace_back(g, micros);
+  }
+  if (!r.ok()) {
+    ++mb.metrics.bad_envelopes;
+    return;
+  }
+  for (const auto& [g, micros] : items)
+    accounts_.at(g) += Money::from_micros(micros);
+  mb.peer_partial.at(from) = Money::from_micros(peer_net);
+  mb.transfer_from.at(from) = true;
+  led.any_applied = true;
+  led.applied_hi = round;
+  send_ack(bank, from, FedMsg::kClearing, round);
+  if (mb.verified && !mb.pair_netted[from]) combine_pair(bank, from);
+  try_close_round(bank);
+}
+
+void BankFederation::handle_ack(std::size_t bank, std::size_t from,
+                                FedMsg acked, std::uint64_t round) {
+  MemberBank& mb = banks_.at(bank);
+  PendingWire& pw =
+      mb.pending.at(2 * from + (acked == FedMsg::kClearing ? 1 : 0));
+  if (pw.active && pw.round == round &&
+      pw.kind == static_cast<std::uint8_t>(acked))
+    pw = PendingWire{};
+}
+
+void BankFederation::poll_interbank(std::size_t bank, std::int64_t now) {
+  MemberBank& mb = banks_.at(bank);
+  bool any = false;
+  for (const PendingWire& pw : mb.pending)
+    if (pw.active) {
+      any = true;
+      break;
+    }
+  if (!any) return;
+  if (mb.wal) {
+    crypto::Bytes p;
+    crypto::put_i64(p, now);
+    log_op(bank, WalOp::kPollWires, p);
+  }
+  for (std::size_t slot = 0; slot < mb.pending.size(); ++slot) {
+    PendingWire& pw = mb.pending[slot];
+    if (!pw.active) continue;
+    if (pw.next_at == 0) {
+      // First poll after the send (or after a crash restored the wire):
+      // arm the backoff clock instead of flooding immediately.
+      pw.next_at = now + params_.retry.backoff_for(pw.attempts);
+      continue;
+    }
+    if (now < pw.next_at) continue;
+    ++pw.attempts;
+    ++mb.metrics.interbank_retries;
+    pw.next_at = now + params_.retry.backoff_for(pw.attempts);
+    if (replaying_) continue;
+    const std::size_t to = slot / 2;
+    if (sink_) {
+      sink_(bank, to, pw.kind, pw.wire);
+    } else {
+      loopback_.emplace_back(bank, to, pw.kind, pw.wire);
+      drain_loopback();
     }
   }
+}
 
-  for (auto& row : verify_)
-    for (auto& cell : row) cell = 0;
-  seq_ += 1;
-  canrequest_ = true;
-  ++metrics_.rounds_completed;
+void BankFederation::rebuild_violations() {
+  last_violations_.clear();
+  for (const MemberBank& mb : banks_)
+    last_violations_.insert(last_violations_.end(), mb.violations.begin(),
+                            mb.violations.end());
+  std::sort(last_violations_.begin(), last_violations_.end(),
+            [](const CreditViolation& a, const CreditViolation& b) {
+              return a.isp_i != b.isp_i ? a.isp_i < b.isp_i
+                                        : a.isp_j < b.isp_j;
+            });
 }
 
 }  // namespace zmail::core

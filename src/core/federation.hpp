@@ -17,16 +17,39 @@
 //     pair settles.  Settlement between ISPs of different banks moves
 //     money through inter-bank clearing accounts, netted per bank pair per
 //     round (bulk, like everything else in Zmail).
+//
+// Crash tolerance (this file's second act): each member bank is now a
+// self-contained state machine — its own RNG, report gathering, verify
+// matrix, trade idempotency ledgers, clearing ledgers, and unacked
+// outbound wires — so it can be serialized, WAL-logged, crashed, and
+// rebuilt independently of its peers.  The inter-bank column exchange and
+// the netted clearing transfers are real acknowledged messages carrying a
+// round id; a per-peer ledger absorbs duplicated or stale deliveries, so
+// retransmitting after loss (or replaying a WAL after a crash) never
+// double-applies a settlement.
+//
+// Two transports:
+//   - loopback (default, no sink installed): inter-bank wires self-deliver
+//     synchronously inside the federation and the legacy synthetic
+//     accounting is kept verbatim, so untimed callers (tests, ablations)
+//     see byte-for-byte the monolithic behaviour;
+//   - sink (FederatedZmailSystem installs one when hardening is on): wires
+//     travel as sealed datagrams over the latency-modelled network, with
+//     RetryPolicy-paced retransmission of unacked wires.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "core/bank.hpp"  // CreditViolation
 #include "core/config.hpp"
 #include "core/messages.hpp"
 #include "crypto/rsa.hpp"
+#include "store/wal.hpp"
 
 namespace zmail::core {
 
@@ -42,10 +65,41 @@ struct FederationMetrics {
   std::uint64_t violations_found = 0;
   EPenny epennies_minted = 0;
   EPenny epennies_burned = 0;
+  // Robustness counters (all zero on the happy path).
+  std::uint64_t clearing_messages = 0;   // ClearingTransfer wires sent
+  std::uint64_t interbank_acks = 0;      // ack wires sent
+  std::uint64_t interbank_retries = 0;   // unacked wires retransmitted
+  std::uint64_t duplicate_trades = 0;    // buy/sell replays answered from cache
+  std::uint64_t stale_trades = 0;        // buy/sell replays of older nonces
+  std::uint64_t duplicate_interbank = 0; // column/clearing replays absorbed
+  std::uint64_t stale_interbank = 0;     // inter-bank wires for closed rounds
+  std::uint64_t bad_envelopes = 0;       // unseal/decode failures
+  std::uint64_t snapshot_rerequests = 0; // re-requests to silent members
 };
 
 class BankFederation {
  public:
+  // Wire kinds on the inter-bank plane.  Values are stable: they appear in
+  // WAL records and on sealed wires.
+  enum class FedMsg : std::uint8_t {
+    kColumns = 1,      // a bank's gathered member credit columns
+    kColumnsAck = 2,
+    kClearing = 3,     // per-round foreign account deltas + netted position
+    kClearingAck = 4,
+  };
+
+  // Logical WAL command log (one log per member bank).  Values are stable
+  // on disk.
+  enum class WalOp : std::uint8_t {
+    kOnBuy = 1,
+    kOnSell = 2,
+    kStartRound = 3,
+    kOnReply = 4,
+    kOnInterbank = 5,
+    kResendRequests = 6,
+    kPollWires = 7,
+  };
+
   BankFederation(const ZmailParams& params, std::size_t n_banks,
                  std::uint64_t seed);
 
@@ -65,9 +119,27 @@ class BankFederation {
   // --- Federated snapshot round --------------------------------------------
   // Emits one sealed request per compliant ISP (from its home bank).
   std::vector<std::pair<std::size_t, crypto::Bytes>> start_snapshot();
+  // Restarts (or starts) the round at one bank only — the recovery path
+  // when a bank was down while its peers opened the round.
+  std::vector<std::pair<std::size_t, crypto::Bytes>> start_snapshot_for(
+      std::size_t bank);
+  // Re-requests reports from `bank`'s silent members (round still open).
+  std::vector<std::pair<std::size_t, crypto::Bytes>> resend_requests(
+      std::size_t bank);
   void on_reply(std::size_t isp, const crypto::Bytes& wire);
-  bool round_open() const noexcept { return !canrequest_; }
-  std::uint64_t seq() const noexcept { return seq_; }
+  // Inter-bank plane: deliver a peer bank's sealed wire to `bank`.
+  void on_interbank(std::size_t bank, std::size_t from_bank,
+                    std::uint8_t kind, const crypto::Bytes& wire);
+  // Retransmits `bank`'s unacked inter-bank wires whose backoff expired.
+  void poll_interbank(std::size_t bank, std::int64_t now);
+
+  bool round_open() const noexcept;              // any bank mid-round
+  bool round_open(std::size_t bank) const;
+  std::uint64_t seq() const noexcept;            // min over member banks
+  std::uint64_t seq(std::size_t bank) const;
+  // True when every bank closed its round and no inter-bank wire awaits an
+  // ack — the globally consistent cut the auditor's pairwise checks need.
+  bool idle() const;
 
   const std::vector<CreditViolation>& last_violations() const noexcept {
     return last_violations_;
@@ -78,30 +150,115 @@ class BankFederation {
   void set_isp_account(std::size_t isp, Money v);
   // Net clearing position of bank b toward the rest of the federation
   // (positive: the federation owes b).
-  Money clearing_position(std::size_t bank) const {
-    return clearing_.at(bank);
-  }
+  Money clearing_position(std::size_t bank) const;
+  // Cumulative netted flow recorded at `bank` against `peer` (negative:
+  // bank's members paid peer's members net).  Antisymmetric at idle cuts.
+  Money clearing_pair(std::size_t bank, std::size_t peer) const;
 
-  const FederationMetrics& metrics() const noexcept { return metrics_; }
+  // Aggregated across member banks; rounds_completed is the minimum (a
+  // round counts when *every* bank closed it), everything else sums.
+  FederationMetrics metrics() const;
+  const FederationMetrics& metrics(std::size_t bank) const;
+
+  // --- Durability & the networked inter-bank plane -------------------------
+  // When set, inter-bank wires are handed to the sink (the facade sends
+  // them as datagrams); when null, they self-deliver synchronously.
+  using InterbankSink = std::function<void(
+      std::size_t from, std::size_t to, std::uint8_t kind, crypto::Bytes wire)>;
+  void set_interbank_sink(InterbankSink sink) { sink_ = std::move(sink); }
+
+  void attach_wal(std::size_t bank, store::WalSink* wal);
+  store::WalSink* wal(std::size_t bank) const;
+  crypto::Bytes serialize_state(std::size_t bank) const;
+  bool restore_state(std::size_t bank, const crypto::Bytes& state);
+  void apply_wal_record(std::size_t bank, std::uint8_t op,
+                        const crypto::Bytes& payload);
+  // Drops one bank's in-memory state (fresh-construct) ahead of recover().
+  void reset_bank(std::size_t bank);
 
  private:
-  void verify_round();
+  struct PeerLedger {
+    bool any_applied = false;
+    std::uint64_t applied_hi = 0;  // highest round applied from this peer
+  };
+  struct TradeLedger {
+    bool any_applied = false;
+    std::uint64_t applied_hi = 0;  // highest applied nonce counter
+    crypto::Nonce last_nonce;      // nonce of the cached reply
+    crypto::Bytes last_reply;      // sealed wire, replayed on duplicate
+  };
+  struct PendingWire {
+    bool active = false;
+    std::uint8_t kind = 0;
+    std::uint64_t round = 0;
+    std::uint32_t attempts = 0;
+    std::int64_t next_at = 0;  // 0 = not yet armed by a poll
+    crypto::Bytes wire;
+  };
+  // One self-contained federation shard: everything a crash must not lose.
+  struct MemberBank {
+    Rng rng{0};
+    std::uint64_t seq = 0;
+    bool canrequest = true;
+    std::vector<bool> reported;     // per ISP; only members meaningful
+    std::size_t outstanding = 0;
+    std::vector<std::vector<EPenny>> verify;  // full n×n matrix view
+    std::vector<bool> colset_from;  // per bank; self ⇔ gather complete
+    bool verified = false;          // owned pairs checked this round
+    std::vector<Money> partial_net;   // per peer: my net flow me→peer
+    std::vector<Money> peer_partial;  // per peer: peer's net peer→me
+    std::vector<bool> transfer_from;  // per peer: clearing applied
+    std::vector<bool> pair_netted;    // per peer: both partials combined
+    Money clearing_pos = Money::zero();
+    std::vector<Money> clearing_pair;   // cumulative per peer
+    std::vector<PeerLedger> col_ledger;
+    std::vector<PeerLedger> clr_ledger;
+    std::vector<TradeLedger> buy_ledger;   // per ISP
+    std::vector<TradeLedger> sell_ledger;  // per ISP
+    std::vector<PendingWire> pending;      // [2p]=columns→p, [2p+1]=clearing→p
+    std::vector<CreditViolation> violations;  // owned pairs, last verify
+    FederationMetrics metrics;
+    store::WalSink* wal = nullptr;  // not serialized; reattached on rebuild
+  };
+
+  void log_op(std::size_t bank, WalOp op, const crypto::Bytes& payload);
+  void init_bank(std::size_t bank);
+  void open_round(std::size_t bank);
+  std::size_t compliant_members(std::size_t bank) const;
+  void gather_complete(std::size_t bank);
+  void maybe_verify(std::size_t bank);
+  void verify_owned_pairs(std::size_t bank);
+  void combine_pair(std::size_t bank, std::size_t peer);
+  void try_close_round(std::size_t bank);
+  void handle_columns(std::size_t bank, std::size_t from,
+                      crypto::ByteReader& r, std::uint64_t round);
+  void handle_clearing(std::size_t bank, std::size_t from,
+                       crypto::ByteReader& r, std::uint64_t round);
+  void handle_ack(std::size_t bank, std::size_t from, FedMsg acked,
+                  std::uint64_t round);
+  void emit(std::size_t from, std::size_t to, FedMsg kind, std::uint64_t round,
+            const crypto::Bytes& plain, bool track);
+  void send_ack(std::size_t from, std::size_t to, FedMsg acked,
+                std::uint64_t round);
+  void drain_loopback();
+  void rebuild_violations();
 
   const ZmailParams& params_;
   std::size_t n_banks_;
   std::vector<crypto::KeyPair> keys_;
-  Rng rng_;
+  Rng rng_;  // key generation only; per-bank streams do the sealing
+  std::uint64_t seed_ = 0;
 
-  std::vector<Money> accounts_;       // per ISP, held at its home bank
-  std::vector<Money> clearing_;       // per bank, netted federation position
-  std::vector<std::vector<EPenny>> verify_;
-  std::vector<bool> reported_;
-  std::uint64_t seq_ = 0;
-  std::size_t outstanding_ = 0;
-  bool canrequest_ = true;
+  std::vector<Money> accounts_;  // per ISP, held at its home bank
+  std::vector<MemberBank> banks_;
+
+  InterbankSink sink_;
+  bool replaying_ = false;  // WAL replay: suppress wire emission
+  bool draining_ = false;
+  std::deque<std::tuple<std::size_t, std::size_t, std::uint8_t, crypto::Bytes>>
+      loopback_;
 
   std::vector<CreditViolation> last_violations_;
-  FederationMetrics metrics_;
 };
 
 }  // namespace zmail::core

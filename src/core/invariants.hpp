@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "core/federated_system.hpp"
 #include "core/system.hpp"
 
 namespace zmail::core {
@@ -73,6 +74,42 @@ class InvariantAuditor {
   ZmailSystem* sys_;
   Money initial_real_money_;
   bool expect_consistent_ = true;
+  InvariantReport report_;
+};
+
+// Federation-wide zero-sum auditor: the same safety net over a
+// FederatedZmailSystem.  Beyond the single-bank invariants (e-penny
+// conservation against the summed mint of all member banks, real-money
+// conservation against the federation's vault backing) it checks the
+// properties only a federation can violate:
+//
+//   - clearing accounts net to zero — at every globally idle cut (all
+//     rounds closed, no inter-bank wire awaiting an ack) the pairwise
+//     clearing entries are antisymmetric (pair(a,b) + pair(b,a) == 0) and
+//     the net positions sum to zero across banks;
+//   - no round double-applies — after any crash/WAL-replay the banks'
+//     round seqs agree at idle cuts, and duplicate inter-bank deliveries
+//     were absorbed by the ledgers (tallied, not re-applied; a
+//     re-application would break antisymmetry or conservation above).
+//
+// Mid-round cuts legitimately hold asymmetric partial state (one side of
+// a pair combined, the other still waiting on a clearing wire), so the
+// pairwise checks are gated on federation().idle(); the conservation
+// checks run unconditionally.
+class FederationAuditor {
+ public:
+  explicit FederationAuditor(FederatedZmailSystem& sys);
+
+  void check_now();
+  void run_continuously(sim::Duration period);
+  const InvariantReport& report() const noexcept { return report_; }
+  void assert_ok() const;
+
+ private:
+  void fail(std::string msg);
+
+  FederatedZmailSystem* sys_;
+  Money initial_real_money_;
   InvariantReport report_;
 };
 

@@ -273,6 +273,77 @@ json::Value snapshot(const core::ShardedSystem& sys, Schema v) {
   return j;
 }
 
+json::Value snapshot(const core::FederatedZmailSystem& sys, Schema v) {
+  const core::ZmailParams& p = sys.params();
+  const core::BankFederation& fed = sys.federation();
+  json::Value j = json::Value::object();
+  j["sim_time"] = static_cast<std::int64_t>(sys.now());
+  j["n_isps"] = static_cast<std::uint64_t>(p.n_isps);
+  j["users_per_isp"] = static_cast<std::uint64_t>(p.users_per_isp);
+  j["n_banks"] = static_cast<std::uint64_t>(sys.bank_count());
+
+  j["isp_totals"] = to_json(sys.total_isp_metrics(), v);
+
+  const core::FederationMetrics m = fed.metrics();
+  json::Value& f = j["federation"];
+  f["rounds_completed"] = m.rounds_completed;
+  f["requests_sent"] = m.requests_sent;
+  f["reports_received"] = m.reports_received;
+  f["interbank_messages"] = m.interbank_messages;
+  f["interbank_bytes"] = m.interbank_bytes;
+  f["settlements_intra_bank"] = m.settlements_intra_bank;
+  f["settlements_cross_bank"] = m.settlements_cross_bank;
+  f["clearing_transfers"] = m.clearing_transfers;
+  f["violations_found"] = m.violations_found;
+  f["epennies_minted"] = static_cast<std::int64_t>(m.epennies_minted);
+  f["epennies_burned"] = static_cast<std::int64_t>(m.epennies_burned);
+  if (v == Schema::kV2) {
+    f["clearing_messages"] = m.clearing_messages;
+    f["interbank_acks"] = m.interbank_acks;
+    f["interbank_retries"] = m.interbank_retries;
+    f["duplicate_trades"] = m.duplicate_trades;
+    f["stale_trades"] = m.stale_trades;
+    f["duplicate_interbank"] = m.duplicate_interbank;
+    f["stale_interbank"] = m.stale_interbank;
+    f["bad_envelopes"] = m.bad_envelopes;
+    f["snapshot_rerequests"] = m.snapshot_rerequests;
+  }
+  json::Value& banks = f["per_bank"];
+  banks = json::Value::array();
+  for (std::size_t b = 0; b < sys.bank_count(); ++b) {
+    json::Value e = json::Value::object();
+    e["bank"] = static_cast<std::uint64_t>(b);
+    e["seq"] = fed.seq(b);
+    e["round_open"] = fed.round_open(b);
+    e["clearing_position_micros"] =
+        static_cast<std::int64_t>(fed.clearing_position(b).micros());
+    banks.push_back(std::move(e));
+  }
+
+  json::Value& net = j["network"];
+  net["datagrams_sent"] = sys.network().datagrams_sent();
+  net["bytes_sent"] = sys.network().bytes_sent();
+  net["bank_host_bytes"] = sys.bank_host_bytes();
+
+  json::Value& cons = j["conservation"];
+  cons["total_epennies"] = static_cast<std::int64_t>(sys.total_epennies());
+  cons["holds"] = sys.conservation_holds();
+
+  if (v == Schema::kV2) {
+    const core::ZmailSystem::StoreTotals st = sys.store_totals();
+    json::Value& store = j["store"];
+    store["checkpoints"] = st.checkpoints;
+    store["snapshot_bytes"] = st.snapshot_bytes;
+    store["wal_records_appended"] = st.wal_records_appended;
+    store["wal_records_truncated"] = st.wal_records_truncated;
+    store["wal_bytes_appended"] = st.wal_bytes_appended;
+    store["wal_syncs"] = st.wal_syncs;
+    store["wal_fsyncs"] = st.wal_fsyncs;
+    store["state_recoveries"] = sys.state_recoveries();
+  }
+  return j;
+}
+
 void MetricsRegistry::add(std::string name, Provider provider) {
   providers_.emplace_back(std::move(name), std::move(provider));
 }
@@ -281,6 +352,12 @@ void MetricsRegistry::add_system(std::string name,
                                  const core::ZmailSystem& sys) {
   // Captures `this` so the schema chosen via set_schema() — possibly after
   // registration — governs the export.
+  add(std::move(name),
+      [this, &sys] { return zmail::obs::snapshot(sys, schema_); });
+}
+
+void MetricsRegistry::add_system(std::string name,
+                                 const core::FederatedZmailSystem& sys) {
   add(std::move(name),
       [this, &sys] { return zmail::obs::snapshot(sys, schema_); });
 }

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/federated_system.hpp"
 #include "core/metrics.hpp"
 #include "core/sharded_system.hpp"
 #include "core/system.hpp"
@@ -55,6 +56,14 @@ json::Value snapshot(const core::ZmailSystem& sys, Schema v = Schema::kV1);
 // messages, barrier audits) when the sharded engine is live.
 json::Value snapshot(const core::ShardedSystem& sys, Schema v = Schema::kV1);
 
+// Snapshot of a federated-bank world: ISP totals plus a "federation"
+// section (rounds, inter-bank messages/bytes, cross-bank settlements,
+// clearing transfers, violations, and per-bank seq/clearing positions).
+// kV2 appends the robustness counters (retries, absorbed duplicates,
+// re-requests) and the per-bank durable-store totals.
+json::Value snapshot(const core::FederatedZmailSystem& sys,
+                     Schema v = Schema::kV1);
+
 // Named lazy metric sources.  Providers are invoked at snapshot() time, so
 // a registry built before a run observes the state at export, not at
 // registration.  Registration order is serialization order.
@@ -67,6 +76,7 @@ class MetricsRegistry {
   // schema is read at snapshot() time, so set_schema() may follow.  The
   // system must outlive the registry's last snapshot() call.
   void add_system(std::string name, const core::ZmailSystem& sys);
+  void add_system(std::string name, const core::FederatedZmailSystem& sys);
 
   // Selects the export schema (default kV1, the legacy byte-stable
   // layout).  Affects the top-level "schema" string and every provider

@@ -341,4 +341,148 @@ ScenarioResult ScenarioRunner::run() {
   return result;
 }
 
+FederatedScenarioRunner::FederatedScenarioRunner(const Scenario& scenario,
+                                                 std::size_t n_banks)
+    : scenario_(scenario),
+      world_(std::make_unique<FederatedZmailSystem>(scenario.params_, n_banks,
+                                                    scenario.seed_)) {}
+
+ScenarioResult FederatedScenarioRunner::run() {
+  ScenarioResult result;
+  auto fail = [&](std::size_t line, const std::string& msg) {
+    result.failures.push_back(ScenarioError{line, msg});
+  };
+  auto addr = [](std::size_t isp, std::size_t user) {
+    return net::make_user_address(isp, user);
+  };
+  auto in_range = [&](const std::pair<std::size_t, std::size_t>& who) {
+    return who.first < world_->params().n_isps &&
+           who.second < world_->params().users_per_isp;
+  };
+
+  for (const auto& cmd : scenario_.commands_) {
+    ++result.commands_executed;
+    const auto& a = cmd.args;
+
+    if (cmd.verb == "send") {
+      if (a.size() < 2) {
+        fail(cmd.line, "send needs <from> <to>");
+        continue;
+      }
+      const auto from = parse_user_ref(a[0]);
+      const auto to = parse_user_ref(a[1]);
+      if (!from || !to || !in_range(*from) || !in_range(*to)) {
+        fail(cmd.line, "send: bad or out-of-range user ref");
+        continue;
+      }
+      std::string subject = "scenario";
+      if (a.size() > 2 && a[2] == "subject" && a.size() > 3) subject = a[3];
+      world_->send_email(addr(from->first, from->second),
+                         addr(to->first, to->second), subject, "body");
+    } else if (cmd.verb == "buy" || cmd.verb == "sell") {
+      if (a.size() != 2) {
+        fail(cmd.line, cmd.verb + " needs <user> <n>");
+        continue;
+      }
+      const auto who = parse_user_ref(a[0]);
+      const auto n = to_int(a[1]);
+      if (!who || !n || !in_range(*who)) {
+        fail(cmd.line, cmd.verb + ": bad arguments");
+        continue;
+      }
+      const auto address = addr(who->first, who->second);
+      const TradeOutcome out = cmd.verb == "buy"
+                                   ? world_->buy_epennies(address, *n)
+                                   : world_->sell_epennies(address, *n);
+      if (!out.ok()) fail(cmd.line, cmd.verb + " refused");
+    } else if (cmd.verb == "run") {
+      const auto d = a.empty() ? std::nullopt : parse_duration(a[0]);
+      if (!d) {
+        fail(cmd.line, "run needs a duration like 10m");
+        continue;
+      }
+      world_->run_for(*d);
+    } else if (cmd.verb == "day") {
+      for (std::size_t i = 0; i < world_->params().n_isps; ++i)
+        world_->isp(i).end_of_day();
+    } else if (cmd.verb == "snapshot") {
+      world_->start_snapshot();
+    } else if (cmd.verb == "crash") {
+      // crash bank<k> <duration>: only the banks are durable in a
+      // federated world; ISPs keep in-memory state.
+      if (!world_->params().store.enabled) {
+        fail(cmd.line, "crash requires the durable store (--store-dir)");
+        continue;
+      }
+      const auto d = a.size() == 2 ? parse_duration(a[1]) : std::nullopt;
+      std::optional<std::size_t> bank;
+      if (a.size() == 2 && a[0].rfind("bank", 0) == 0) {
+        const std::string idx = a[0].substr(4);
+        const auto b = idx.empty() ? std::optional<std::int64_t>(0)
+                                   : to_int(idx);
+        if (b && *b >= 0 &&
+            static_cast<std::size_t>(*b) < world_->bank_count())
+          bank = static_cast<std::size_t>(*b);
+      }
+      if (!bank || !d) {
+        fail(cmd.line, "crash needs bank<k> <duration> in a federated world");
+        continue;
+      }
+      world_->crash_host(world_->bank_host(*bank), *d);
+    } else if (cmd.verb == "expect") {
+      if (a.empty()) {
+        fail(cmd.line, "empty expect");
+        continue;
+      }
+      if (a[0] == "balance" && a.size() == 3) {
+        const auto who = parse_user_ref(a[1]);
+        const auto want = to_int(a[2]);
+        if (!who || !want || !in_range(*who)) {
+          fail(cmd.line, "expect balance <user> <n>");
+          continue;
+        }
+        const EPenny got = world_->isp(who->first).user(who->second).balance;
+        if (got != *want)
+          fail(cmd.line, "expect balance " + a[1] + ": got " +
+                             std::to_string(got) + ", want " + a[2]);
+      } else if (a[0] == "violations" && a.size() == 2) {
+        const auto want = to_int(a[1]);
+        const auto got = static_cast<std::int64_t>(
+            world_->federation().last_violations().size());
+        if (!want || got != *want)
+          fail(cmd.line, "expect violations: got " + std::to_string(got));
+      } else if (a[0] == "conservation") {
+        if (!world_->conservation_holds())
+          fail(cmd.line, "conservation violated");
+      } else {
+        fail(cmd.line, "unknown expectation: " + a[0]);
+      }
+    } else if (cmd.verb == "print") {
+      if (!a.empty() && a[0] == "balances") {
+        for (std::size_t i = 0; i < world_->params().n_isps; ++i) {
+          for (std::size_t u = 0; u < world_->params().users_per_isp; ++u) {
+            char line[96];
+            std::snprintf(line, sizeof line, "%s balance=%lld",
+                          net::make_user_address(i, u).str().c_str(),
+                          static_cast<long long>(
+                              world_->isp(i).user(u).balance));
+            result.output.emplace_back(line);
+          }
+        }
+      } else {
+        char line[64];
+        std::snprintf(line, sizeof line, "t=%s",
+                      sim::format_time(world_->now()).c_str());
+        result.output.emplace_back(line);
+      }
+    } else {
+      // spam / flip / policy model the mixed compliant/legacy deployment,
+      // which the all-compliant federated facade does not have.
+      fail(cmd.line,
+           "verb not supported in a federated world: " + cmd.verb);
+    }
+  }
+  return result;
+}
+
 }  // namespace zmail::core

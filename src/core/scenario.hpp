@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/federated_system.hpp"
 #include "core/sharded_system.hpp"
 #include "core/system.hpp"
 
@@ -63,6 +64,7 @@ class Scenario {
 
  private:
   friend class ScenarioRunner;
+  friend class FederatedScenarioRunner;
 
   struct Command {
     std::size_t line = 0;
@@ -102,6 +104,24 @@ class ScenarioRunner {
  private:
   const Scenario& scenario_;
   std::unique_ptr<ShardedSystem> world_;
+};
+
+// Executes a parsed scenario against a FederatedZmailSystem with `n_banks`
+// member banks (scenario_runner --banks N).  The federated world is
+// all-compliant, so the mixed-deployment verbs (`spam`, `flip`, `policy`)
+// fail cleanly; `crash bank<k> <dur>` crashes member bank k (durable store
+// required), and `expect violations` reads the federation's last verify.
+class FederatedScenarioRunner {
+ public:
+  FederatedScenarioRunner(const Scenario& scenario, std::size_t n_banks);
+
+  ScenarioResult run();
+
+  FederatedZmailSystem& world() noexcept { return *world_; }
+
+ private:
+  const Scenario& scenario_;
+  std::unique_ptr<FederatedZmailSystem> world_;
 };
 
 // --- Parsing helpers exposed for reuse and direct testing -----------------
