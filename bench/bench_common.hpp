@@ -18,6 +18,9 @@
 //       --no-json      skip the JSON file
 //       --trace PATH   enable the flight recorder; export to PATH at finish
 //                      (.json → Chrome/Perfetto trace, else compact binary)
+//       --telemetry    benches that support it run an instrumented overlay
+//                      world and embed its time-series in the JSON (off by
+//                      default so JSON output stays byte-stable)
 //   - runs parameter grids on the parallel sweep harness (run_sweep), and
 //   - emits BENCH_<name>.json (wall time, checks, merged sweep statistics)
 //     alongside the stdout tables.
@@ -49,6 +52,7 @@ struct Options {
   std::uint64_t seed = 42;
   bool smoke = false;
   bool audit = false;  // run the InvariantAuditor continuously inside replicas
+  bool telemetry = false;  // run the bench's telemetry-overlay section
   bool write_json = true;
   std::string json_path;     // empty: BENCH_<name>.json in the working dir
   std::string compare_path;  // previous BENCH_<name>.json to diff against
@@ -117,6 +121,10 @@ class Bench {
   // Free-form additions to the JSON "metrics" object (headline numbers the
   // tables print, environment notes, ...).
   json::Value& metrics() { return json_["metrics"]; }
+
+  // Extra top-level JSON section (e.g. the --telemetry overlay).  Only call
+  // when actually writing something: merely naming a key creates it.
+  json::Value& section(const std::string& key) { return json_[key]; }
 
   // Runs a parameter grid through the parallel sweep harness with this
   // bench's --threads/--replicas/--seed and records the merged result under
@@ -235,6 +243,8 @@ class Bench {
         options_.smoke = true;
       } else if (std::strcmp(a, "--audit") == 0) {
         options_.audit = true;
+      } else if (std::strcmp(a, "--telemetry") == 0) {
+        options_.telemetry = true;
       } else if (std::strcmp(a, "--json") == 0) {
         options_.json_path = need_value(i, a);
       } else if (std::strcmp(a, "--no-json") == 0) {
@@ -248,8 +258,9 @@ class Bench {
       } else {
         std::fprintf(stderr,
                      "unknown flag %s\nusage: %s [--threads N] [--replicas N]"
-                     " [--seed S] [--smoke] [--audit] [--json PATH]"
-                     " [--no-json] [--compare BASELINE.json] [--trace PATH]\n",
+                     " [--seed S] [--smoke] [--audit] [--telemetry]"
+                     " [--json PATH] [--no-json] [--compare BASELINE.json]"
+                     " [--trace PATH]\n",
                      a, argc > 0 ? argv[0] : "bench");
         std::exit(2);
       }

@@ -13,6 +13,8 @@
 #include "bench_common.hpp"
 #include "core/system.hpp"
 #include "econ/spammer.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/registry.hpp"
 #include "util/table.hpp"
 #include "workload/traffic.hpp"
 
@@ -209,6 +211,54 @@ void e1f_market_equilibrium() {
                "well-targeted advertising survives, as intended");
 }
 
+void e1g_telemetry_overlay(bench::Bench& harness) {
+  // --telemetry: replay the E1.d compliant-world blast with the telemetry
+  // registry attached and embed the market + mail-flow series in the bench
+  // JSON, so the campaign's economic footprint (stamp price, delivery and
+  // refusal rates, e-penny supply) can be plotted straight from
+  // BENCH_e1_spammer_economics.json.  Off by default: the extra section
+  // would break byte-for-byte JSON comparisons between runs.
+  core::ZmailParams p;
+  p.n_isps = 4;
+  p.users_per_isp = 100;
+  p.initial_user_balance = 500;
+  p.default_daily_limit = 100'000;
+  p.record_inboxes = false;
+  core::ZmailSystem sys(p, harness.options().seed);
+  telemetry::TelemetryConfig tc;
+  tc.enabled = true;
+  tc.sample_period = sim::kMinute;
+  sys.enable_telemetry(tc);
+
+  Rng seeder(harness.options().seed ^ 0xB1A57ULL);
+  workload::CorpusGenerator corpus(workload::CorpusParams{}, seeder.split());
+  workload::SpamCampaignParams cp;
+  cp.messages = 5'000;
+  Rng rng = seeder.split();
+  (void)workload::run_spam_campaign(sys, cp, corpus, rng);
+  sys.run_for(sim::kHour);
+
+  telemetry::DeriveSpec spec;
+  spec.endowment_epennies =
+      static_cast<double>(sys.initial_endowment_owned());
+  std::vector<telemetry::Series> merged =
+      telemetry::merge_series({sys.telemetry()}, spec);
+  // Keep the economics-relevant slice: every econ series plus the world
+  // mail-flow totals.
+  std::vector<telemetry::Series> overlay;
+  for (auto& s : merged) {
+    const bool flow_total = s.scope == "core" && s.name.rfind("total.", 0) == 0;
+    if (!s.engine && (s.scope == "econ" || flow_total))
+      overlay.push_back(std::move(s));
+  }
+  json::Value j = json::Value::object();
+  j["sample_period_us"] = static_cast<std::uint64_t>(sim::kMinute);
+  j["series"] = telemetry::timeseries_json(overlay, /*engine=*/false);
+  harness.section("telemetry") = std::move(j);
+  std::printf("telemetry overlay: %zu series embedded in JSON\n",
+              overlay.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -220,5 +270,6 @@ int main(int argc, char** argv) {
   e1d_simulated_blast(harness);
   e1e_price_sensitivity();
   e1f_market_equilibrium();
+  if (harness.options().telemetry) e1g_telemetry_overlay(harness);
   return harness.finish();
 }

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -29,6 +30,8 @@
 #include "core/obs.hpp"
 #include "core/scenario.hpp"
 #include "sim/sweep.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/probes.hpp"
 #include "trace/analyze.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
@@ -82,6 +85,16 @@ struct Args {
   std::string store_dir;  // non-empty enables the durable store
   sim::Duration checkpoint_interval = 0;
   std::string trace_path;  // non-empty enables the flight recorder
+  // Telemetry (any non-empty output path enables the sampling engine).
+  std::string telemetry_csv;   // long-format CSV of every recorded series
+  std::string telemetry_prom;  // Prometheus exposition, rewritten per tick
+  std::string telemetry_json;  // obs v3 snapshot (timeseries + probes)
+  sim::Duration telemetry_period = sim::kMinute;
+
+  bool telemetry_on() const {
+    return !telemetry_csv.empty() || !telemetry_prom.empty() ||
+           !telemetry_json.empty();
+  }
 };
 
 int usage(const char* argv0) {
@@ -115,9 +128,75 @@ int usage(const char* argv0) {
                "                            and export them to PATH (.json =\n"
                "                            Chrome/Perfetto trace-event format,\n"
                "                            else compact binary).  Single\n"
-               "                            replica only.\n",
+               "                            replica only.\n"
+               "  --telemetry PATH.csv      sample time series during the run\n"
+               "                            and write them as long-format CSV\n"
+               "                            (zmail_top renders it).  Single\n"
+               "                            replica only.\n"
+               "  --telemetry-json PATH     write an obs v3 snapshot with the\n"
+               "                            timeseries + probe sections\n"
+               "  --telemetry-prom PATH     rewrite PATH with the Prometheus\n"
+               "                            text exposition at each sampling\n"
+               "                            tick (unsharded worlds only)\n"
+               "  --telemetry-period DUR    sampling cadence in sim time\n"
+               "                            (default 1m)\n",
                argv0);
   return 2;
+}
+
+telemetry::TelemetryConfig telemetry_config(const Args& args) {
+  telemetry::TelemetryConfig cfg;
+  cfg.enabled = true;
+  cfg.sample_period = args.telemetry_period;
+  cfg.prom_path = args.telemetry_prom;
+  return cfg;
+}
+
+// Post-run telemetry export (single replica): merged series to CSV, the
+// default probe rules evaluated retrospectively (fires/clears logged via
+// the "probe" tag) with a console summary, and optionally the obs v3
+// snapshot built by `v3_snapshot`.  Returns 0 or the process exit code.
+int export_telemetry(
+    const Args& args,
+    const std::vector<const telemetry::TelemetryRegistry*>& regs,
+    double endowment_epennies,
+    const std::function<json::Value()>& v3_snapshot) {
+  telemetry::DeriveSpec spec;
+  spec.endowment_epennies = endowment_epennies;
+  const std::vector<telemetry::Series> merged =
+      telemetry::merge_series(regs, spec);
+  std::size_t points = 0;
+  for (const auto& s : merged) points += s.points.size();
+
+  telemetry::ProbeEngine probes;
+  for (telemetry::ProbeRule& r : telemetry::default_rules())
+    probes.add_rule(std::move(r));
+  const telemetry::ProbeReport report = probes.evaluate(merged);
+  std::size_t transitions = 0;
+  for (const auto& p : report.probes) transitions += p.transitions.size();
+  std::printf(
+      "telemetry: %zu series, %zu points; probes: %zu evaluated, %zu "
+      "firing, %zu transition(s)\n",
+      merged.size(), points, report.evaluated_count(), report.firing_count(),
+      transitions);
+
+  if (!args.telemetry_csv.empty()) {
+    std::string err;
+    if (!telemetry::write_csv(args.telemetry_csv, merged, &err)) {
+      std::fprintf(stderr, "telemetry CSV export failed: %s\n", err.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", args.telemetry_csv.c_str());
+  }
+  if (!args.telemetry_json.empty()) {
+    std::string err;
+    if (!json::write_file(args.telemetry_json, v3_snapshot(), &err)) {
+      std::fprintf(stderr, "telemetry JSON export failed: %s\n", err.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", args.telemetry_json.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -169,6 +248,23 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v || !*v) return usage(argv[0]);
       args.trace_path = v;
+    } else if (std::strcmp(a, "--telemetry") == 0) {
+      const char* v = value();
+      if (!v || !*v) return usage(argv[0]);
+      args.telemetry_csv = v;
+    } else if (std::strcmp(a, "--telemetry-json") == 0) {
+      const char* v = value();
+      if (!v || !*v) return usage(argv[0]);
+      args.telemetry_json = v;
+    } else if (std::strcmp(a, "--telemetry-prom") == 0) {
+      const char* v = value();
+      if (!v || !*v) return usage(argv[0]);
+      args.telemetry_prom = v;
+    } else if (std::strcmp(a, "--telemetry-period") == 0) {
+      const char* v = value();
+      const auto d = v ? core::parse_duration(v) : std::nullopt;
+      if (!d || *d <= 0) return usage(argv[0]);
+      args.telemetry_period = *d;
     } else if (a[0] == '-' && std::strcmp(a, "-") != 0) {
       return usage(argv[0]);
     } else if (args.script.empty()) {
@@ -220,6 +316,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--banks and --shards are mutually exclusive\n");
     return 2;
   }
+  if (args.telemetry_on() && args.replicas > 1) {
+    // One world, one set of series: replicas would overwrite each other's
+    // output files.
+    std::fprintf(stderr, "--telemetry requires --replicas 1\n");
+    return 2;
+  }
   if (args.audit && args.banks == 0) {
     std::fprintf(stderr, "--audit requires --banks\n");
     return 2;
@@ -241,6 +343,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> first_output;
   std::vector<core::ScenarioError> first_failures;
   std::mutex first_mutex;
+  int telemetry_rc = 0;  // only written with --telemetry (replicas == 1)
 
   sweep::SweepOptions so;
   so.base_seed = base_seed;
@@ -265,6 +368,8 @@ int main(int argc, char** argv) {
           core::FederatedScenarioRunner runner(copy, args.banks);
           core::FederationAuditor auditor(runner.world());
           if (args.audit) auditor.run_continuously(10 * sim::kMinute);
+          if (args.telemetry_on())
+            runner.world().enable_telemetry(telemetry_config(args));
           r = runner.run();
           auditor.check_now();
           if (args.audit && !auditor.report().ok())
@@ -286,10 +391,26 @@ int main(int argc, char** argv) {
           const core::IspMetrics m = runner.world().total_isp_metrics();
           bag.count("emails_delivered",
                     static_cast<double>(m.emails_delivered));
+          if (args.telemetry_on()) {
+            const core::ZmailParams& wp = runner.world().params();
+            const double endowment =
+                static_cast<double>(wp.n_isps) *
+                (static_cast<double>(wp.initial_avail) +
+                 static_cast<double>(wp.users_per_isp) *
+                     static_cast<double>(wp.initial_user_balance));
+            obs::MetricsRegistry reg;
+            reg.set_schema(obs::Schema::kV3);
+            reg.add_system("scenario", runner.world());
+            telemetry_rc = export_telemetry(
+                args, {runner.world().telemetry()}, endowment,
+                [&reg] { return reg.snapshot(); });
+          }
         } else {
           core::ShardOptions shard_opts;
           shard_opts.shards = args.shards;
           core::ScenarioRunner runner(copy, shard_opts);
+          if (args.telemetry_on())
+            runner.world().enable_telemetry(telemetry_config(args));
           r = runner.run();
           const core::IspMetrics m = runner.world().total_isp_metrics();
           bag.count("emails_delivered", static_cast<double>(m.emails_delivered));
@@ -297,6 +418,15 @@ int main(int argc, char** argv) {
                     static_cast<double>(m.refused_no_balance));
           bag.count("refused_daily_limit",
                     static_cast<double>(m.refused_daily_limit));
+          if (args.telemetry_on()) {
+            obs::MetricsRegistry reg;
+            reg.set_schema(obs::Schema::kV3);
+            reg.add_system("scenario", runner.world());
+            telemetry_rc = export_telemetry(
+                args, runner.world().telemetry_registries(),
+                static_cast<double>(runner.world().initial_endowment()),
+                [&reg] { return reg.snapshot(); });
+          }
         }
         bag.count("commands_executed", static_cast<double>(r.commands_executed));
         bag.count("failures", static_cast<double>(r.failures.size()));
@@ -349,5 +479,6 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s\n", args.json_path.c_str());
   }
+  if (telemetry_rc != 0) return telemetry_rc;
   return failures == 0 ? 0 : 1;
 }

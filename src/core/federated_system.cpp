@@ -1,5 +1,6 @@
 #include "core/federated_system.hpp"
 
+#include "core/telemetry_wiring.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
 
@@ -182,6 +183,70 @@ void FederatedZmailSystem::start_snapshot() {
 void FederatedZmailSystem::enable_periodic_snapshots(sim::Duration period) {
   sim_.schedule_every(period, [this] {
     start_snapshot();
+    return true;
+  });
+}
+
+void FederatedZmailSystem::enable_telemetry(
+    const telemetry::TelemetryConfig& cfg) {
+  ZMAIL_ASSERT_MSG(!telemetry_, "telemetry already enabled");
+  telemetry_ = std::make_unique<telemetry::TelemetryRegistry>(cfg);
+  telemetry::TelemetryRegistry& t = *telemetry_;
+
+  for (std::size_t i = 0; i < params_.n_isps; ++i) {
+    const std::string tag = "isp" + std::to_string(i);
+    detail::register_isp_telemetry(
+        t, tag, [this, i]() -> const Isp& { return *isps_[i]; });
+  }
+
+  // Federation-wide supply, named like the central bank's so the derived
+  // conservation-gap series finds it in either topology.
+  t.add_gauge("econ", "bank.epenny_supply", [this] {
+    const FederationMetrics m = fed_->metrics();
+    return static_cast<double>(m.epennies_minted - m.epennies_burned);
+  });
+  t.add_rate("econ", "fed.rounds", [this] {
+    return static_cast<double>(fed_->metrics().rounds_completed);
+  });
+  t.add_rate("econ", "fed.clearing_transfers", [this] {
+    return static_cast<double>(fed_->metrics().clearing_transfers);
+  });
+  t.add_rate("econ", "fed.violations", [this] {
+    return static_cast<double>(fed_->metrics().violations_found);
+  });
+  t.add_rate("net", "fed.interbank_msgs", [this] {
+    return static_cast<double>(fed_->metrics().interbank_messages);
+  });
+  t.add_rate("net", "fed.interbank_retries", [this] {
+    return static_cast<double>(fed_->metrics().interbank_retries);
+  });
+
+  for (std::size_t b = 0; b < n_banks_; ++b) {
+    const std::string tag = "bank" + std::to_string(b);
+    t.add_gauge("econ", tag + ".clearing_position_micros", [this, b] {
+      return static_cast<double>(fed_->clearing_position(b).micros());
+    });
+    if (const store::Checkpointer* cp = host_store(bank_host(b)))
+      detail::register_store_telemetry(t, tag, cp);
+  }
+
+  // engine — this facade is single-process; the engine series keep the
+  // shard0 naming so zmail_top's panels work unchanged.
+  t.add_engine_gauge("sim", "shard0.event_backlog", [this] {
+    return static_cast<double>(sim_.pending());
+  });
+  t.add_engine_rate("sim", "shard0.events", [this] {
+    return static_cast<double>(sim_.events_executed());
+  });
+  t.add_engine_rate("net", "shard0.datagrams", [this] {
+    return static_cast<double>(net_.datagrams_sent());
+  });
+  t.add_engine_rate("net", "shard0.bytes", [this] {
+    return static_cast<double>(net_.bytes_sent());
+  });
+
+  sim_.schedule_every(telemetry_->config().sample_period, [this] {
+    telemetry_->sample(sim_.now());
     return true;
   });
 }

@@ -65,6 +65,17 @@ class FederatedZmailSystem {
   void enable_bank_trading(sim::Duration poll = 5 * sim::kMinute);
   void start_snapshot();
   void enable_periodic_snapshots(sim::Duration period);
+  // Telemetry: one registry for the whole federation — per-ISP econ/core
+  // series (same names as ZmailSystem's), per-bank clearing positions and
+  // WAL backlogs, federation-wide supply/round/violation series.  Read-only
+  // sampling, off by default; see src/telemetry.
+  void enable_telemetry(const telemetry::TelemetryConfig& cfg);
+  telemetry::TelemetryRegistry* telemetry() noexcept {
+    return telemetry_.get();
+  }
+  const telemetry::TelemetryRegistry* telemetry() const noexcept {
+    return telemetry_.get();
+  }
   void run_for(sim::Duration d);
   sim::SimTime now() const { return sim_.now(); }
 
@@ -136,6 +147,7 @@ class FederatedZmailSystem {
   std::unique_ptr<BankFederation> fed_;
   std::vector<std::unique_ptr<Isp>> isps_;
   EPenny in_flight_paid_ = 0;
+  std::unique_ptr<telemetry::TelemetryRegistry> telemetry_;
 
   bool hardened_ = false;
   std::vector<std::unique_ptr<store::Checkpointer>> stores_;  // per bank

@@ -2,14 +2,48 @@
 
 #include "core/bank.hpp"
 #include "core/isp.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/probes.hpp"
 #include "trace/analyze.hpp"
 #include "trace/trace.hpp"
+#include "util/log.hpp"
 
 namespace zmail::obs {
 
 const char* schema_name(Schema v) noexcept {
-  return v == Schema::kV2 ? "zmail-obs-v2" : "zmail-obs-v1";
+  switch (v) {
+    case Schema::kV1: return "zmail-obs-v1";
+    case Schema::kV2: return "zmail-obs-v2";
+    case Schema::kV3: return "zmail-obs-v3";
+  }
+  return "zmail-obs-v1";
 }
+
+namespace {
+
+// The kV3 telemetry sections, shared by every facade's snapshot: merged
+// deterministic series, engine series, and the default probe rules
+// evaluated over the run (without re-logging transitions the live run
+// already logged).
+void append_timeseries(
+    json::Value& j,
+    const std::vector<const telemetry::TelemetryRegistry*>& regs,
+    double endowment_epennies) {
+  if (regs.empty()) return;
+  telemetry::DeriveSpec spec;
+  spec.endowment_epennies = endowment_epennies;
+  const std::vector<telemetry::Series> merged =
+      telemetry::merge_series(regs, spec);
+  j["timeseries"] = telemetry::timeseries_json(merged, /*engine=*/false);
+  j["timeseries_engine"] = telemetry::timeseries_json(merged, /*engine=*/true);
+  telemetry::ProbeEngine probes;
+  for (telemetry::ProbeRule& r : telemetry::default_rules())
+    probes.add_rule(std::move(r));
+  j["probes"] =
+      telemetry::to_json(probes.evaluate(merged, /*log_transitions=*/false));
+}
+
+}  // namespace
 
 json::Value to_json(const core::IspMetrics& m, Schema v) {
   json::Value j = json::Value::object();
@@ -35,7 +69,7 @@ json::Value to_json(const core::IspMetrics& m, Schema v) {
   j["bad_nonce_replies"] = m.bad_nonce_replies;
   j["bad_envelopes"] = m.bad_envelopes;
   j["stale_requests"] = m.stale_requests;
-  if (v == Schema::kV2) {
+  if (v != Schema::kV1) {
     // PR3 fault-recovery counters, folded into the snapshot from v2 on.
     j["bank_retries"] = m.bank_retries;
     j["report_retries"] = m.report_retries;
@@ -58,7 +92,7 @@ json::Value to_json(const core::BankMetrics& m, Schema v) {
   j["inconsistent_pairs_found"] = m.inconsistent_pairs_found;
   j["bad_envelopes"] = m.bad_envelopes;
   j["stale_reports"] = m.stale_reports;
-  if (v == Schema::kV2) {
+  if (v != Schema::kV1) {
     // Bank idempotency-shield counters (duplicate/stale trade absorption).
     j["duplicate_buys"] = m.duplicate_buys;
     j["duplicate_sells"] = m.duplicate_sells;
@@ -159,7 +193,7 @@ json::Value snapshot(const core::ZmailSystem& sys, Schema v) {
       static_cast<std::int64_t>(sys.epennies_in_flight());
   cons["holds"] = sys.conservation_holds();
 
-  if (v == Schema::kV2) {
+  if (v != Schema::kV1) {
     const core::ZmailSystem::StoreTotals st = sys.store_totals();
     json::Value& store = j["store"];
     store["checkpoints"] = st.checkpoints;
@@ -185,6 +219,9 @@ json::Value snapshot(const core::ZmailSystem& sys, Schema v) {
       j["profiles"] = trace::profiles_to_json();
     }
   }
+  if (v == Schema::kV3 && sys.telemetry())
+    append_timeseries(j, {sys.telemetry()},
+                      static_cast<double>(sys.initial_endowment_owned()));
   return j;
 }
 
@@ -234,7 +271,7 @@ json::Value snapshot(const core::ShardedSystem& sys, Schema v) {
       static_cast<std::int64_t>(sys.epennies_in_flight());
   cons["holds"] = sys.conservation_holds();
 
-  if (v == Schema::kV2) {
+  if (v != Schema::kV1) {
     const core::ZmailSystem::StoreTotals st = sys.store_totals();
     json::Value& store = j["store"];
     store["checkpoints"] = st.checkpoints;
@@ -270,6 +307,9 @@ json::Value snapshot(const core::ShardedSystem& sys, Schema v) {
       j["profiles"] = trace::profiles_to_json();
     }
   }
+  if (v == Schema::kV3)
+    append_timeseries(j, sys.telemetry_registries(),
+                      static_cast<double>(sys.initial_endowment()));
   return j;
 }
 
@@ -297,7 +337,7 @@ json::Value snapshot(const core::FederatedZmailSystem& sys, Schema v) {
   f["violations_found"] = m.violations_found;
   f["epennies_minted"] = static_cast<std::int64_t>(m.epennies_minted);
   f["epennies_burned"] = static_cast<std::int64_t>(m.epennies_burned);
-  if (v == Schema::kV2) {
+  if (v != Schema::kV1) {
     f["clearing_messages"] = m.clearing_messages;
     f["interbank_acks"] = m.interbank_acks;
     f["interbank_retries"] = m.interbank_retries;
@@ -329,7 +369,7 @@ json::Value snapshot(const core::FederatedZmailSystem& sys, Schema v) {
   cons["total_epennies"] = static_cast<std::int64_t>(sys.total_epennies());
   cons["holds"] = sys.conservation_holds();
 
-  if (v == Schema::kV2) {
+  if (v != Schema::kV1) {
     const core::ZmailSystem::StoreTotals st = sys.store_totals();
     json::Value& store = j["store"];
     store["checkpoints"] = st.checkpoints;
@@ -341,25 +381,50 @@ json::Value snapshot(const core::FederatedZmailSystem& sys, Schema v) {
     store["wal_fsyncs"] = st.wal_fsyncs;
     store["state_recoveries"] = sys.state_recoveries();
   }
+  if (v == Schema::kV3 && sys.telemetry()) {
+    // Federated endowment: every ISP is compliant in this facade.
+    const double endowment =
+        static_cast<double>(p.n_isps) *
+        (static_cast<double>(p.initial_avail) +
+         static_cast<double>(p.users_per_isp) *
+             static_cast<double>(p.initial_user_balance));
+    append_timeseries(j, {sys.telemetry()}, endowment);
+  }
   return j;
 }
 
-void MetricsRegistry::add(std::string name, Provider provider) {
+bool MetricsRegistry::add(std::string name, Provider provider) {
+  for (const auto& entry : providers_) {
+    if (entry.first == name) {
+      ZMAIL_LOG(LogLevel::kError, "obs",
+                "duplicate metric name \"%s\" rejected: first registration "
+                "wins, this provider is dropped",
+                name.c_str());
+      return false;
+    }
+  }
   providers_.emplace_back(std::move(name), std::move(provider));
+  return true;
 }
 
-void MetricsRegistry::add_system(std::string name,
+bool MetricsRegistry::add_system(std::string name,
                                  const core::ZmailSystem& sys) {
   // Captures `this` so the schema chosen via set_schema() — possibly after
   // registration — governs the export.
-  add(std::move(name),
-      [this, &sys] { return zmail::obs::snapshot(sys, schema_); });
+  return add(std::move(name),
+             [this, &sys] { return zmail::obs::snapshot(sys, schema_); });
 }
 
-void MetricsRegistry::add_system(std::string name,
+bool MetricsRegistry::add_system(std::string name,
+                                 const core::ShardedSystem& sys) {
+  return add(std::move(name),
+             [this, &sys] { return zmail::obs::snapshot(sys, schema_); });
+}
+
+bool MetricsRegistry::add_system(std::string name,
                                  const core::FederatedZmailSystem& sys) {
-  add(std::move(name),
-      [this, &sys] { return zmail::obs::snapshot(sys, schema_); });
+  return add(std::move(name),
+             [this, &sys] { return zmail::obs::snapshot(sys, schema_); });
 }
 
 json::Value MetricsRegistry::snapshot() const {

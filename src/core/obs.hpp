@@ -27,9 +27,14 @@ namespace zmail::obs {
 // ("zmail-obs-v2") folds in the PR3 fault-recovery counters, the PR4 bank
 // idempotency counters, durable-store totals, and — when the flight
 // recorder is enabled — the span-derived per-stage latency breakdown.
-enum class Schema { kV1, kV2 };
+// kV3 ("zmail-obs-v3") is kV2 plus, when the system ran with telemetry
+// enabled, the recorded time series: "timeseries" (deterministic series,
+// bit-identical at any shard/thread count), "timeseries_engine"
+// (partition-dependent engine series), and "probes" (the default health
+// rules evaluated over the run).
+enum class Schema { kV1, kV2, kV3 };
 
-// "zmail-obs-v1" / "zmail-obs-v2".
+// "zmail-obs-v1" / "zmail-obs-v2" / "zmail-obs-v3".
 const char* schema_name(Schema v) noexcept;
 
 json::Value to_json(const core::IspMetrics& m, Schema v = Schema::kV1);
@@ -71,12 +76,16 @@ class MetricsRegistry {
  public:
   using Provider = std::function<json::Value()>;
 
-  void add(std::string name, Provider provider);
+  // False (with an error log) on a duplicate name: the first registration
+  // wins, the new provider is dropped.  Silently shadowing the first in
+  // the JSON output was the old behaviour, and it hid wiring bugs.
+  bool add(std::string name, Provider provider);
   // Convenience: registers obs::snapshot(sys, <registry schema>); the
   // schema is read at snapshot() time, so set_schema() may follow.  The
   // system must outlive the registry's last snapshot() call.
-  void add_system(std::string name, const core::ZmailSystem& sys);
-  void add_system(std::string name, const core::FederatedZmailSystem& sys);
+  bool add_system(std::string name, const core::ZmailSystem& sys);
+  bool add_system(std::string name, const core::ShardedSystem& sys);
+  bool add_system(std::string name, const core::FederatedZmailSystem& sys);
 
   // Selects the export schema (default kV1, the legacy byte-stable
   // layout).  Affects the top-level "schema" string and every provider

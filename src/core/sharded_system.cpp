@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/log.hpp"
 
 namespace zmail::core {
 
@@ -168,6 +169,27 @@ void ShardedSystem::enable_bank_trading(sim::Duration poll) {
 void ShardedSystem::enable_periodic_snapshots(sim::Duration period) {
   // Rounds start where the bank lives; requests fan out over the network.
   shards_[owner_shard(bank_index())]->enable_periodic_snapshots(period);
+}
+
+void ShardedSystem::enable_telemetry(const telemetry::TelemetryConfig& cfg) {
+  telemetry::TelemetryConfig per_shard = cfg;
+  if (sharded() && !per_shard.prom_path.empty()) {
+    ZMAIL_LOG(LogLevel::kWarn, "telemetry",
+              "prometheus exposition is single-registry only; ignoring "
+              "prom_path on a %zu-shard world",
+              shards_.size());
+    per_shard.prom_path.clear();
+  }
+  for (auto& s : shards_) s->enable_telemetry(per_shard);
+}
+
+std::vector<const telemetry::TelemetryRegistry*>
+ShardedSystem::telemetry_registries() const {
+  std::vector<const telemetry::TelemetryRegistry*> out;
+  for (const auto& s : shards_)
+    if (const telemetry::TelemetryRegistry* r = s->telemetry())
+      out.push_back(r);
+  return out;
 }
 
 void ShardedSystem::attach_faults(const net::FaultPlan& plan,
@@ -338,6 +360,12 @@ bool ShardedSystem::conservation_holds() const {
   EPenny initial = 0;
   for (const auto& s : shards_) initial += s->initial_endowment_owned();
   return total_epennies() == initial + bank().epennies_outstanding();
+}
+
+EPenny ShardedSystem::initial_endowment() const {
+  EPenny initial = 0;
+  for (const auto& s : shards_) initial += s->initial_endowment_owned();
+  return initial;
 }
 
 void ShardedSystem::audit_barrier(sim::SimTime at) {

@@ -88,6 +88,16 @@ class ShardedSystem {
   void enable_daily_resets();
   void enable_bank_trading(sim::Duration poll = 5 * sim::kMinute);
   void enable_periodic_snapshots(sim::Duration period);
+  // Telemetry: one registry per shard, each sampling only its owned
+  // entities at the same sim-time cadence, so the merged series (see
+  // telemetry::merge_series) are bit-identical at any shard count.  The
+  // Prometheus exposition path is single-registry-only and ignored here
+  // when sharded (shards would race on the file).
+  void enable_telemetry(const telemetry::TelemetryConfig& cfg);
+  // Per-shard registries for merge/export (empty vector entries never
+  // happen: all shards enable together).  Empty when telemetry is off.
+  std::vector<const telemetry::TelemetryRegistry*> telemetry_registries()
+      const;
 
   // Fault injection: one injector per shard, same plan and seed, keyed
   // per-pair draws (sharded mode) so the injected pattern is identical at
@@ -141,6 +151,9 @@ class ShardedSystem {
   // drift +/- across shards; only the sum is meaningful) against the owned
   // initial endowments plus the bank's net mint.
   bool conservation_holds() const;
+  // World-wide initial e-penny endowment (Σ per-shard owned shares); the
+  // conservation baseline telemetry's derived gap series subtracts from.
+  EPenny initial_endowment() const;
   const BarrierAudit& barrier_audit() const noexcept { return audit_; }
 
   // --- Engine --------------------------------------------------------------

@@ -1,5 +1,6 @@
 #include "core/system.hpp"
 
+#include "core/telemetry_wiring.hpp"
 #include "trace/trace.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -416,6 +417,90 @@ void ZmailSystem::enable_periodic_snapshots(sim::Duration period) {
   });
 }
 
+void ZmailSystem::enable_telemetry(const telemetry::TelemetryConfig& cfg) {
+  ZMAIL_ASSERT_MSG(!telemetry_, "telemetry already enabled");
+  telemetry_ = std::make_unique<telemetry::TelemetryRegistry>(cfg);
+  telemetry::TelemetryRegistry& t = *telemetry_;
+  telem_latency_.assign(params_.n_isps,
+                        telemetry::TelemetryRegistry::kNoChannel);
+
+  // Samplers read through isps_[i] / bank_ at tick time, never a cached
+  // pointer: crash recovery replaces the object under the same slot.
+  // During an outage window they read the party's last pre-crash state,
+  // which is itself sim-deterministic.
+  for (std::size_t i = 0; i < params_.n_isps; ++i) {
+    if (!owns_host(i)) continue;
+    const std::string tag = "isp" + std::to_string(i);
+    if (!isps_[i]) {
+      // Legacy (non-compliant) host: only the ground-truth spam feed.
+      t.add_rate("core", tag + ".legacy_spam_received", [this, i] {
+        return static_cast<double>(legacy_[i].stats.emails_received_spam);
+      });
+      continue;
+    }
+    detail::register_isp_telemetry(
+        t, tag, [this, i]() -> const Isp& { return *isps_[i]; });
+    telem_latency_[i] = t.add_histogram("core", tag + ".delivery_latency_us");
+    if (store::Checkpointer* cp = host_store(i))
+      detail::register_store_telemetry(t, tag, cp);
+  }
+
+  if (bank_) {
+    t.add_gauge("econ", "bank.epenny_supply", [this] {
+      return static_cast<double>(bank_->epennies_outstanding());
+    });
+    t.add_rate("econ", "bank.minted", [this] {
+      return static_cast<double>(bank_->metrics().epennies_minted);
+    });
+    t.add_rate("econ", "bank.burned", [this] {
+      return static_cast<double>(bank_->metrics().epennies_burned);
+    });
+    t.add_rate("econ", "bank.settlements", [this] {
+      return static_cast<double>(bank_->metrics().settlement_transfers);
+    });
+    t.add_gauge("econ", "bank.drift_pairs", [this] {
+      return static_cast<double>(bank_->persistent_drift_pairs());
+    });
+    t.add_rate("core", "bank.credit_reports", [this] {
+      return static_cast<double>(bank_->metrics().credit_reports_received);
+    });
+    if (store::Checkpointer* cp = host_store(bank_host()))
+      detail::register_store_telemetry(t, "bank", cp);
+  }
+
+  // engine — partition-dependent signals (backlogs, engine totals); these
+  // describe this process, not the simulated world, so they live outside
+  // the deterministic section.
+  const std::string sh =
+      "shard" + std::to_string(slice_ ? slice_->shard : 0);
+  t.add_engine_gauge("sim", sh + ".event_backlog", [this] {
+    return static_cast<double>(sim_.pending());
+  });
+  t.add_engine_rate("sim", sh + ".events", [this] {
+    return static_cast<double>(sim_.events_executed());
+  });
+  t.add_engine_rate("sim", sh + ".calendar_rebases", [this] {
+    return static_cast<double>(sim_.calendar_rebases());
+  });
+  t.add_engine_rate("net", sh + ".datagrams", [this] {
+    return static_cast<double>(net_.datagrams_sent());
+  });
+  t.add_engine_rate("net", sh + ".bytes", [this] {
+    return static_cast<double>(net_.bytes_sent());
+  });
+  t.add_engine_rate("net", sh + ".horizon_clamps", [this] {
+    return static_cast<double>(net_.horizon_clamps());
+  });
+  t.add_engine_gauge("net", sh + ".in_flight_transfers", [this] {
+    return static_cast<double>(transfers_.size());
+  });
+
+  sim_.schedule_every(telemetry_->config().sample_period, [this] {
+    telemetry_->sample(sim_.now());
+    return true;
+  });
+}
+
 void ZmailSystem::start_snapshot() {
   // All ISPs share one absolute report deadline.  If each ISP instead timed
   // its own 10 minutes from request *arrival*, the earliest-served ISP
@@ -763,8 +848,12 @@ void ZmailSystem::deliver_via_smtp(std::size_t to_isp, std::size_t from_isp,
   if (const auto stamp = received->header("X-Zmail-Sent-At")) {
     try {
       const auto sent_at = static_cast<sim::SimTime>(std::stoll(*stamp));
-      if (sent_at >= 0 && sent_at <= sim_.now())
+      if (sent_at >= 0 && sent_at <= sim_.now()) {
         latency_.add(sim::to_seconds(sim_.now() - sent_at));
+        if (telemetry_ && to_isp < telem_latency_.size())
+          telemetry_->observe(telem_latency_[to_isp],
+                              static_cast<std::uint64_t>(sim_.now() - sent_at));
+      }
     } catch (...) {
       // Foreign or corrupted stamp: not a latency sample.
     }

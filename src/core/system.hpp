@@ -31,6 +31,7 @@
 #include "net/network.hpp"
 #include "net/smtp.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/registry.hpp"
 #include "util/stats.hpp"
 
 namespace zmail::core {
@@ -142,6 +143,20 @@ class ZmailSystem {
   void enable_periodic_snapshots(sim::Duration period);
   // One snapshot round now (requests go out over the network).
   void start_snapshot();
+
+  // --- Telemetry (src/telemetry; off by default, like tracing) --------------
+  // Registers one time-series sampler per owned entity signal (econ, core,
+  // store scopes plus engine-only sim/net series) and schedules a read-only
+  // sampling tick every cfg.sample_period of simulated time.  The tick draws
+  // no randomness and mutates nothing, so enabling telemetry never changes
+  // what the world does.  Call once, before the run.
+  void enable_telemetry(const telemetry::TelemetryConfig& cfg);
+  telemetry::TelemetryRegistry* telemetry() noexcept {
+    return telemetry_.get();
+  }
+  const telemetry::TelemetryRegistry* telemetry() const noexcept {
+    return telemetry_.get();
+  }
 
   // --- Fault tolerance ------------------------------------------------------
   // Attaches a deterministic fault injector to the network (nullptr
@@ -338,6 +353,11 @@ class ZmailSystem {
 
   std::vector<std::uint64_t> smtp_bytes_in_;
   Sample latency_;
+  // Telemetry (null when off — the off path constructs and schedules
+  // nothing).  telem_latency_[i]: histogram channel for deliveries INTO
+  // ISP i, kNoChannel for unowned/legacy slots.
+  std::unique_ptr<telemetry::TelemetryRegistry> telemetry_;
+  std::vector<std::size_t> telem_latency_;
   EPenny in_flight_paid_ = 0;
   bool snapshots_enabled_ = false;
 

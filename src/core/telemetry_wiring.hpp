@@ -1,0 +1,103 @@
+// Shared telemetry registration for the per-ISP series, used by both
+// ZmailSystem (whole/slice worlds) and FederatedZmailSystem so the two
+// facades expose identical econ/core series names.
+//
+// The getter indirection matters: samplers must dereference the facade's
+// slot at tick time (crash recovery replaces the Isp object under the same
+// index), so callers pass a callable, not a pointer.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/isp.hpp"
+#include "store/checkpoint.hpp"
+#include "telemetry/registry.hpp"
+#include "util/money.hpp"
+
+namespace zmail::core::detail {
+
+inline void register_isp_telemetry(telemetry::TelemetryRegistry& t,
+                                   const std::string& tag,
+                                   std::function<const Isp&()> get) {
+  // econ — the market view of this ISP.
+  // Effective stamp price: till micros moved per net e-penny traded over
+  // the window; carries the last observed price (the paper's $0.01 par
+  // until the first trade) through windows with no net trade.
+  t.add_gauge("econ", tag + ".stamp_price_micros",
+              [get, last_price = double(Money::from_epennies(1).micros()),
+               prev_till = std::int64_t{0}, prev_bought = double(0),
+               prev_sold = double(0)]() mutable {
+                const Isp& isp = get();
+                double bought = 0, sold = 0;
+                isp.users().for_each_active([&](UserId, ConstUserRef u) {
+                  bought += static_cast<double>(u.lifetime_epennies_bought);
+                  sold += static_cast<double>(u.lifetime_epennies_sold);
+                });
+                const std::int64_t till = isp.till().micros();
+                const double net =
+                    (bought - prev_bought) - (sold - prev_sold);
+                if (net != 0.0)
+                  last_price = static_cast<double>(till - prev_till) / net;
+                prev_till = till;
+                prev_bought = bought;
+                prev_sold = sold;
+                return last_price;
+              });
+  t.add_gauge("econ", tag + ".till_micros", [get] {
+    return static_cast<double>(get().till().micros());
+  });
+  t.add_gauge("econ", tag + ".avail_epennies",
+              [get] { return static_cast<double>(get().avail()); });
+  // Everything resident at this ISP: user balances + avail pool +
+  // quiesce-buffered stamps.  Σ over ISPs + in-flight wire = supply.
+  t.add_gauge("econ", tag + ".epennies_held", [get] {
+    return static_cast<double>(get().epennies_held() +
+                               get().buffered_paid());
+  });
+  t.add_rate("econ", tag + ".user_epennies_bought", [get] {
+    double bought = 0;
+    get().users().for_each_active([&](UserId, ConstUserRef u) {
+      bought += static_cast<double>(u.lifetime_epennies_bought);
+    });
+    return bought;
+  });
+  t.add_rate("econ", tag + ".refunds", [get] {
+    return static_cast<double>(get().metrics().emails_refunded);
+  });
+  // core — mail flow and quiesce health.
+  t.add_rate("core", tag + ".delivered", [get] {
+    return static_cast<double>(get().metrics().emails_delivered);
+  });
+  t.add_rate("core", tag + ".blocked", [get] {
+    const IspMetrics& m = get().metrics();
+    return static_cast<double>(m.emails_segregated + m.emails_discarded +
+                               m.emails_filtered_out);
+  });
+  t.add_rate("core", tag + ".refused", [get] {
+    const IspMetrics& m = get().metrics();
+    return static_cast<double>(m.refused_no_balance + m.refused_daily_limit);
+  });
+  t.add_rate("core", tag + ".retransmitted", [get] {
+    return static_cast<double>(get().metrics().emails_retransmitted);
+  });
+  t.add_gauge("core", tag + ".quiesce_buffered", [get] {
+    return static_cast<double>(get().buffered_count());
+  });
+}
+
+// WAL backlog (records logged since the last truncating checkpoint; a
+// party that stops checkpointing climbs steadily) + checkpoint rate.
+inline void register_store_telemetry(telemetry::TelemetryRegistry& t,
+                                     const std::string& tag,
+                                     const store::Checkpointer* cp) {
+  t.add_gauge("store", tag + ".wal_backlog_records", [cp] {
+    return static_cast<double>(cp->wal().stats().records_appended -
+                               cp->stats().wal_records_truncated);
+  });
+  t.add_rate("store", tag + ".checkpoints", [cp] {
+    return static_cast<double>(cp->stats().checkpoints);
+  });
+}
+
+}  // namespace zmail::core::detail

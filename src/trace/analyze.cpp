@@ -56,6 +56,7 @@ std::vector<Span> build_spans(const std::vector<TraceEvent>& events) {
       s.begin_host = ev.host;
       s.begin_us = ev.sim_us;
       s.begin_arg0 = ev.arg0;
+      s.begin_wall_ns = ev.wall_ns;
       s.begin_seq = ev.seq;
       open[key(ev)].push_back(spans.size());
       spans.push_back(s);
@@ -67,6 +68,7 @@ std::vector<Span> build_spans(const std::vector<TraceEvent>& events) {
       s.end_host = ev.host;
       s.end_us = ev.sim_us;
       s.end_arg0 = ev.arg0;
+      s.end_wall_ns = ev.wall_ns;
       s.closed = true;
     }
   }
@@ -234,8 +236,12 @@ std::map<std::string, StageStats> breakdown(
     const std::int64_t d = s.duration_us();
     if (st.count == 0 || d < st.min_us) st.min_us = d;
     if (st.count == 0 || d > st.max_us) st.max_us = d;
+    const std::uint64_t w = s.wall_duration_ns();
+    if (st.count == 0 || w < st.wall_min_ns) st.wall_min_ns = w;
+    if (st.count == 0 || w > st.wall_max_ns) st.wall_max_ns = w;
     ++st.count;
     st.total_us += d;
+    st.wall_total_ns += w;
   }
   return out;
 }

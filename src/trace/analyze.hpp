@@ -28,10 +28,19 @@ struct Span {
   std::int64_t end_us = 0;
   std::uint64_t begin_arg0 = 0;
   std::uint64_t end_arg0 = 0;
+  std::uint64_t begin_wall_ns = 0;
+  std::uint64_t end_wall_ns = 0;
   std::uint64_t begin_seq = 0;
   bool closed = false;
 
   std::int64_t duration_us() const noexcept { return end_us - begin_us; }
+
+  // Wall-clock duration of the span.  Clamped to zero when the end stamp
+  // precedes the begin stamp (possible across a crash/restart boundary,
+  // where the steady clock restarts).
+  std::uint64_t wall_duration_ns() const noexcept {
+    return end_wall_ns > begin_wall_ns ? end_wall_ns - begin_wall_ns : 0;
+  }
 };
 
 // Matches begins to ends.  Nested same-key spans match LIFO.
@@ -72,15 +81,25 @@ struct ValidationResult {
 
 ValidationResult validate(const std::vector<TraceEvent>& events);
 
-// Per-stage latency accounting over closed spans.
+// Per-stage latency accounting over closed spans.  Sim-time fields drive
+// validation and the obs snapshot; the parallel wall-clock fields are
+// reporting-only (tools/trace_report prints both side by side).
 struct StageStats {
   std::uint64_t count = 0;
   std::int64_t total_us = 0;
   std::int64_t min_us = 0;
   std::int64_t max_us = 0;
+  std::uint64_t wall_total_ns = 0;
+  std::uint64_t wall_min_ns = 0;
+  std::uint64_t wall_max_ns = 0;
 
   double mean_us() const noexcept {
     return count ? static_cast<double>(total_us) / static_cast<double>(count)
+                 : 0.0;
+  }
+  double wall_mean_us() const noexcept {
+    return count ? static_cast<double>(wall_total_ns) /
+                       static_cast<double>(count) / 1000.0
                  : 0.0;
   }
 };

@@ -105,6 +105,44 @@ std::string Table::csv() const {
   return out;
 }
 
+std::string Table::sparkline(const std::vector<double>& values,
+                             std::size_t width) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (values.empty() || width == 0) return "";
+
+  // Bucket-average down to at most `width` cells.
+  std::vector<double> cells;
+  const std::size_t n = values.size();
+  if (n <= width) {
+    cells = values;
+  } else {
+    cells.resize(width);
+    for (std::size_t c = 0; c < width; ++c) {
+      const std::size_t lo = c * n / width;
+      std::size_t hi = (c + 1) * n / width;
+      if (hi <= lo) hi = lo + 1;
+      double sum = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) sum += values[i];
+      cells[c] = sum / static_cast<double>(hi - lo);
+    }
+  }
+
+  double mn = cells[0], mx = cells[0];
+  for (double v : cells) {
+    if (v < mn) mn = v;
+    if (v > mx) mx = v;
+  }
+  const double span = mx - mn;
+  std::string out;
+  for (double v : cells) {
+    const std::size_t level =
+        span > 0.0 ? static_cast<std::size_t>((v - mn) / span * 7.0 + 0.5)
+                   : 0;
+    out += kBlocks[level < 8 ? level : 7];
+  }
+  return out;
+}
+
 void Table::print(const std::string& title) const {
   std::printf("\n== %s ==\n%s", title.c_str(), str().c_str());
   std::fflush(stdout);

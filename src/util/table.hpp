@@ -23,6 +23,13 @@ class Table {
   static std::string pct(double fraction, int precision = 2);  // 0.25 -> "25.00%"
   static std::string sci(double v, int precision = 2);
 
+  // Unicode block-character sparkline of `values` scaled to its own
+  // min..max range, `width` cells wide (values are bucket-averaged when
+  // there are more than `width` of them).  Empty input -> empty string;
+  // a flat series renders as all-low blocks.
+  static std::string sparkline(const std::vector<double>& values,
+                               std::size_t width = 48);
+
   // Render with aligned columns and a separator under the header.
   std::string str() const;
   // Render as CSV (headers + rows).

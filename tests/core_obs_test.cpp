@@ -89,6 +89,15 @@ TEST(ObsRegistry, ProvidersAreLazyAndOrdered) {
   EXPECT_EQ(j.items()[2].first, "second");
 }
 
+TEST(ObsRegistry, DuplicateNameIsRejectedFirstRegistrationWins) {
+  obs::MetricsRegistry reg;
+  EXPECT_TRUE(reg.add("dup", [] { return json::Value(1); }));
+  EXPECT_FALSE(reg.add("dup", [] { return json::Value(2); }));
+  EXPECT_EQ(reg.size(), 1u);
+  const json::Value j = reg.snapshot();
+  EXPECT_EQ(j.find("dup")->as_int64(), 1);  // first registration wins
+}
+
 TEST(ObsRegistry, WriteFileRoundTripsThroughParser) {
   core::ZmailSystem sys = make_system();
   obs::MetricsRegistry reg;

@@ -1,0 +1,328 @@
+// Unit tests for zmail::telemetry primitives: point merging, downsampling
+// rings, log-bucket histograms, probe hysteresis and wildcard matching, the
+// CSV round trip, and merge/derive idempotency.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/probes.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/series.hpp"
+
+namespace zmail::telemetry {
+namespace {
+
+Point pt(std::int64_t t_us, double value) {
+  Point p;
+  p.t_us = t_us;
+  p.value = value;
+  return p;
+}
+
+Series gauge_series(std::string scope, std::string name,
+                    const std::vector<double>& values,
+                    std::int64_t step_us = 60'000'000) {
+  Series s;
+  s.scope = std::move(scope);
+  s.name = std::move(name);
+  s.kind = Kind::kGauge;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    s.points.push_back(pt(static_cast<std::int64_t>(i + 1) * step_us,
+                          values[i]));
+  return s;
+}
+
+TEST(MergePoints, GaugeKeepsLaterValue) {
+  const Point m = merge_points(Kind::kGauge, pt(60, 5.0), pt(120, 7.0));
+  EXPECT_EQ(m.t_us, 120);
+  EXPECT_DOUBLE_EQ(m.value, 7.0);
+}
+
+TEST(MergePoints, RateSumsWindowDeltas) {
+  const Point m = merge_points(Kind::kRate, pt(60, 5.0), pt(120, 7.0));
+  EXPECT_EQ(m.t_us, 120);
+  EXPECT_DOUBLE_EQ(m.value, 12.0);
+}
+
+TEST(MergePoints, HistogramCombinesCountWeighted) {
+  Point a = pt(60, 0.0);
+  a.count = 1;
+  a.sum = 100.0;
+  a.min = a.max = 100.0;
+  a.p50 = a.p99 = 96.0;
+  Point b = pt(120, 0.0);
+  b.count = 3;
+  b.sum = 900.0;
+  b.min = 200.0;
+  b.max = 400.0;
+  b.p50 = b.p99 = 384.0;
+  const Point m = merge_points(Kind::kHistogram, a, b);
+  EXPECT_EQ(m.count, 4u);
+  EXPECT_DOUBLE_EQ(m.sum, 1000.0);
+  EXPECT_DOUBLE_EQ(m.min, 100.0);
+  EXPECT_DOUBLE_EQ(m.max, 400.0);
+  EXPECT_DOUBLE_EQ(m.p50, (96.0 * 1 + 384.0 * 3) / 4.0);
+}
+
+TEST(DownsamplingRing, HalvesResolutionAtCapacity) {
+  DownsamplingRing r(Kind::kRate, 4);
+  for (int i = 1; i <= 4; ++i) r.append(pt(i * 60, 1.0));
+  // Hitting capacity compacts immediately: 4 raw points -> 2 level-1 pairs.
+  EXPECT_EQ(r.level(), 1u);
+  ASSERT_EQ(r.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(r.points()[0].value, 2.0);
+  EXPECT_EQ(r.points()[0].t_us, 120);
+  // At level 1 each stored point folds two appends; the first append of a
+  // pair stays in the accumulator.
+  r.append(pt(300, 1.0));
+  EXPECT_EQ(r.points().size(), 2u);
+  r.append(pt(360, 1.0));
+  ASSERT_EQ(r.points().size(), 3u);
+  EXPECT_DOUBLE_EQ(r.points()[2].value, 2.0);
+  EXPECT_EQ(r.points()[2].t_us, 360);
+}
+
+TEST(DownsamplingRing, RateMassPreservedThroughManyLevels) {
+  DownsamplingRing r(Kind::kRate, 8);
+  const int n = 1000;
+  for (int i = 1; i <= n; ++i) r.append(pt(i * 60, 1.0));
+  EXPECT_LE(r.points().size(), 8u);
+  EXPECT_EQ(r.appended(), static_cast<std::uint64_t>(n));
+  double stored = 0.0;
+  for (const Point& p : r.points()) stored += p.value;
+  // Everything not yet stored sits in the partial fold of the next point,
+  // which holds fewer than 2^level samples.
+  const double pending = static_cast<double>(n) - stored;
+  EXPECT_GE(pending, 0.0);
+  EXPECT_LT(pending, static_cast<double>(1u << r.level()));
+}
+
+TEST(DownsamplingRing, DeterministicFunctionOfAppendStream) {
+  DownsamplingRing a(Kind::kGauge, 16), b(Kind::kGauge, 16);
+  for (int i = 1; i <= 777; ++i) {
+    const Point p = pt(i * 60, static_cast<double>(i % 13));
+    a.append(p);
+    b.append(p);
+  }
+  EXPECT_EQ(a.points(), b.points());
+  EXPECT_EQ(a.level(), b.level());
+}
+
+TEST(LogHistogram, FlushSummarizesAndResets) {
+  LogHistogram h;
+  h.record(100);   // bucket 6  [64, 128)
+  h.record(200);   // bucket 7  [128, 256)
+  h.record(1000);  // bucket 9  [512, 1024)
+  ASSERT_EQ(h.count(), 3u);
+  const Point p = h.flush(60'000'000);
+  EXPECT_EQ(p.t_us, 60'000'000);
+  EXPECT_EQ(p.count, 3u);
+  EXPECT_DOUBLE_EQ(p.sum, 1300.0);
+  EXPECT_DOUBLE_EQ(p.min, 100.0);
+  EXPECT_DOUBLE_EQ(p.max, 1000.0);
+  // Percentiles land on the geometric bucket midpoint 1.5 * 2^b.
+  EXPECT_DOUBLE_EQ(p.p50, 1.5 * 128.0);
+  EXPECT_DOUBLE_EQ(p.p99, 1.5 * 512.0);
+  EXPECT_DOUBLE_EQ(p.value, p.p99);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(Probes, FireAndClearHysteresis) {
+  // fire_for = 2: one breach is noise, two consecutive fire; clear_for = 2.
+  ProbeRule rule{"wal", "store.bank.wal_backlog_records", Agg::kLast,
+                 Cmp::kGt, 400.0, 1, 2, 2};
+  const Series s = gauge_series("store", "bank.wal_backlog_records",
+                                {100, 500, 500, 100, 100, 100});
+  const ProbeStatus st = evaluate_rule(rule, s);
+  EXPECT_TRUE(st.evaluated);
+  EXPECT_EQ(st.evaluations, 6u);
+  EXPECT_EQ(st.breaches, 2u);
+  ASSERT_EQ(st.transitions.size(), 2u);
+  EXPECT_TRUE(st.transitions[0].fired);
+  EXPECT_EQ(st.transitions[0].t_us, 3 * 60'000'000);   // second breach
+  EXPECT_FALSE(st.transitions[1].fired);
+  EXPECT_EQ(st.transitions[1].t_us, 5 * 60'000'000);   // second OK
+  EXPECT_FALSE(st.firing);
+}
+
+TEST(Probes, SingleBreachBelowFireForNeverFires) {
+  ProbeRule rule{"wal", "store.bank.wal_backlog_records", Agg::kLast,
+                 Cmp::kGt, 400.0, 1, 2, 2};
+  const Series s = gauge_series("store", "bank.wal_backlog_records",
+                                {100, 500, 100, 500, 100});
+  const ProbeStatus st = evaluate_rule(rule, s);
+  EXPECT_EQ(st.breaches, 2u);
+  EXPECT_TRUE(st.transitions.empty());
+  EXPECT_FALSE(st.firing);
+}
+
+TEST(Probes, StillFiringWithoutEnoughClears) {
+  ProbeRule rule{"wal", "store.bank.wal_backlog_records", Agg::kLast,
+                 Cmp::kGt, 400.0, 1, 2, 2};
+  const Series s = gauge_series("store", "bank.wal_backlog_records",
+                                {500, 500, 100});  // one OK < clear_for
+  const ProbeStatus st = evaluate_rule(rule, s);
+  ASSERT_EQ(st.transitions.size(), 1u);
+  EXPECT_TRUE(st.firing);
+}
+
+TEST(Probes, WindowClampsAtSeriesHead) {
+  // Mean over a 3-point window; the first evaluations see shorter windows.
+  ProbeRule rule{"m", "econ.isp0.x", Agg::kMean, Cmp::kGt, 100.0, 3, 1, 1};
+  const Series s = gauge_series("econ", "isp0.x", {300, 0, 0, 0});
+  const ProbeStatus st = evaluate_rule(rule, s);
+  // Evaluations: mean(300)=300 breach; mean(300,0)=150 breach;
+  // mean(300,0,0)=100 ok; mean(0,0,0)=0 ok.
+  EXPECT_EQ(st.evaluations, 4u);
+  EXPECT_EQ(st.breaches, 2u);
+  ASSERT_EQ(st.transitions.size(), 2u);
+}
+
+TEST(Probes, SlopeNeedsTwoPoints) {
+  ProbeRule rule{"d", "econ.total.conservation_gap", Agg::kSlopePerSec,
+                 Cmp::kGt, 0.01, 10, 1, 1};
+  const Series one = gauge_series("econ", "total.conservation_gap", {5});
+  EXPECT_TRUE(evaluate_rule(rule, one).transitions.empty());
+  // 60 e-pennies per minute = 1/s, way over the 0.01/s drift threshold.
+  const Series two =
+      gauge_series("econ", "total.conservation_gap", {0, 60, 120});
+  const ProbeStatus st = evaluate_rule(rule, two);
+  EXPECT_EQ(st.times_fired(), 1u);
+  EXPECT_TRUE(st.firing);
+}
+
+TEST(Probes, WildcardMatchesEveryConcreteSeries) {
+  ProbeEngine engine;
+  engine.add_rule(ProbeRule{"wal", "store.*.wal_backlog_records", Agg::kLast,
+                            Cmp::kGt, 400.0, 1, 1, 1});
+  std::vector<Series> series;
+  series.push_back(gauge_series("store", "isp0.wal_backlog_records", {500}));
+  series.push_back(gauge_series("store", "isp1.wal_backlog_records", {100}));
+  series.push_back(gauge_series("store", "isp0.checkpoints", {1}));
+  const ProbeReport r = engine.evaluate(series, /*log_transitions=*/false);
+  ASSERT_EQ(r.probes.size(), 2u);  // one status per matching series
+  EXPECT_EQ(r.probes[0].rule.series, "store.isp0.wal_backlog_records");
+  EXPECT_TRUE(r.probes[0].firing);
+  EXPECT_EQ(r.probes[1].rule.series, "store.isp1.wal_backlog_records");
+  EXPECT_FALSE(r.probes[1].firing);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.firing_count(), 1u);
+}
+
+TEST(Probes, UnmatchedRuleIsNoDataNotFailure) {
+  ProbeEngine engine;
+  engine.add_rule(ProbeRule{"lat", "core.*.delivery_latency_us", Agg::kMax,
+                            Cmp::kGt, 9e8, 5, 1, 1});
+  const ProbeReport r = engine.evaluate({}, false);
+  ASSERT_EQ(r.probes.size(), 1u);
+  EXPECT_FALSE(r.probes[0].evaluated);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.evaluated_count(), 0u);
+}
+
+// A small registry with one gauge, one rate, and one histogram channel,
+// sampled over a few windows.
+std::vector<Series> sampled_registry_series() {
+  TelemetryConfig cfg;
+  cfg.enabled = true;
+  TelemetryRegistry reg(cfg);
+  double level = 10.0;
+  double counter = 0.0;
+  reg.add_gauge("econ", "isp0.stamp_price_micros", [&] { return level; });
+  reg.add_rate("core", "isp0.delivered", [&] { return counter; });
+  const std::size_t ch = reg.add_histogram("core", "isp0.delivery_latency_us");
+  for (int w = 1; w <= 5; ++w) {
+    level += 1.0;
+    counter += static_cast<double>(w);
+    reg.observe(ch, static_cast<std::uint64_t>(100 * w));
+    reg.sample(static_cast<sim::SimTime>(w) * 60'000'000);
+  }
+  return reg.collect();
+}
+
+TEST(Export, CsvRoundTripsExactly) {
+  const std::vector<Series> before = sampled_registry_series();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "zmail_telemetry_rt.csv")
+          .string();
+  std::string err;
+  ASSERT_TRUE(write_csv(path, before, &err)) << err;
+  std::vector<Series> after;
+  ASSERT_TRUE(load_csv(path, &after, &err)) << err;
+  std::remove(path.c_str());
+
+  ASSERT_EQ(after.size(), before.size());
+  std::map<std::string, const Series*> by_key;
+  for (const Series& s : after) by_key[s.key()] = &s;
+  for (const Series& s : before) {
+    ASSERT_TRUE(by_key.count(s.key())) << s.key();
+    const Series& r = *by_key[s.key()];
+    EXPECT_EQ(r.kind, s.kind) << s.key();
+    EXPECT_EQ(r.engine, s.engine) << s.key();
+    EXPECT_EQ(r.points, s.points) << s.key();  // %.17g round-trips doubles
+  }
+}
+
+TEST(Export, MergeCollectedIsIdempotent) {
+  TelemetryConfig cfg;
+  cfg.enabled = true;
+  TelemetryRegistry reg(cfg);
+  double d0 = 0, d1 = 0, h0 = 50, h1 = 70, p0 = 9000, p1 = 11000;
+  reg.add_rate("core", "isp0.delivered", [&] { return d0; });
+  reg.add_rate("core", "isp1.delivered", [&] { return d1; });
+  reg.add_gauge("econ", "isp0.epennies_held", [&] { return h0; });
+  reg.add_gauge("econ", "isp1.epennies_held", [&] { return h1; });
+  reg.add_gauge("econ", "isp0.stamp_price_micros", [&] { return p0; });
+  reg.add_gauge("econ", "isp1.stamp_price_micros", [&] { return p1; });
+  reg.add_gauge("econ", "bank.epenny_supply", [] { return 100.0; });
+  for (int w = 1; w <= 3; ++w) {
+    d0 += 2;
+    d1 += 3;
+    reg.sample(static_cast<sim::SimTime>(w) * 60'000'000);
+  }
+  DeriveSpec spec;
+  spec.endowment_epennies = 200.0;
+  const std::vector<Series> once = merge_series({&reg}, spec);
+  const std::vector<Series> twice = merge_collected(once, spec);
+  EXPECT_EQ(csv_string(once), csv_string(twice));
+
+  // And the derived aggregates are the expected point-wise combinations.
+  std::map<std::string, const Series*> by_key;
+  for (const Series& s : once) by_key[s.key()] = &s;
+  ASSERT_TRUE(by_key.count("core.total.delivered"));
+  EXPECT_DOUBLE_EQ(by_key["core.total.delivered"]->points.back().value, 5.0);
+  ASSERT_TRUE(by_key.count("econ.market.stamp_price_micros"));
+  EXPECT_DOUBLE_EQ(
+      by_key["econ.market.stamp_price_micros"]->points.back().value, 10000.0);
+  ASSERT_TRUE(by_key.count("econ.total.epennies_held"));
+  EXPECT_DOUBLE_EQ(by_key["econ.total.epennies_held"]->points.back().value,
+                   120.0);
+  // gap = supply + endowment - held = 100 + 200 - 120.
+  ASSERT_TRUE(by_key.count("econ.total.conservation_gap"));
+  EXPECT_DOUBLE_EQ(
+      by_key["econ.total.conservation_gap"]->points.back().value, 180.0);
+}
+
+TEST(Export, TimeseriesJsonSplitsEngineSeries) {
+  TelemetryConfig cfg;
+  cfg.enabled = true;
+  TelemetryRegistry reg(cfg);
+  reg.add_gauge("econ", "isp0.till_micros", [] { return 1.0; });
+  reg.add_engine_gauge("sim", "shard0.event_backlog", [] { return 7.0; });
+  reg.sample(60'000'000);
+  const std::vector<Series> all = reg.collect();
+  const json::Value det = timeseries_json(all, false);
+  const json::Value eng = timeseries_json(all, true);
+  EXPECT_NE(det.find("econ.isp0.till_micros"), nullptr);
+  EXPECT_EQ(det.find("sim.shard0.event_backlog"), nullptr);
+  EXPECT_NE(eng.find("sim.shard0.event_backlog"), nullptr);
+  EXPECT_EQ(eng.find("econ.isp0.till_micros"), nullptr);
+}
+
+}  // namespace
+}  // namespace zmail::telemetry

@@ -66,6 +66,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(), err.c_str());
     return 2;
   }
+  if (events.empty()) {
+    std::fprintf(stderr, "%s: no trace events (empty capture?)\n",
+                 path.c_str());
+    return 2;
+  }
 
   const auto spans = trace::build_spans(events);
   const auto chain_map = trace::build_chains(events);
@@ -75,12 +80,15 @@ int main(int argc, char** argv) {
 
   const auto stages = trace::breakdown(events);
   if (!stages.empty()) {
-    Table t({"stage", "count", "mean_us", "min_us", "max_us", "total_us"});
+    Table t({"stage", "count", "sim_mean_us", "sim_min_us", "sim_max_us",
+             "sim_total_us", "wall_mean_us", "wall_total_us"});
     for (const auto& [name, s] : stages)
       t.add_row({name, Table::num(s.count), Table::num(s.mean_us(), 1),
                  Table::num(s.min_us), Table::num(s.max_us),
-                 Table::num(s.total_us)});
-    t.print("per-stage latency (sim-time)");
+                 Table::num(s.total_us), Table::num(s.wall_mean_us(), 1),
+                 Table::num(static_cast<double>(s.wall_total_ns) / 1000.0,
+                            1)});
+    t.print("per-stage latency (sim-time & wall-time)");
   }
 
   if (chains) {

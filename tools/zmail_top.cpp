@@ -1,0 +1,221 @@
+// zmail_top — terminal dashboard over recorded (or live-growing) telemetry.
+//
+//   ./zmail_top run.csv --once          one render, then exit (CI / piping)
+//   ./zmail_top run.csv                 follow mode: re-read + redraw until ^C
+//   ./zmail_top run.csv --interval 2    follow-mode poll seconds (default 1)
+//   ./zmail_top run.csv --width 64      sparkline width
+//
+// Input is the long-format CSV written by `scenario_runner --telemetry`
+// (or telemetry::write_csv).  The dashboard renders:
+//   - market panel: mean stamp price, per-ISP price range;
+//   - mail panel: delivered/blocked/refused rates with sparklines;
+//   - health panel: WAL backlogs, quiesce buffers, delivery-latency p99;
+//   - engine panel: event backlog and rate per shard (partition-dependent);
+//   - probe panel: the default health rules re-evaluated over the series,
+//     with fire/clear transition history.
+// In follow mode the CSV is re-parsed each poll, so pointing it at a file
+// a running scenario rewrites gives a live view without any socket.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/probes.hpp"
+#include "util/table.hpp"
+
+using namespace zmail;
+
+namespace {
+
+struct Args {
+  std::string csv_path;
+  bool once = false;
+  double interval_sec = 1.0;
+  std::size_t width = 48;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s telemetry.csv [--once] [--interval SEC]"
+               " [--width N]\n",
+               argv0);
+  return 2;
+}
+
+const telemetry::Series* find(const std::vector<telemetry::Series>& all,
+                              const std::string& key) {
+  for (const auto& s : all)
+    if (s.key() == key) return &s;
+  return nullptr;
+}
+
+std::vector<double> values_of(const telemetry::Series& s) {
+  std::vector<double> v;
+  v.reserve(s.points.size());
+  for (const auto& p : s.points)
+    v.push_back(telemetry::probe_value(s.kind, p));
+  return v;
+}
+
+double last_of(const telemetry::Series& s) {
+  return s.points.empty()
+             ? 0.0
+             : telemetry::probe_value(s.kind, s.points.back());
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  }
+  return buf;
+}
+
+// One dashboard row: name, last value, sparkline over the whole series.
+void panel_row(Table& t, const std::string& name,
+               const telemetry::Series& s, std::size_t width) {
+  t.add_row({name, fmt(last_of(s)), Table::sparkline(values_of(s), width)});
+}
+
+void render(const std::vector<telemetry::Series>& merged, const Args& args) {
+  sim::SimTime end_ts = 0;
+  for (const auto& s : merged)
+    if (!s.points.empty()) end_ts = std::max(end_ts, s.points.back().t_us);
+  std::printf("zmail_top — %s — sim time %.1f h\n", args.csv_path.c_str(),
+              static_cast<double>(end_ts) / (3600.0 * 1e6));
+
+  // Market panel.
+  {
+    Table t({"series", "last", "trend"});
+    for (const char* key : {"econ.market.stamp_price_micros",
+                            "econ.bank.epenny_supply",
+                            "econ.total.epennies_held",
+                            "econ.total.conservation_gap"})
+      if (const telemetry::Series* s = find(merged, key))
+        panel_row(t, key, *s, args.width);
+    t.print("market");
+  }
+
+  // Mail-flow panel: world totals first, then any per-ISP latency tails.
+  {
+    Table t({"series", "last", "trend"});
+    for (const char* key :
+         {"core.total.delivered", "core.total.blocked", "core.total.refused"})
+      if (const telemetry::Series* s = find(merged, key))
+        panel_row(t, key, *s, args.width);
+    for (const auto& s : merged)
+      if (!s.engine && s.kind == telemetry::Kind::kHistogram)
+        panel_row(t, s.key() + " (p99)", s, args.width);
+    t.print("mail flow");
+  }
+
+  // Health panel: WAL backlogs and quiesce buffers.
+  {
+    Table t({"series", "last", "trend"});
+    for (const auto& s : merged) {
+      if (s.engine) continue;
+      const bool wal = s.name.size() > 19 &&
+                       s.name.rfind(".wal_backlog_records") ==
+                           s.name.size() - 20;
+      const bool quiesce =
+          s.name.size() > 16 &&
+          s.name.rfind(".quiesce_buffered") == s.name.size() - 17;
+      if (wal || quiesce) panel_row(t, s.key(), *&s, args.width);
+    }
+    t.print("durability & quiesce");
+  }
+
+  // Engine panel (partition-dependent by nature).
+  {
+    Table t({"series", "last", "trend"});
+    for (const auto& s : merged)
+      if (s.engine && s.scope == "sim") panel_row(t, s.key(), s, args.width);
+    t.print("engine");
+  }
+
+  // Probe panel: re-evaluate the default rules over the recorded series.
+  {
+    telemetry::ProbeEngine probes;
+    for (telemetry::ProbeRule& r : telemetry::default_rules())
+      probes.add_rule(std::move(r));
+    const telemetry::ProbeReport report =
+        probes.evaluate(merged, /*log_transitions=*/false);
+    Table t({"probe", "series", "state", "last", "fires", "transitions"});
+    for (const auto& p : report.probes) {
+      std::string transitions;
+      for (const auto& tr : p.transitions) {
+        if (!transitions.empty()) transitions += " ";
+        transitions += (tr.fired ? "F@" : "c@") +
+                       fmt(static_cast<double>(tr.t_us) / 60e6) + "m";
+      }
+      t.add_row({p.rule.name, p.rule.series,
+                 !p.evaluated ? "no-data" : (p.firing ? "FIRING" : "ok"),
+                 fmt(p.last_value),
+                 fmt(static_cast<double>(p.times_fired())),
+                 transitions.empty() ? "-" : transitions});
+    }
+    t.print(report.ok() ? "probes (ok)" : "probes (UNHEALTHY)");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(a, "--once") == 0) {
+      args.once = true;
+    } else if (std::strcmp(a, "--interval") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      args.interval_sec = std::strtod(v, nullptr);
+      if (args.interval_sec <= 0) return usage(argv[0]);
+    } else if (std::strcmp(a, "--width") == 0) {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      args.width = std::strtoull(v, nullptr, 10);
+      if (args.width == 0) return usage(argv[0]);
+    } else if (a[0] == '-') {
+      return usage(argv[0]);
+    } else if (args.csv_path.empty()) {
+      args.csv_path = a;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (args.csv_path.empty()) return usage(argv[0]);
+
+  for (;;) {
+    std::vector<telemetry::Series> series;
+    std::string err;
+    if (!telemetry::load_csv(args.csv_path, &series, &err)) {
+      std::fprintf(stderr, "cannot read %s: %s\n", args.csv_path.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    // The CSV may predate the derived aggregates (or come from a raw
+    // registry dump); merging is idempotent, so derive unconditionally.
+    const std::vector<telemetry::Series> merged =
+        telemetry::merge_collected(std::move(series));
+    if (!args.once) std::printf("\x1b[2J\x1b[H");  // clear + home
+    render(merged, args);
+    if (args.once) break;
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(
+            static_cast<long long>(args.interval_sec * 1000.0)));
+  }
+  return 0;
+}
